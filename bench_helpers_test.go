@@ -1,0 +1,16 @@
+package cheetah_test
+
+import (
+	cheetah "repro"
+	"repro/internal/harness"
+)
+
+// newBenchSystem builds the standard 48-core evaluation machine.
+func newBenchSystem() *cheetah.System {
+	return cheetah.New(cheetah.Config{})
+}
+
+// profileOptions returns the detection-tuned profiling configuration.
+func profileOptions() cheetah.ProfileOptions {
+	return cheetah.ProfileOptions{PMU: harness.DetectionPMU()}
+}

@@ -1,0 +1,155 @@
+package cheetah_test
+
+import (
+	"strings"
+	"testing"
+
+	cheetah "repro"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+)
+
+// fsProgram builds a minimal false-sharing program on sys: threads write
+// adjacent words of one heap object.
+func fsProgram(sys *cheetah.System, threads, iters int) (mem.Addr, cheetah.Program) {
+	obj := sys.Heap().Malloc(mem.MainThread, 64,
+		heap.Stack(heap.Frame{Func: "main", File: "api_test.go", Line: 17}))
+	bodies := make([]cheetah.Body, threads)
+	for i := 0; i < threads; i++ {
+		mine := obj.Add(i * 4)
+		bodies[i] = func(t *cheetah.T) {
+			for j := 0; j < iters; j++ {
+				t.Load(mine)
+				t.Compute(1)
+				t.Store(mine)
+			}
+		}
+	}
+	return obj, cheetah.Program{
+		Name: "api-fs",
+		Phases: []cheetah.Phase{
+			cheetah.SerialPhase("init", func(t *cheetah.T) {
+				for i := 0; i < threads; i++ {
+					t.Store(obj.Add(i * 4))
+					for s := 0; s < 8; s++ {
+						t.Load(obj.Add(i * 4))
+					}
+					t.Compute(3)
+				}
+			}),
+			cheetah.ParallelPhase("work", bodies...),
+		},
+	}
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	obj, prog := fsProgram(sys, 4, 60000)
+	report, res := sys.Profile(prog, cheetah.ProfileOptions{
+		PMU: pmu.Config{Period: 256, Jitter: 64},
+	})
+	if res.TotalCycles == 0 {
+		t.Fatal("no runtime recorded")
+	}
+	if len(report.Instances) != 1 {
+		t.Fatalf("got %d instances, want 1 (candidates %d)", len(report.Instances), len(report.Candidates))
+	}
+	in := report.Instances[0]
+	if in.Object.Start != obj {
+		t.Errorf("instance object %v, want %v", in.Object.Start, obj)
+	}
+	if in.Assessment.Improvement < 1.5 {
+		t.Errorf("predicted improvement %.2f, want substantial", in.Assessment.Improvement)
+	}
+	if !strings.Contains(report.Format(), "api_test.go: 17") {
+		t.Error("report does not name the allocation site")
+	}
+}
+
+func TestRunIsDeterministicAcrossSystems(t *testing.T) {
+	run := func() uint64 {
+		sys := cheetah.New(cheetah.Config{Cores: 8})
+		_, prog := fsProgram(sys, 4, 20000)
+		return sys.Run(prog).TotalCycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic runs: %d vs %d", a, b)
+	}
+}
+
+func TestProfileOverheadIsSmall(t *testing.T) {
+	sysA := cheetah.New(cheetah.Config{Cores: 8})
+	_, progA := fsProgram(sysA, 4, 60000)
+	native := sysA.Run(progA).TotalCycles
+
+	sysB := cheetah.New(cheetah.Config{Cores: 8})
+	_, progB := fsProgram(sysB, 4, 60000)
+	_, res := sysB.Profile(progB, cheetah.ProfileOptions{})
+	overhead := float64(res.TotalCycles)/float64(native) - 1
+	if overhead > 0.25 {
+		t.Errorf("default-config profiling overhead %.1f%%, want light", overhead*100)
+	}
+}
+
+func TestRunTracedExposesGroundTruth(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	obj, prog := fsProgram(sys, 4, 20000)
+	_, sim := sys.RunTraced(prog)
+	if sim.LineInvalidations(obj) == 0 {
+		t.Error("machine recorded no invalidations on the contended line")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{})
+	if sys.Cores() != 48 {
+		t.Errorf("default cores = %d, want 48 (the paper's machine)", sys.Cores())
+	}
+	if sys.Heap() == nil || sys.Globals() == nil {
+		t.Fatal("memory layout not initialized")
+	}
+	if !sys.Heap().Contains(sys.Heap().Base()) {
+		t.Error("heap bounds inconsistent")
+	}
+}
+
+func TestProfileOptionThresholds(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	_, prog := fsProgram(sys, 4, 60000)
+	// An absurd improvement threshold filters everything into candidates.
+	report, _ := sys.Profile(prog, cheetah.ProfileOptions{
+		PMU:            pmu.Config{Period: 256, Jitter: 64},
+		MinImprovement: 1000,
+	})
+	if len(report.Instances) != 0 {
+		t.Error("threshold did not filter instances")
+	}
+	if len(report.Candidates) == 0 {
+		t.Error("filtered instance missing from candidates")
+	}
+}
+
+func TestPooledPhaseReusesThreads(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	body := func(t *cheetah.T) { t.Compute(1000) }
+	prog := cheetah.Program{
+		Name: "pooled",
+		Phases: []cheetah.Phase{
+			cheetah.PooledPhase("round1", body, body),
+			cheetah.PooledPhase("round2", body, body),
+			cheetah.PooledPhase("round3", body, body),
+		},
+	}
+	res := sys.Run(prog)
+	distinct := map[mem.ThreadID]bool{}
+	for _, th := range res.Threads {
+		distinct[th.ID] = true
+	}
+	if len(distinct) != 2 {
+		t.Errorf("pooled phases used %d distinct threads, want 2", len(distinct))
+	}
+	if len(res.Threads) != 6 {
+		t.Errorf("got %d thread-phase records, want 6", len(res.Threads))
+	}
+}

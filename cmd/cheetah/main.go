@@ -1,0 +1,94 @@
+// Command cheetah runs a workload under the Cheetah profiler and prints
+// its false sharing report, in the style of paper Figure 5.
+//
+// Usage:
+//
+//	cheetah [-threads 16] [-scale 1.0] [-period 64] [-words] [-candidates] <workload>
+//	cheetah -list
+//
+// Workloads are the built-in Phoenix/PARSEC analogs, e.g.:
+//
+//	cheetah linear_regression
+//	cheetah -threads 8 -words streamcluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cheetah "repro"
+	"repro/internal/harness"
+	"repro/internal/pmu"
+	"repro/internal/workload"
+)
+
+func main() {
+	threads := flag.Int("threads", 16, "worker threads per parallel phase")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	period := flag.Uint64("period", 0, "sampling period in instructions (0 = calibrated default)")
+	words := flag.Bool("words", false, "print word-level access detail for each instance")
+	candidates := flag.Bool("candidates", false, "also print non-significant candidates")
+	fixed := flag.Bool("fixed", false, "run the padded (fixed) layout instead of the original")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fs := ""
+			switch w.FS {
+			case workload.SignificantFS:
+				fs = " [significant false sharing: " + w.FSSite + "]"
+			case workload.MinorFS:
+				fs = " [minor false sharing: " + w.FSSite + "]"
+			}
+			fmt.Printf("%-20s %s%s\n", w.Name, w.Suite, fs)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cheetah [flags] <workload>  (or cheetah -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	w, ok := workload.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cheetah: unknown workload %q; available: %s\n",
+			name, strings.Join(workload.Names(), ", "))
+		os.Exit(2)
+	}
+
+	sys := cheetah.New(cheetah.Config{})
+	prog := w.Build(sys, workload.Params{Threads: *threads, Scale: *scale, Fixed: *fixed})
+
+	var cfg pmu.Config
+	if *period != 0 {
+		cfg = pmu.Config{Period: *period, Jitter: *period / 4, HandlerCycles: 4, SetupCycles: 4700}
+	} else {
+		cfg = harness.DetectionPMU()
+	}
+	report, res := sys.Profile(prog, cheetah.ProfileOptions{PMU: cfg})
+
+	fmt.Print(report.Format())
+	if *words {
+		for i := range report.Instances {
+			fmt.Println()
+			fmt.Print(report.Instances[i].FormatWords())
+		}
+	}
+	if *candidates && len(report.Candidates) > 0 {
+		fmt.Printf("\n%d further candidates (true sharing or below significance thresholds):\n",
+			len(report.Candidates))
+		for _, c := range report.Candidates {
+			kind := "false sharing (insignificant)"
+			if !c.FalseSharing {
+				kind = "true sharing"
+			}
+			fmt.Printf("  %v..%v  %-30s invalidations %d\n", c.Object.Start, c.Object.End, kind, c.Invalidations)
+		}
+	}
+	fmt.Printf("\nruntime %d cycles across %d phases\n", res.TotalCycles, len(res.Phases))
+}

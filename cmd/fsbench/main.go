@@ -1,0 +1,75 @@
+// Command fsbench regenerates the tables and figures of the paper's
+// evaluation (§4).
+//
+// Usage:
+//
+//	fsbench -experiment fig1|fig4|fig5|fig7|table1|compare|ablation|all
+//	        [-scale 1.0] [-threads 16] [-app linear_regression]
+//
+// Each experiment prints the same rows or series the paper reports;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: fig1, fig4, fig5, fig7, table1, compare, ablation, all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	threads := flag.Int("threads", 16, "worker threads per parallel phase")
+	app := flag.String("app", "linear_regression", "application for fig5 (case study report)")
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, Threads: *threads}
+
+	run := func(name string, fn func()) {
+		switch *experiment {
+		case name, "all":
+			fn()
+			fmt.Println()
+		}
+	}
+
+	any := false
+	for _, known := range []string{"fig1", "fig4", "fig5", "fig7", "table1", "compare", "ablation", "all"} {
+		if *experiment == known {
+			any = true
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "fsbench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run("fig1", func() {
+		fmt.Print(harness.FormatFigure1(harness.Figure1(cfg)))
+	})
+	run("fig4", func() {
+		fmt.Print(harness.FormatFigure4(harness.Figure4(cfg)))
+	})
+	run("fig5", func() {
+		_, text := harness.Figure5(*app, cfg)
+		fmt.Printf("Figure 5: Cheetah report for %s\n\n%s", *app, text)
+	})
+	run("fig7", func() {
+		fmt.Print(harness.FormatFigure7(harness.Figure7(cfg)))
+	})
+	run("table1", func() {
+		fmt.Print(harness.FormatTable1(harness.Table1(cfg)))
+	})
+	run("compare", func() {
+		fmt.Print(harness.FormatCompare(harness.Compare(cfg)))
+	})
+	run("ablation", func() {
+		fmt.Print(harness.FormatPeriodAblation(harness.PeriodAblation(cfg)))
+		fmt.Println()
+		fmt.Print(harness.FormatRuleAblation(harness.RuleAblation(cfg)))
+	})
+}

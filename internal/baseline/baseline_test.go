@@ -1,0 +1,253 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	cheetah "repro"
+	"repro/internal/baseline"
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// rig builds a system plus an FS-prone program: threads write adjacent
+// words of one heap object (false sharing) and optionally a common word
+// (true sharing).
+type rig struct {
+	sys  *cheetah.System
+	obj  mem.Addr
+	prog cheetah.Program
+}
+
+func newRig(threads, iters, stride int, trueSharing bool) *rig {
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	obj := sys.Heap().Malloc(mem.MainThread, 4096,
+		heap.Stack(heap.Frame{File: "rig.c", Line: 11}))
+	shared := sys.Heap().Malloc(mem.MainThread, 64,
+		heap.Stack(heap.Frame{File: "rig.c", Line: 12}))
+	bodies := make([]cheetah.Body, threads)
+	for i := 0; i < threads; i++ {
+		mine := obj.Add(i * stride)
+		bodies[i] = func(t *cheetah.T) {
+			for j := 0; j < iters; j++ {
+				t.Store(mine)
+				t.Compute(3)
+				if trueSharing && j%4 == 0 {
+					t.Store(shared)
+				}
+			}
+		}
+	}
+	return &rig{sys: sys, obj: obj, prog: cheetah.Program{
+		Name:   "rig",
+		Phases: []cheetah.Phase{cheetah.ParallelPhase("work", bodies...)},
+	}}
+}
+
+func TestPredatorDetectsFalseSharing(t *testing.T) {
+	r := newRig(4, 5000, 4, false)
+	det := baseline.NewPredator(baseline.DefaultPredatorConfig(), r.sys.Heap(), r.sys.Globals())
+	r.sys.RunWith(r.prog, det)
+	findings := det.Findings()
+	found := false
+	for _, f := range findings {
+		if f.Object == r.obj && f.FalseSharing {
+			found = true
+			if f.Invalidations == 0 {
+				t.Error("finding without invalidations")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Predator missed the falsely-shared object; findings: %+v", findings)
+	}
+}
+
+func TestPredatorClassifiesTrueSharing(t *testing.T) {
+	// All threads write the SAME word of one line.
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	obj := sys.Heap().Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "ts.c", Line: 1}))
+	bodies := make([]cheetah.Body, 4)
+	for i := range bodies {
+		bodies[i] = func(t *cheetah.T) {
+			for j := 0; j < 5000; j++ {
+				t.Store(obj)
+				t.Compute(3)
+			}
+		}
+	}
+	det := baseline.NewPredator(baseline.DefaultPredatorConfig(), sys.Heap(), sys.Globals())
+	sys.RunWith(cheetah.Program{Name: "ts", Phases: []cheetah.Phase{
+		cheetah.ParallelPhase("work", bodies...),
+	}}, det)
+	for _, f := range det.Findings() {
+		if f.Object == obj && f.FalseSharing {
+			t.Fatal("true sharing classified as false sharing")
+		}
+	}
+}
+
+func TestPredatorOverheadIsHigh(t *testing.T) {
+	// Predator's full instrumentation costs several x; Cheetah's sampling
+	// costs a few percent (paper §4.2.3).
+	r := newRig(4, 20000, 4, false)
+	native := r.sys.Run(r.prog).TotalCycles
+	det := baseline.NewPredator(baseline.DefaultPredatorConfig(), r.sys.Heap(), r.sys.Globals())
+	instrumented := r.sys.RunWith(r.prog, det).TotalCycles
+	slowdown := float64(instrumented) / float64(native)
+	if slowdown < 1.5 {
+		t.Errorf("Predator slowdown %.2fx, want substantial", slowdown)
+	}
+}
+
+func TestPredatorSeesSerialPhases(t *testing.T) {
+	// Unlike Cheetah, Predator records serial-phase accesses; a heavily
+	// written object whose writes all come from the main thread must
+	// still not be reported (single thread).
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	obj := sys.Heap().Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "s.c", Line: 1}))
+	det := baseline.NewPredator(baseline.DefaultPredatorConfig(), sys.Heap(), sys.Globals())
+	sys.RunWith(cheetah.Program{Name: "serialonly", Phases: []cheetah.Phase{
+		cheetah.SerialPhase("init", func(t *cheetah.T) {
+			for j := 0; j < 10000; j++ {
+				t.Store(obj.Add((j % 16) * 4))
+			}
+		}),
+	}}, det)
+	if fs := det.Findings(); len(fs) != 0 {
+		t.Errorf("single-threaded writes reported: %+v", fs)
+	}
+}
+
+func TestSheriffDetectsWriteWriteFalseSharing(t *testing.T) {
+	r := newRig(4, 5000, 4, false)
+	det := baseline.NewSheriff(baseline.DefaultSheriffConfig(), r.sys.Heap(), r.sys.Globals())
+	r.sys.RunWith(r.prog, det)
+	found := false
+	for _, f := range det.Findings() {
+		if f.Object == r.obj && f.FalseSharing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Sheriff missed write-write false sharing")
+	}
+}
+
+func TestSheriffIgnoresReadWriteSharing(t *testing.T) {
+	// One thread writes, the others only read: invisible to Sheriff's
+	// twin-page diffing (its documented shortcoming, §6.1).
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	obj := sys.Heap().Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "rw.c", Line: 1}))
+	bodies := make([]cheetah.Body, 4)
+	bodies[0] = func(t *cheetah.T) {
+		for j := 0; j < 5000; j++ {
+			t.Store(obj)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		off := i * 4
+		bodies[i] = func(t *cheetah.T) {
+			for j := 0; j < 5000; j++ {
+				t.Load(obj.Add(off))
+			}
+		}
+	}
+	det := baseline.NewSheriff(baseline.DefaultSheriffConfig(), sys.Heap(), sys.Globals())
+	sys.RunWith(cheetah.Program{Name: "rw", Phases: []cheetah.Phase{
+		cheetah.ParallelPhase("work", bodies...),
+	}}, det)
+	if fs := det.Findings(); len(fs) != 0 {
+		t.Errorf("read-write sharing reported by Sheriff: %+v", fs)
+	}
+}
+
+func TestSheriffSkipsOverlappingWrites(t *testing.T) {
+	r := newRig(4, 5000, 4, true) // adds same-word writes (true sharing)
+	det := baseline.NewSheriff(baseline.DefaultSheriffConfig(), r.sys.Heap(), r.sys.Globals())
+	r.sys.RunWith(r.prog, det)
+	for _, f := range det.Findings() {
+		if strings.Contains(f.Site, "rig.c:12") {
+			t.Errorf("overlapping-write (true sharing) line reported: %+v", f)
+		}
+	}
+}
+
+func TestSheriffModestOverhead(t *testing.T) {
+	r := newRig(4, 20000, 4, false)
+	native := r.sys.Run(r.prog).TotalCycles
+	det := baseline.NewSheriff(baseline.DefaultSheriffConfig(), r.sys.Heap(), r.sys.Globals())
+	protected := r.sys.RunWith(r.prog, det).TotalCycles
+	slowdown := float64(protected) / float64(native)
+	if slowdown > 2.5 {
+		t.Errorf("Sheriff slowdown %.2fx, want modest (~20%% on typical code)", slowdown)
+	}
+}
+
+func TestOwnershipRuleCountsInvalidations(t *testing.T) {
+	r := newRig(2, 1000, 4, false)
+	own := baseline.NewOwnership()
+	r.sys.RunWith(r.prog, own)
+	if own.Invalidations == 0 {
+		t.Fatal("ownership tracker counted no invalidations in an FS storm")
+	}
+}
+
+func TestOwnershipSingleThreadNoInvalidations(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	obj := sys.Heap().Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "o.c", Line: 1}))
+	own := baseline.NewOwnership()
+	sys.RunWith(cheetah.Program{Name: "one", Phases: []cheetah.Phase{
+		cheetah.ParallelPhase("work", func(t *cheetah.T) {
+			for j := 0; j < 5000; j++ {
+				t.Store(obj)
+				t.Load(obj)
+			}
+		}),
+	}}, own)
+	if own.Invalidations != 0 {
+		t.Errorf("single-thread run counted %d invalidations", own.Invalidations)
+	}
+}
+
+func TestOwnershipReadersInvalidatedByWrite(t *testing.T) {
+	// Readers join the owner set; a write by anyone else invalidates.
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	obj := sys.Heap().Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "o.c", Line: 2}))
+	reader := func(t *cheetah.T) {
+		for j := 0; j < 2000; j++ {
+			t.Load(obj)
+			t.Compute(5)
+		}
+	}
+	writer := func(t *cheetah.T) {
+		for j := 0; j < 2000; j++ {
+			t.Store(obj.Add(4))
+			t.Compute(5)
+		}
+	}
+	own := baseline.NewOwnership()
+	sys.RunWith(cheetah.Program{Name: "rwo", Phases: []cheetah.Phase{
+		cheetah.ParallelPhase("work", reader, reader, writer),
+	}}, own)
+	if own.Invalidations == 0 {
+		t.Error("reader/writer interleaving produced no invalidations")
+	}
+}
+
+func TestFootprintHelpers(t *testing.T) {
+	if got := baseline.TwoEntryBytesPerLine(); got != 16 {
+		t.Errorf("two-entry footprint = %d, want 16", got)
+	}
+	if got := baseline.OwnershipBytesPerLine(16); got != 8 {
+		t.Errorf("ownership footprint at 16 threads = %d, want 8", got)
+	}
+	if got := baseline.OwnershipBytesPerLine(224); got != 32 {
+		t.Errorf("ownership footprint at 224 threads = %d, want 32", got)
+	}
+	// The paper's scalability point: the ownership bitmap grows with
+	// thread count while the two-entry table is constant.
+	if baseline.OwnershipBytesPerLine(1024) <= baseline.TwoEntryBytesPerLine() {
+		t.Error("ownership footprint should exceed two-entry at 1024 threads")
+	}
+}

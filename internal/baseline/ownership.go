@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"repro/internal/exec"
+	"repro/internal/mem"
+)
+
+// Ownership implements the invalidation-counting scheme of Zhao et al.
+// (VEE'11) that Cheetah's two-entry table replaces (§2.3): each cache
+// line keeps the full set of owning threads — one bit per thread — and a
+// write to a line owned by others counts as an invalidation and resets
+// ownership to the writer. The paper's critique is memory: "this approach
+// cannot easily scale to more than 32 threads because of excessive memory
+// consumption". The rule ablation compares its counts and footprint with
+// the two-entry table's.
+type Ownership struct {
+	exec.BaseProbe
+	lines map[uint64]*ownerSet
+	// Invalidations is the total count across lines.
+	Invalidations uint64
+	// parallel gates recording, matching Cheetah's parallel-phase rule so
+	// the comparison is about the counting rule alone.
+	parallel bool
+}
+
+// ownerSet is the per-line ownership bitmap, growing one bit per thread.
+type ownerSet struct {
+	bits  []uint64
+	count int
+}
+
+func (o *ownerSet) has(t mem.ThreadID) bool {
+	w := int(t) >> 6
+	return w < len(o.bits) && o.bits[w]&(1<<uint(t&63)) != 0
+}
+
+func (o *ownerSet) add(t mem.ThreadID) {
+	w := int(t) >> 6
+	for len(o.bits) <= w {
+		o.bits = append(o.bits, 0)
+	}
+	if o.bits[w]&(1<<uint(t&63)) == 0 {
+		o.bits[w] |= 1 << uint(t&63)
+		o.count++
+	}
+}
+
+func (o *ownerSet) resetTo(t mem.ThreadID) {
+	for i := range o.bits {
+		o.bits[i] = 0
+	}
+	o.count = 0
+	o.add(t)
+}
+
+// NewOwnership creates the tracker.
+func NewOwnership() *Ownership {
+	return &Ownership{lines: make(map[uint64]*ownerSet)}
+}
+
+// ProgramStart implements exec.Probe.
+func (z *Ownership) ProgramStart(string, int) {
+	z.lines = make(map[uint64]*ownerSet)
+	z.Invalidations = 0
+}
+
+// PhaseStart implements exec.Probe.
+func (z *Ownership) PhaseStart(ph exec.PhaseInfo) { z.parallel = ph.Parallel }
+
+// Access implements exec.Probe, applying the ownership rule to every
+// access (full instrumentation, no sampling).
+func (z *Ownership) Access(a mem.Access, instrs uint64) uint64 {
+	if !z.parallel {
+		return 0
+	}
+	line := a.Addr.Line()
+	o := z.lines[line]
+	if o == nil {
+		o = &ownerSet{}
+		z.lines[line] = o
+	}
+	if a.Kind.IsWrite() {
+		if o.count > 0 && !(o.count == 1 && o.has(a.Thread)) {
+			z.Invalidations++
+		}
+		o.resetTo(a.Thread)
+	} else {
+		o.add(a.Thread)
+	}
+	return 0
+}
+
+// OwnershipBytesPerLine reports the tracker's per-line footprint in bytes
+// for the given thread count — the scaling cost the paper criticizes (one
+// bit per thread, rounded to words).
+func OwnershipBytesPerLine(threads int) int {
+	return ((threads + 63) / 64) * 8
+}
+
+// TwoEntryBytesPerLine is the two-entry table's fixed footprint: two
+// (thread id, access type) entries.
+func TwoEntryBytesPerLine() int { return 2 * 8 }

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/symtab"
+)
+
+// SheriffConfig tunes the page-protection detector.
+type SheriffConfig struct {
+	// PerWriteCycles is the cost charged per write (page-protection fault
+	// amortized over a page's writes plus twin-page diffing), yielding
+	// Sheriff's ~20% overhead (paper §6.1).
+	PerWriteCycles uint64
+	// MinWritesPerThread is the per-thread write threshold for a line to
+	// count as write-shared.
+	MinWritesPerThread uint64
+}
+
+// DefaultSheriffConfig reproduces Sheriff's ~20% overhead profile.
+func DefaultSheriffConfig() SheriffConfig {
+	return SheriffConfig{PerWriteCycles: 10, MinWritesPerThread: 2}
+}
+
+// Sheriff is an exec.Probe modelling Sheriff-detect (Liu & Berger,
+// OOPSLA'11): it turns threads into processes and diffs twin pages at
+// synchronization boundaries, so it observes only writes and only detects
+// write-write false sharing. Reads cost nothing (memory is private until
+// written); every write is charged the amortized protection cost.
+type Sheriff struct {
+	exec.BaseProbe
+	cfg  SheriffConfig
+	heap *heap.Heap
+	syms *symtab.Table
+
+	// writes maps cache line -> thread -> word-write bitmap and count,
+	// reconstructed from the per-phase "diffs".
+	lines      map[uint64]*sheriffLine
+	inParallel bool
+}
+
+type sheriffLine struct {
+	byThread map[mem.ThreadID]*sheriffWrites
+}
+
+type sheriffWrites struct {
+	count uint64
+	words uint16 // bitmap of written words in the line
+}
+
+// NewSheriff creates the detector.
+func NewSheriff(cfg SheriffConfig, h *heap.Heap, syms *symtab.Table) *Sheriff {
+	if cfg.PerWriteCycles == 0 {
+		cfg = DefaultSheriffConfig()
+	}
+	return &Sheriff{cfg: cfg, heap: h, syms: syms, lines: make(map[uint64]*sheriffLine)}
+}
+
+// ProgramStart implements exec.Probe.
+func (s *Sheriff) ProgramStart(name string, cores int) {
+	s.lines = make(map[uint64]*sheriffLine)
+}
+
+// PhaseStart implements exec.Probe; Sheriff only isolates threads in
+// parallel regions.
+func (s *Sheriff) PhaseStart(ph exec.PhaseInfo) { s.inParallel = ph.Parallel }
+
+// Access implements exec.Probe.
+func (s *Sheriff) Access(a mem.Access, instrs uint64) uint64 {
+	if !a.Kind.IsWrite() {
+		return 0
+	}
+	if s.inParallel && s.inScope(a.Addr) {
+		line := a.Addr.Line()
+		l := s.lines[line]
+		if l == nil {
+			l = &sheriffLine{byThread: make(map[mem.ThreadID]*sheriffWrites)}
+			s.lines[line] = l
+		}
+		w := l.byThread[a.Thread]
+		if w == nil {
+			w = &sheriffWrites{}
+			l.byThread[a.Thread] = w
+		}
+		w.count++
+		w.words |= 1 << uint(a.Addr.WordInLine())
+	}
+	return s.cfg.PerWriteCycles
+}
+
+func (s *Sheriff) inScope(addr mem.Addr) bool {
+	return (s.heap != nil && s.heap.Contains(addr)) ||
+		(s.syms != nil && s.syms.Contains(addr))
+}
+
+// Findings reports write-write falsely-shared objects: lines written by
+// multiple threads whose written-word bitmaps are disjoint. Read-write
+// false sharing is invisible to Sheriff, one of its known shortcomings
+// (§6.1).
+func (s *Sheriff) Findings() []Finding {
+	byObj := map[mem.Addr]*Finding{}
+	for line, l := range s.lines {
+		if len(l.byThread) < 2 {
+			continue
+		}
+		var union uint16
+		overlap := false
+		var writes, minWrites uint64 = 0, ^uint64(0)
+		for _, w := range l.byThread {
+			if union&w.words != 0 {
+				overlap = true
+			}
+			union |= w.words
+			writes += w.count
+			if w.count < minWrites {
+				minWrites = w.count
+			}
+		}
+		if overlap || minWrites < s.cfg.MinWritesPerThread {
+			continue // true sharing, or too little traffic to matter
+		}
+		base := mem.LineAddr(line)
+		objAddr, site := s.resolve(base)
+		f := byObj[objAddr]
+		if f == nil {
+			f = &Finding{Object: objAddr, Site: site, FalseSharing: true}
+			byObj[objAddr] = f
+		}
+		// Sheriff counts interleaved write-write conflicts; use the write
+		// volume as the severity proxy.
+		f.Writes += writes
+		f.Invalidations += writes / 2
+	}
+	out := make([]Finding, 0, len(byObj))
+	for _, f := range byObj {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Writes > out[j].Writes })
+	return out
+}
+
+func (s *Sheriff) resolve(base mem.Addr) (mem.Addr, string) {
+	if s.heap != nil {
+		if obj, ok := s.heap.Lookup(base); ok {
+			return obj.Addr, obj.Stack.Site().String()
+		}
+	}
+	if s.syms != nil {
+		if sym, ok := s.syms.Resolve(base); ok {
+			return sym.Addr, sym.Name
+		}
+	}
+	return base, "?"
+}

@@ -1,0 +1,577 @@
+// Package cache implements a directory-based MESI cache-coherence
+// simulator for a multicore machine with per-core private caches and a
+// shared last-level cache.
+//
+// The simulator plays the role of the paper's experimental hardware (a
+// 48-core AMD Opteron with private L1/L2 and a shared L3): it turns each
+// memory access into a latency in cycles and maintains the ground-truth
+// count of coherence invalidations per cache line. False sharing manifests
+// here exactly as it does on real hardware — writes to a line cached by
+// other cores invalidate their copies, so the next access by those cores
+// pays a remote cache-to-cache transfer instead of a private-cache hit.
+//
+// The latency channel is what the PMU simulator exposes to Cheetah
+// (paper Observation 2: "the latency of memory accesses with false sharing
+// are significantly higher than that of other accesses").
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Latencies configures the cost model in cycles. The defaults approximate
+// the paper's Opteron-class machine; absolute values only need to preserve
+// the ordering hit < LLC < remote transfer <= memory.
+type Latencies struct {
+	// L1Hit is a load/store hit in the private L1.
+	L1Hit uint32
+	// L2Hit is a private L2 hit (L1 miss).
+	L2Hit uint32
+	// L3Hit is a shared last-level-cache hit.
+	L3Hit uint32
+	// Memory is a DRAM access.
+	Memory uint32
+	// Remote is a cache-to-cache transfer of a line that is dirty in
+	// another core's private cache — the dominant cost of false sharing.
+	Remote uint32
+	// Hold is the minimum ownership tenure of a dirty line: once a core
+	// acquires a line in Modified state, a remote request cannot complete
+	// a steal until Hold cycles later (the coherence round-trip during
+	// which the owner keeps hitting its L1). This is what bounds the
+	// ping-pong rate on real hardware: owners batch cheap accesses
+	// between steals, so a false-sharing storm costs ~(Hold+Remote) per
+	// steal rather than a transfer per write.
+	Hold uint32
+	// Upgrade is the cost of invalidating other sharers when writing a
+	// line held in Shared state.
+	Upgrade uint32
+	// PerSharer is the additional invalidation cost per extra sharer,
+	// modelling coherence-traffic contention as thread counts grow.
+	PerSharer uint32
+	// ContentionPenalty is the additional cost, per recent coherence
+	// event, added to every remote transfer and upgrade. It models
+	// queueing on the coherence interconnect (HyperTransport on the
+	// paper's Opteron): the higher the machine-wide rate of coherence
+	// traffic, the longer each transfer takes. This is what makes false
+	// sharing hurt more at higher thread counts (paper Table 1:
+	// linear_regression's fix gains 2x at 2 threads but 6.7x at 16),
+	// while programs with rare coherence events (streamcluster) see no
+	// inflation.
+	ContentionPenalty uint32
+	// ContentionWindow is the length, in cycles, of the sliding window
+	// over which coherence events are counted. Zero disables contention
+	// modelling.
+	ContentionWindow uint64
+	// ContentionCap bounds the number of window events that add latency,
+	// keeping the queueing term finite under pathological storms.
+	ContentionCap int
+}
+
+// DefaultLatencies returns the calibrated cost model used throughout the
+// reproduction.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		L1Hit:             4,
+		L2Hit:             12,
+		L3Hit:             40,
+		Memory:            200,
+		Remote:            120,
+		Hold:              190,
+		Upgrade:           80,
+		PerSharer:         6,
+		ContentionPenalty: 130,
+		ContentionWindow:  400,
+		ContentionCap:     256,
+	}
+}
+
+// Config sizes the simulated machine. Cache sizes are given in lines per
+// set-associative structure.
+type Config struct {
+	// Cores is the number of cores; each simulated thread is bound to a
+	// core (paper Assumption 1: one thread per core, private caches).
+	Cores int
+	// L1Sets and L1Ways size each private L1 (default 64 KB: 128 sets x 8
+	// ways x 64 B).
+	L1Sets, L1Ways int
+	// L2Sets and L2Ways size each private L2 (default 512 KB).
+	L2Sets, L2Ways int
+	// L3Sets and L3Ways size the shared L3 (default 10 MB).
+	L3Sets, L3Ways int
+	// Lat is the latency model.
+	Lat Latencies
+}
+
+// DefaultConfig returns a machine resembling the paper's evaluation
+// platform, with the requested number of cores.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:  cores,
+		L1Sets: 128, L1Ways: 8, // 64 KB private L1
+		L2Sets: 1024, L2Ways: 8, // 512 KB private L2
+		L3Sets: 10240, L3Ways: 16, // 10 MB shared L3
+		Lat: DefaultLatencies(),
+	}
+}
+
+// lineState is the directory-visible MESI state of a cache line.
+type lineState uint8
+
+const (
+	invalid  lineState = iota
+	shared             // one or more clean copies
+	modified           // exactly one dirty copy (covers Exclusive: silent E->M)
+)
+
+func (s lineState) String() string {
+	switch s {
+	case shared:
+		return "shared"
+	case modified:
+		return "modified"
+	default:
+		return "invalid"
+	}
+}
+
+// dirEntry tracks, for one cache line, which cores hold a copy and in what
+// state.
+type dirEntry struct {
+	state   lineState
+	owner   int32 // valid when state == modified
+	sharers bitset
+	// availableAt is the earliest time the line's ownership can next be
+	// transferred; steals arriving earlier stall (Hold semantics).
+	availableAt uint64
+	// pending holds in-flight transfers in completion-time order: a steal
+	// is granted at its effective time, and until then the current owner
+	// keeps servicing its own accesses from L1. This is what bounds the
+	// false-sharing ping-pong rate on real machines: owners batch cheap
+	// accesses while a remote request is in flight.
+	pending []pendingTransfer
+}
+
+// pendingTransfer is one in-flight ownership change.
+type pendingTransfer struct {
+	core int32
+	// read marks a downgrade-to-shared (remote read of a dirty line)
+	// rather than an ownership steal.
+	read bool
+	// effectiveAt is the transfer's completion time.
+	effectiveAt uint64
+}
+
+// Stats aggregates machine-wide counters.
+type Stats struct {
+	// Accesses is the total number of loads and stores processed.
+	Accesses uint64
+	// Cycles is the total latency of all accesses.
+	Cycles uint64
+	// Invalidations is the total number of coherence invalidation events
+	// (each event invalidates all remote copies of one line once).
+	Invalidations uint64
+	// RemoteTransfers counts cache-to-cache dirty-line transfers.
+	RemoteTransfers uint64
+	// L1Hits, L2Hits, L3Hits and MemoryAccesses break down where accesses
+	// were satisfied.
+	L1Hits, L2Hits, L3Hits, MemoryAccesses uint64
+	// Prefetched counts LLC misses served early by the sequential
+	// prefetcher.
+	Prefetched uint64
+}
+
+// Sim is the coherence simulator. It is not safe for concurrent use; the
+// execution engine serializes accesses in virtual-time order.
+type Sim struct {
+	cfg Config
+	// l1 and l2 are per-core private caches; l3 is shared.
+	l1, l2 []*setAssoc
+	l3     *setAssoc
+	dir    map[uint64]*dirEntry
+	stats  Stats
+	// invalidations is the ground-truth per-line invalidation count, used
+	// by tests and experiments to validate the detector.
+	invalidations map[uint64]uint64
+	// contention tracks cores active in recent coherence events for the
+	// interconnect-queueing latency term.
+	contention contentionTracker
+	// lastMiss tracks each core's last LLC-missed line for the sequential
+	// hardware prefetcher: a miss on the line following a core's previous
+	// miss is served at L3 latency (the prefetcher already fetched it),
+	// as on real machines where streaming loads and stores do not pay
+	// full memory latency.
+	lastMiss []uint64
+}
+
+// contentionTracker measures the machine-wide rate of coherence traffic:
+// it keeps recent coherence events (timestamp and cache line) and, for a
+// new event, reports how many in-window events concern *other* lines.
+// The latency term derived from it models interconnect queueing between
+// concurrent line transfers: same-line serialization is already captured
+// by the hold/pending mechanism, so a single ping-pong pair pays no
+// queueing, while a program whose threads ping-pong many distinct lines
+// sees every transfer slow down.
+type contentionTracker struct {
+	window uint64
+	cap    int
+	// events is a FIFO of in-window coherence events.
+	events []contentionEvent
+	head   int
+	// perLine counts in-window events by line.
+	perLine map[uint64]int
+}
+
+type contentionEvent struct {
+	time uint64
+	line uint64
+}
+
+func newContentionTracker(window uint64, cap int) contentionTracker {
+	if cap <= 0 {
+		cap = 256
+	}
+	return contentionTracker{window: window, cap: cap, perLine: make(map[uint64]int)}
+}
+
+// evict drops events older than the window ending at now.
+func (c *contentionTracker) evict(now uint64) {
+	cutoff := uint64(0)
+	if now > c.window {
+		cutoff = now - c.window
+	}
+	for c.head < len(c.events) && c.events[c.head].time < cutoff {
+		ev := c.events[c.head]
+		if n := c.perLine[ev.line] - 1; n == 0 {
+			delete(c.perLine, ev.line)
+		} else {
+			c.perLine[ev.line] = n
+		}
+		c.head++
+	}
+	// Compact once the dead prefix dominates.
+	if c.head > 64 && c.head*2 > len(c.events) {
+		c.events = append(c.events[:0], c.events[c.head:]...)
+		c.head = 0
+	}
+}
+
+// note records a coherence event on line at time now and returns the
+// extra latency due to in-flight transfers of other lines.
+func (c *contentionTracker) note(now uint64, line uint64, penalty uint32) uint32 {
+	if c.window == 0 {
+		return 0
+	}
+	c.evict(now)
+	others := (len(c.events) - c.head) - c.perLine[line]
+	c.events = append(c.events, contentionEvent{time: now, line: line})
+	c.perLine[line]++
+	if others > c.cap {
+		others = c.cap
+	}
+	return penalty * uint32(others)
+}
+
+// New creates a simulator for the given configuration.
+func New(cfg Config) *Sim {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("cache: invalid core count %d", cfg.Cores))
+	}
+	s := &Sim{
+		cfg:           cfg,
+		l1:            make([]*setAssoc, cfg.Cores),
+		l2:            make([]*setAssoc, cfg.Cores),
+		l3:            newSetAssoc(cfg.L3Sets, cfg.L3Ways),
+		dir:           make(map[uint64]*dirEntry),
+		invalidations: make(map[uint64]uint64),
+		contention:    newContentionTracker(cfg.Lat.ContentionWindow, cfg.Lat.ContentionCap),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1[i] = newSetAssoc(cfg.L1Sets, cfg.L1Ways)
+		s.l2[i] = newSetAssoc(cfg.L2Sets, cfg.L2Ways)
+	}
+	s.lastMiss = make([]uint64, cfg.Cores)
+	for i := range s.lastMiss {
+		s.lastMiss[i] = ^uint64(0)
+	}
+	return s
+}
+
+// Cores returns the number of simulated cores.
+func (s *Sim) Cores() int { return s.cfg.Cores }
+
+// Stats returns a copy of the aggregate counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// LineInvalidations returns the ground-truth number of invalidation events
+// observed on the cache line containing addr.
+func (s *Sim) LineInvalidations(addr mem.Addr) uint64 {
+	return s.invalidations[addr.Line()]
+}
+
+// TotalLineInvalidations returns the per-line invalidation table. The
+// returned map is live; callers must not mutate it.
+func (s *Sim) TotalLineInvalidations() map[uint64]uint64 { return s.invalidations }
+
+// entry returns the directory entry for a line, creating it on first use.
+func (s *Sim) entry(line uint64) *dirEntry {
+	e := s.dir[line]
+	if e == nil {
+		e = &dirEntry{state: invalid, sharers: newBitset(s.cfg.Cores)}
+		s.dir[line] = e
+	}
+	return e
+}
+
+// Access simulates one memory access by the given core at virtual time
+// now (cycles) and returns its latency in cycles. Write upgrades and dirty
+// remote copies trigger invalidations, recorded in the per-line ground
+// truth. Callers must present accesses in non-decreasing now order, which
+// the virtual-time engine guarantees.
+func (s *Sim) Access(core int, addr mem.Addr, write bool, now uint64) uint32 {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range [0,%d)", core, s.cfg.Cores))
+	}
+	line := addr.Line()
+	e := s.entry(line)
+	s.commitPending(e, line, now)
+
+	var lat uint32
+	if write {
+		lat = s.write(core, line, e, now)
+	} else {
+		lat = s.read(core, line, e, now)
+	}
+	s.stats.Accesses++
+	s.stats.Cycles += uint64(lat)
+	return lat
+}
+
+// read services a load.
+func (s *Sim) read(core int, line uint64, e *dirEntry, now uint64) uint32 {
+	inL1 := s.l1[core].touch(line)
+	holds := e.sharers.get(core)
+
+	switch e.state {
+	case modified:
+		if int(e.owner) == core {
+			// Local dirty copy.
+			if inL1 {
+				s.stats.L1Hits++
+				return s.cfg.Lat.L1Hit
+			}
+			return s.privateFill(core, line)
+		}
+		// Dirty in a remote private cache: request a downgrade-to-shared
+		// transfer. It completes after the owner's hold expires; until
+		// then the owner keeps servicing its own accesses from L1.
+		s.stats.RemoteTransfers++
+		return s.enqueueTransfer(e, line, core, true, now)
+	case shared:
+		if holds {
+			if inL1 {
+				s.stats.L1Hits++
+				return s.cfg.Lat.L1Hit
+			}
+			return s.privateFill(core, line)
+		}
+		// Another core shares it cleanly; fetch from L3 (or memory on LLC
+		// miss) and join the sharer set.
+		e.sharers.set(core)
+		s.fill(core, line)
+		return s.llcFetch(core, line)
+	default: // invalid: no cached copies anywhere
+		e.state = shared
+		e.sharers.set(core)
+		s.fill(core, line)
+		return s.llcFetch(core, line)
+	}
+}
+
+// write services a store.
+func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
+	inL1 := s.l1[core].touch(line)
+
+	switch e.state {
+	case modified:
+		if int(e.owner) == core {
+			if inL1 {
+				s.stats.L1Hits++
+				return s.cfg.Lat.L1Hit
+			}
+			return s.privateFill(core, line)
+		}
+		// Dirty elsewhere: request an ownership steal — the classic
+		// false-sharing ping-pong step. The steal is granted only after
+		// the current owner's hold expires and earlier in-flight
+		// transfers complete.
+		s.recordInvalidation(line, 1)
+		s.stats.RemoteTransfers++
+		return s.enqueueTransfer(e, line, core, false, now)
+	case shared:
+		others := e.sharers.countExcept(core)
+		holds := e.sharers.get(core)
+		if others > 0 {
+			// Upgrade: invalidate every other sharer.
+			s.recordInvalidation(line, others)
+			e.sharers.forEach(func(c int) {
+				if c != core {
+					s.evictRemote(c, line)
+				}
+			})
+			e.state = modified
+			e.owner = int32(core)
+			e.sharers.clear()
+			e.sharers.set(core)
+			s.fill(core, line)
+			lat := s.cfg.Lat.Upgrade + uint32(others-1)*s.cfg.Lat.PerSharer +
+				s.contention.note(now, line, s.cfg.Lat.ContentionPenalty)
+			e.availableAt = now + uint64(lat) + uint64(s.cfg.Lat.Hold)
+			return lat
+		}
+		// Sole sharer: silent upgrade (Exclusive -> Modified).
+		e.state = modified
+		e.owner = int32(core)
+		if holds {
+			if inL1 {
+				s.stats.L1Hits++
+				return s.cfg.Lat.L1Hit
+			}
+			return s.privateFill(core, line)
+		}
+		e.sharers.set(core)
+		s.fill(core, line)
+		return s.llcFetch(core, line)
+	default: // invalid
+		e.state = modified
+		e.owner = int32(core)
+		e.sharers.set(core)
+		s.fill(core, line)
+		return s.llcFetch(core, line)
+	}
+}
+
+// recordInvalidation logs n remote-copy invalidations of line as a single
+// coherence event for ground-truth purposes (one event per invalidating
+// write, matching the detector's counting rule).
+func (s *Sim) recordInvalidation(line uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	s.stats.Invalidations++
+	s.invalidations[line]++
+}
+
+// evictRemote removes a line from another core's private caches.
+func (s *Sim) evictRemote(core int, line uint64) {
+	s.l1[core].remove(line)
+	s.l2[core].remove(line)
+}
+
+// fill installs a line into core's private L1 and L2.
+func (s *Sim) fill(core int, line uint64) {
+	s.l1[core].insert(line)
+	s.l2[core].insert(line)
+}
+
+// privateFill services an L1 miss that hits the private L2.
+func (s *Sim) privateFill(core int, line uint64) uint32 {
+	if s.l2[core].touch(line) {
+		s.l1[core].insert(line)
+		s.stats.L2Hits++
+		return s.cfg.Lat.L2Hit
+	}
+	// Not in L2 either (capacity eviction): refetch from the LLC.
+	s.fill(core, line)
+	return s.llcFetch(core, line)
+}
+
+// llcFetch returns the latency of fetching a line from the shared L3,
+// falling back to memory on an LLC miss, and installs it in the L3. A
+// miss on the line sequentially following core's previous miss is served
+// at L3 latency: the stride prefetcher already has it in flight.
+func (s *Sim) llcFetch(core int, line uint64) uint32 {
+	if s.l3.touch(line) {
+		s.stats.L3Hits++
+		return s.cfg.Lat.L3Hit
+	}
+	s.l3.insert(line)
+	s.stats.MemoryAccesses++
+	sequential := line == s.lastMiss[core]+1
+	s.lastMiss[core] = line
+	if sequential {
+		s.stats.Prefetched++
+		return s.cfg.Lat.L3Hit
+	}
+	return s.cfg.Lat.Memory
+}
+
+// enqueueTransfer requests a line transfer (steal or downgrade) by core
+// at time now and returns the requester's stall latency. The transfer
+// starts when the current tenure and all earlier in-flight transfers have
+// drained (availableAt), costs the cache-to-cache time plus the
+// interconnect-queueing term, and takes effect at its completion time via
+// the pending queue. The line becomes stealable again a full Hold after
+// this transfer completes.
+func (s *Sim) enqueueTransfer(e *dirEntry, line uint64, core int, read bool, now uint64) uint32 {
+	start := now
+	if e.availableAt > start {
+		start = e.availableAt
+	}
+	end := start + uint64(s.cfg.Lat.Remote) + uint64(s.contention.note(now, line, s.cfg.Lat.ContentionPenalty))
+	e.availableAt = end + uint64(s.cfg.Lat.Hold)
+	e.pending = append(e.pending, pendingTransfer{core: int32(core), read: read, effectiveAt: end})
+	return uint32(end - now)
+}
+
+// commitPending applies every in-flight transfer that has completed by
+// time now, in completion order.
+func (s *Sim) commitPending(e *dirEntry, line uint64, now uint64) {
+	for len(e.pending) > 0 && e.pending[0].effectiveAt <= now {
+		p := e.pending[0]
+		e.pending = e.pending[1:]
+		dst := int(p.core)
+		if p.read {
+			// Downgrade: the previous owner keeps a clean shared copy,
+			// the reader joins the sharer set, and the write-back leaves
+			// a copy in the LLC.
+			if e.state == modified {
+				e.sharers.set(int(e.owner))
+			}
+			e.state = shared
+			e.sharers.set(dst)
+			s.fill(dst, line)
+			s.l3.insert(line)
+			continue
+		}
+		// Steal: every other copy is invalidated and the requester
+		// becomes the dirty owner.
+		if e.state == modified && int(e.owner) != dst {
+			s.evictRemote(int(e.owner), line)
+		}
+		e.sharers.forEach(func(c int) {
+			if c != dst {
+				s.evictRemote(c, line)
+			}
+		})
+		e.state = modified
+		e.owner = int32(p.core)
+		e.sharers.clear()
+		e.sharers.set(dst)
+		s.fill(dst, line)
+	}
+}
+
+// directoryState exposes a line's MESI state for tests.
+func (s *Sim) directoryState(line uint64) (lineState, int, int) {
+	e := s.dir[line]
+	if e == nil {
+		return invalid, -1, 0
+	}
+	owner := -1
+	if e.state == modified {
+		owner = int(e.owner)
+	}
+	return e.state, owner, e.sharers.count()
+}

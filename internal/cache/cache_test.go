@@ -1,0 +1,357 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// tsim wraps Sim with a serial clock that advances by each access's
+// latency, satisfying Access's non-decreasing-time contract in tests.
+type tsim struct {
+	*Sim
+	now uint64
+}
+
+func newTestSim(cores int) *tsim {
+	return &tsim{Sim: New(DefaultConfig(cores))}
+}
+
+// Access issues an access at the current clock and advances it.
+func (t *tsim) Access(core int, addr mem.Addr, write bool) uint32 {
+	lat := t.Sim.Access(core, addr, write, t.now)
+	t.now += uint64(lat)
+	return lat
+}
+
+func TestLocalHitAfterFill(t *testing.T) {
+	s := newTestSim(2)
+	a := mem.Addr(0x1000)
+	first := s.Access(0, a, false)
+	if first != s.cfg.Lat.Memory {
+		t.Errorf("cold read latency = %d, want memory latency %d", first, s.cfg.Lat.Memory)
+	}
+	second := s.Access(0, a, false)
+	if second != s.cfg.Lat.L1Hit {
+		t.Errorf("warm read latency = %d, want L1 hit %d", second, s.cfg.Lat.L1Hit)
+	}
+}
+
+func TestWriteAfterLocalReadIsSilentUpgrade(t *testing.T) {
+	s := newTestSim(2)
+	a := mem.Addr(0x2000)
+	s.Access(0, a, false)
+	lat := s.Access(0, a, true)
+	if lat != s.cfg.Lat.L1Hit {
+		t.Errorf("E->M upgrade latency = %d, want L1 hit %d", lat, s.cfg.Lat.L1Hit)
+	}
+	if s.stats.Invalidations != 0 {
+		t.Errorf("silent upgrade recorded %d invalidations, want 0", s.stats.Invalidations)
+	}
+}
+
+func TestWriteInvalidatesRemoteDirtyCopy(t *testing.T) {
+	s := newTestSim(2)
+	a := mem.Addr(0x3000)
+	s.Access(0, a, true)
+	lat := s.Access(1, a, true)
+	// The steal waits out the owner's hold, then pays the transfer.
+	if lat < s.cfg.Lat.Remote || lat > s.cfg.Lat.Remote+s.cfg.Lat.Hold {
+		t.Errorf("remote dirty write latency = %d, want within [remote, remote+hold]", lat)
+	}
+	if got := s.LineInvalidations(a); got != 1 {
+		t.Errorf("invalidations = %d, want 1", got)
+	}
+	// The transfer commits at its completion time: a later access by the
+	// stealer must find it the owner.
+	if lat2 := s.Access(1, a, true); lat2 != s.cfg.Lat.L1Hit {
+		t.Errorf("post-transfer write latency = %d, want L1 hit", lat2)
+	}
+	st, owner, sharers := s.directoryState(a.Line())
+	if st != modified || owner != 1 || sharers != 1 {
+		t.Errorf("directory = (%v, owner=%d, sharers=%d), want (modified, 1, 1)", st, owner, sharers)
+	}
+}
+
+func TestWriteUpgradeInvalidatesSharers(t *testing.T) {
+	s := newTestSim(4)
+	a := mem.Addr(0x4000)
+	for core := 0; core < 4; core++ {
+		s.Access(core, a, false)
+	}
+	st, _, sharers := s.directoryState(a.Line())
+	if st != shared || sharers != 4 {
+		t.Fatalf("after 4 reads directory = (%v, sharers=%d), want (shared, 4)", st, sharers)
+	}
+	lat := s.Access(0, a, true)
+	want := s.cfg.Lat.Upgrade + 2*s.cfg.Lat.PerSharer
+	if lat != want {
+		t.Errorf("upgrade latency = %d, want %d", lat, want)
+	}
+	if got := s.LineInvalidations(a); got != 1 {
+		t.Errorf("invalidations = %d, want 1", got)
+	}
+	st, owner, sharers := s.directoryState(a.Line())
+	if st != modified || owner != 0 || sharers != 1 {
+		t.Errorf("directory = (%v, owner=%d, sharers=%d), want (modified, 0, 1)", st, owner, sharers)
+	}
+}
+
+func TestPingPongAccumulatesInvalidations(t *testing.T) {
+	s := newTestSim(2)
+	a := mem.Addr(0x5000)
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		s.Access(i%2, a, true)
+	}
+	// Every write after the first hits a dirty remote copy.
+	if got := s.LineInvalidations(a); got != rounds-1 {
+		t.Errorf("ping-pong invalidations = %d, want %d", got, rounds-1)
+	}
+}
+
+func TestFalseSharingLatencyDominates(t *testing.T) {
+	// Two cores writing adjacent words in one line must cost far more than
+	// two cores writing separate lines — the effect in paper Figure 1.
+	shared := newTestSim(2)
+	var sharedCycles uint64
+	for i := 0; i < 1000; i++ {
+		sharedCycles += uint64(shared.Access(0, mem.Addr(0x6000), true))
+		sharedCycles += uint64(shared.Access(1, mem.Addr(0x6004), true))
+	}
+	private := newTestSim(2)
+	var privateCycles uint64
+	for i := 0; i < 1000; i++ {
+		privateCycles += uint64(private.Access(0, mem.Addr(0x7000), true))
+		privateCycles += uint64(private.Access(1, mem.Addr(0x7040), true))
+	}
+	if sharedCycles < 5*privateCycles {
+		t.Errorf("false-sharing cycles %d not >> private cycles %d", sharedCycles, privateCycles)
+	}
+}
+
+func TestReadOfRemoteDirtyDowngrades(t *testing.T) {
+	s := newTestSim(2)
+	a := mem.Addr(0x8000)
+	s.Access(0, a, true)
+	lat := s.Access(1, a, false)
+	if lat < s.cfg.Lat.Remote || lat > s.cfg.Lat.Remote+s.cfg.Lat.Hold {
+		t.Errorf("read of remote dirty latency = %d, want within [remote, remote+hold]", lat)
+	}
+	// After the downgrade commits, both cores share the line cleanly.
+	if lat2 := s.Access(1, a, false); lat2 != s.cfg.Lat.L1Hit {
+		t.Errorf("post-downgrade read latency = %d, want L1 hit", lat2)
+	}
+	st, _, sharers := s.directoryState(a.Line())
+	if st != shared || sharers != 2 {
+		t.Errorf("directory = (%v, sharers=%d), want (shared, 2)", st, sharers)
+	}
+	if s.stats.Invalidations != 0 {
+		t.Errorf("read downgrade recorded %d invalidations, want 0", s.stats.Invalidations)
+	}
+}
+
+func TestL3HitAfterWriteBack(t *testing.T) {
+	s := newTestSim(3)
+	a := mem.Addr(0x9000)
+	s.Access(0, a, true)  // dirty in core 0
+	s.Access(1, a, false) // transfer, write-back to L3
+	lat := s.Access(2, a, false)
+	if lat != s.cfg.Lat.L3Hit {
+		t.Errorf("third-core read latency = %d, want L3 hit %d", lat, s.cfg.Lat.L3Hit)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newTestSim(2)
+	var want uint64
+	for i := 0; i < 50; i++ {
+		want += uint64(s.Access(i%2, mem.Addr(0x100*uint64(i)), i%3 == 0))
+	}
+	st := s.Stats()
+	if st.Accesses != 50 {
+		t.Errorf("Accesses = %d, want 50", st.Accesses)
+	}
+	if st.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", st.Cycles, want)
+	}
+}
+
+func TestAccessPanicsOnBadCore(t *testing.T) {
+	s := newTestSim(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Access with out-of-range core did not panic")
+		}
+	}()
+	s.Access(2, 0, false)
+}
+
+func TestSetAssocEviction(t *testing.T) {
+	c := newSetAssoc(2, 2) // lines mapping to the same set collide after 2
+	// Lines 0, 2, 4 all map to set 0.
+	c.insert(0)
+	c.insert(2)
+	if !c.touch(0) || !c.touch(2) {
+		t.Fatal("resident lines not found")
+	}
+	c.insert(4) // evicts LRU (line 0, refreshed order: 0 then 2 touched after)
+	present := 0
+	for _, l := range []uint64{0, 2, 4} {
+		if c.touch(l) {
+			present++
+		}
+	}
+	if present != 2 {
+		t.Errorf("after eviction %d lines present, want 2", present)
+	}
+	if !c.touch(4) {
+		t.Error("just-inserted line was evicted")
+	}
+}
+
+func TestSetAssocRemove(t *testing.T) {
+	c := newSetAssoc(4, 2)
+	c.insert(8)
+	c.remove(8)
+	if c.touch(8) {
+		t.Error("removed line still present")
+	}
+	// Removing an absent line is a no-op.
+	c.remove(12)
+}
+
+func TestSetAssocInsertIdempotent(t *testing.T) {
+	c := newSetAssoc(2, 2)
+	c.insert(0)
+	c.insert(0)
+	c.insert(2)
+	if !c.touch(0) || !c.touch(2) {
+		t.Error("double insert displaced resident lines")
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.set(i)
+	}
+	if b.count() != 4 {
+		t.Errorf("count = %d, want 4", b.count())
+	}
+	if !b.get(64) || b.get(65) {
+		t.Error("get misreports membership")
+	}
+	if b.countExcept(63) != 3 {
+		t.Errorf("countExcept(63) = %d, want 3", b.countExcept(63))
+	}
+	if b.countExcept(65) != 4 {
+		t.Errorf("countExcept(65) = %d, want 4", b.countExcept(65))
+	}
+	var got []int
+	b.forEach(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("forEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forEach visited %v, want %v", got, want)
+		}
+	}
+	b.unset(64)
+	if b.get(64) || b.count() != 3 {
+		t.Error("unset did not remove the bit")
+	}
+	b.clear()
+	if b.count() != 0 {
+		t.Error("clear left bits set")
+	}
+}
+
+func TestBitsetProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := newBitset(256)
+		ref := map[int]bool{}
+		for _, r := range raw {
+			i := int(r) % 256
+			if r%2 == 0 {
+				b.set(i)
+				ref[i] = true
+			} else {
+				b.unset(i)
+				delete(ref, i)
+			}
+		}
+		if b.count() != len(ref) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if b.get(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirectoryInvariants drives random access sequences and checks MESI
+// directory invariants after every step: a modified line has exactly one
+// sharer (its owner); a shared line has at least one sharer; latency is
+// always one of the model's legal values.
+func TestDirectoryInvariants(t *testing.T) {
+	const cores = 8
+	s := newTestSim(cores)
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 20000; step++ {
+		core := rng.Intn(cores)
+		addr := mem.Addr(rng.Intn(64) * 8) // small, highly contended region
+		write := rng.Intn(2) == 0
+		lat := s.Access(core, addr, write)
+		if lat == 0 {
+			t.Fatalf("step %d: zero latency", step)
+		}
+		// Transfers commit asynchronously, so the committed state is
+		// checked: a modified line has exactly one sharer (its owner), a
+		// shared line at least one and no owner.
+		st, owner, sharers := s.directoryState(addr.Line())
+		switch st {
+		case modified:
+			if sharers != 1 {
+				t.Fatalf("step %d: modified line with %d sharers", step, sharers)
+			}
+		case shared:
+			if sharers < 1 {
+				t.Fatalf("step %d: shared line with no sharers", step)
+			}
+			if owner != -1 {
+				t.Fatalf("step %d: shared line with owner %d", step, owner)
+			}
+		case invalid:
+			t.Fatalf("step %d: accessed line is invalid", step)
+		}
+	}
+}
+
+// TestInvalidationGroundTruthMatchesWriteInterleavings verifies that for a
+// strictly alternating two-writer pattern the ground truth equals the
+// analytic count under the paper's assumptions.
+func TestInvalidationGroundTruthMatchesWriteInterleavings(t *testing.T) {
+	f := func(n uint8) bool {
+		rounds := int(n%100) + 2
+		s := newTestSim(2)
+		a := mem.Addr(0xAB00)
+		for i := 0; i < rounds; i++ {
+			s.Access(i%2, a, true)
+		}
+		return s.LineInvalidations(a) == uint64(rounds-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestContentionTrackerOtherLinesOnly(t *testing.T) {
+	c := newContentionTracker(100, 256)
+	if got := c.note(0, 1, 10); got != 0 {
+		t.Errorf("first event extra = %d, want 0", got)
+	}
+	// Same line again: the prior event is same-line, no queueing.
+	if got := c.note(50, 1, 10); got != 0 {
+		t.Errorf("same-line extra = %d, want 0", got)
+	}
+	// A different line sees the two line-1 events in its window.
+	if got := c.note(60, 2, 10); got != 20 {
+		t.Errorf("other-line extra = %d, want 20", got)
+	}
+	// At t=200 everything has expired.
+	if got := c.note(200, 3, 10); got != 0 {
+		t.Errorf("post-expiry extra = %d, want 0", got)
+	}
+}
+
+func TestContentionTrackerCap(t *testing.T) {
+	c := newContentionTracker(1000, 3)
+	for i := uint64(0); i < 10; i++ {
+		c.note(i, i, 1)
+	}
+	if got := c.note(10, 99, 7); got != 3*7 {
+		t.Errorf("capped extra = %d, want %d", got, 3*7)
+	}
+}
+
+func TestContentionTrackerDisabled(t *testing.T) {
+	c := newContentionTracker(0, 256)
+	if got := c.note(5, 1, 100); got != 0 {
+		t.Errorf("disabled tracker extra = %d, want 0", got)
+	}
+}
+
+func TestContentionTrackerCompaction(t *testing.T) {
+	c := newContentionTracker(10, 256)
+	// Many events, each expiring before the next: the dead prefix must be
+	// compacted rather than grow unboundedly.
+	for i := uint64(0); i < 10000; i++ {
+		c.note(i*100, i, 1)
+	}
+	if len(c.events) > 200 {
+		t.Errorf("tracker retained %d events, want compaction", len(c.events))
+	}
+	if len(c.perLine) > 2 {
+		t.Errorf("perLine retained %d entries, want eviction", len(c.perLine))
+	}
+}
+
+func TestSingleLinePingPongPaysNoQueueing(t *testing.T) {
+	// One pair ping-ponging a single line is serialized by the hold
+	// mechanism but must not pay the interconnect-queueing term — queueing
+	// models competition BETWEEN concurrent line transfers.
+	s := New(DefaultConfig(2))
+	now := uint64(0)
+	var worst uint32
+	for i := 0; i < 500; i++ {
+		lat := s.Access(i%2, 0x4000, true, now)
+		now += uint64(lat)
+		if i > 4 && lat > worst {
+			worst = lat
+		}
+	}
+	// Worst steal = hold wait + remote transfer, no queueing on top.
+	bound := uint32(2)*(s.cfg.Lat.Hold+s.cfg.Lat.Remote) + s.cfg.Lat.Remote
+	if worst > bound {
+		t.Errorf("single-pair steal latency %d exceeds hold+transfer bound %d", worst, bound)
+	}
+}
+
+func TestCoherenceLatencyGrowsWithTrafficRate(t *testing.T) {
+	// Several core pairs ping-ponging distinct lines concurrently produce
+	// higher per-transfer latency than one pair — the interconnect
+	// queueing behind Table 1's thread scaling. Concurrency is emulated by
+	// giving all pairs the same timestamps.
+	perTransfer := func(pairs int) float64 {
+		s := New(DefaultConfig(2 * pairs))
+		var cycles uint64
+		var transfers int
+		now := uint64(0)
+		// A cadence longer than hold+remote leaves no hold wait, so any
+		// latency above Remote comes from the queueing term.
+		cadence := uint64(2 * (s.cfg.Lat.Hold + s.cfg.Lat.Remote))
+		for round := 0; round < 500; round++ {
+			for p := 0; p < pairs; p++ {
+				core := 2*p + round%2
+				lat := s.Access(core, mem.Addr(0x10000+p*mem.LineSize), true, now)
+				if round >= 2 { // skip warm-up
+					cycles += uint64(lat)
+					transfers++
+				}
+			}
+			now += cadence
+		}
+		return float64(cycles) / float64(transfers)
+	}
+	one := perTransfer(1)
+	eight := perTransfer(8)
+	if eight <= one*1.2 {
+		t.Errorf("contention scaling absent: 1 pair %.0f cycles/transfer, 8 pairs %.0f", one, eight)
+	}
+}
+
+func TestRareCoherenceEventsNotInflated(t *testing.T) {
+	// Events far apart in time (low rate) must pay no queueing penalty,
+	// regardless of how many cores participate — the streamcluster case.
+	s := New(DefaultConfig(16))
+	now := uint64(0)
+	var maxLat uint32
+	for round := 0; round < 100; round++ {
+		for core := 0; core < 16; core++ {
+			lat := s.Access(core, 0x5000, true, now)
+			now += 5000 // long quiet gap between coherence events
+			if round > 0 && lat > maxLat {
+				maxLat = lat
+			}
+		}
+	}
+	if maxLat > s.cfg.Lat.Remote {
+		t.Errorf("rare-event transfer latency %d exceeds base remote %d", maxLat, s.cfg.Lat.Remote)
+	}
+}
+
+func TestPrivateTrafficUnaffectedByContentionModel(t *testing.T) {
+	s := newTestSim(8)
+	// Generate heavy contention on one line.
+	for i := 0; i < 1000; i++ {
+		s.Access(i%8, 0x100, true)
+	}
+	// A private line still costs an L1 hit.
+	s.Access(0, 0x20000, true)
+	if lat := s.Access(0, 0x20000, true); lat != s.cfg.Lat.L1Hit {
+		t.Errorf("private store latency = %d under contention, want L1 hit %d", lat, s.cfg.Lat.L1Hit)
+	}
+}

@@ -1,0 +1,141 @@
+package cache
+
+import "math/bits"
+
+// setAssoc is a set-associative cache of line indices with LRU replacement.
+// It tracks only presence (tags), not data — the simulator needs to know
+// where a line can be found, not its contents.
+type setAssoc struct {
+	sets int
+	ways int
+	// tags[set*ways+way] holds the line index or tagEmpty.
+	tags []uint64
+	// lru[set*ways+way] holds a recency stamp; larger is more recent.
+	lru   []uint64
+	clock uint64
+}
+
+const tagEmpty = ^uint64(0)
+
+func newSetAssoc(sets, ways int) *setAssoc {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: set-associative structure needs positive sets and ways")
+	}
+	c := &setAssoc{
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, sets*ways),
+		lru:  make([]uint64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = tagEmpty
+	}
+	return c
+}
+
+func (c *setAssoc) setFor(line uint64) int { return int(line % uint64(c.sets)) }
+
+// touch reports whether line is present, refreshing its LRU stamp if so.
+func (c *setAssoc) touch(line uint64) bool {
+	base := c.setFor(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.clock++
+			c.lru[base+w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds line, evicting the LRU way of its set when full. Inserting a
+// line that is already present just refreshes it.
+func (c *setAssoc) insert(line uint64) {
+	base := c.setFor(line) * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.clock++
+			c.lru[i] = c.clock
+			return
+		}
+		if c.tags[i] == tagEmpty {
+			victim = i
+			// An empty way always wins over evicting a resident line.
+			c.clock++
+			c.tags[i] = line
+			c.lru[i] = c.clock
+			return
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.clock++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+}
+
+// remove drops line if present (coherence invalidation or write-back).
+func (c *setAssoc) remove(line uint64) {
+	base := c.setFor(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.tags[base+w] = tagEmpty
+			c.lru[base+w] = 0
+			return
+		}
+	}
+}
+
+// bitset is a fixed-capacity set of core indices.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(n int) bitset {
+	return bitset{words: make([]uint64, (n+63)/64)}
+}
+
+func (b bitset) set(i int)      { b.words[i>>6] |= 1 << uint(i&63) }
+func (b bitset) unset(i int)    { b.words[i>>6] &^= 1 << uint(i&63) }
+func (b bitset) get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b.words {
+		n += popcount(w)
+	}
+	return n
+}
+
+// countExcept returns the number of set bits other than i.
+func (b bitset) countExcept(i int) int {
+	n := b.count()
+	if b.get(i) {
+		n--
+	}
+	return n
+}
+
+// forEach calls fn for every set bit, in increasing order.
+func (b bitset) forEach(fn func(int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := trailingZeros(w)
+			fn(wi*64 + bit)
+			w &= w - 1
+		}
+	}
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// ThreadAssessment is the per-thread outcome of EQ(2) and EQ(3) for one
+// falsely-shared object.
+type ThreadAssessment struct {
+	// Thread is the assessed thread.
+	Thread mem.ThreadID
+	// Phase is the parallel phase the thread ran in.
+	Phase int
+	// Runtime is the measured RT_t in cycles.
+	Runtime uint64
+	// PredictedRuntime is PredRT_t = (PredCycles_t / Cycles_t) * RT_t.
+	PredictedRuntime uint64
+	// Accesses and Cycles are the thread's sampled totals (Accesses_t,
+	// Cycles_t).
+	Accesses, Cycles uint64
+	// ObjectAccesses and ObjectCycles are the thread's sampled activity
+	// on the object (Accesses_O, Cycles_O restricted to t).
+	ObjectAccesses, ObjectCycles uint64
+}
+
+// Assessment is the paper's §3 performance-impact prediction for one
+// object: what the application runtime would become if this object's
+// false sharing were fixed, derived purely from the unfixed execution.
+type Assessment struct {
+	// SerialAvgLatency is AverCycles_nofs — the average sampled latency
+	// in serial phases (or the configured default), in cycles.
+	SerialAvgLatency float64
+	// RealRuntime is the measured application runtime RT_App in cycles.
+	RealRuntime uint64
+	// PredictedRuntime is PredRT_App, the fork-join recomputation of
+	// phase lengths under predicted thread runtimes (§3.3).
+	PredictedRuntime uint64
+	// Improvement is EQ(4): RT_App / PredRT_App.
+	Improvement float64
+	// Threads holds the per-thread assessments for threads that accessed
+	// the object.
+	Threads []ThreadAssessment
+	// TotalThreads is the number of threads with samples on the object.
+	TotalThreads int
+	// TotalThreadsAccesses and TotalThreadsCycles sum Accesses_t and
+	// Cycles_t over related threads (the "totalThreadsAccesses" /
+	// "totalThreadsCycles" lines of paper Figure 5).
+	TotalThreadsAccesses, TotalThreadsCycles uint64
+}
+
+// assess runs the three assessment steps of §3 for one object.
+func (p *Profiler) assess(o *objectAgg) Assessment {
+	averNoFS := p.SerialAvgLatency()
+	a := Assessment{
+		SerialAvgLatency: averNoFS,
+		RealRuntime:      p.totalCycles,
+	}
+
+	// Step 1 + 2: predict per-thread cycles and runtimes (EQ(1)-EQ(3)).
+	// Statistics aggregate over each thread's whole lifetime — a pooled
+	// thread driven through several parallel phases is still one thread,
+	// and RT_t in the paper spans its lifetime — then the lifetime scale
+	// factor applies to each of the thread's phase appearances.
+	type tidStats struct {
+		accesses, cycles uint64
+		runtime          uint64
+	}
+	byTID := make(map[mem.ThreadID]*tidStats)
+	for key, ts := range p.threads {
+		agg := byTID[key.tid]
+		if agg == nil {
+			agg = &tidStats{}
+			byTID[key.tid] = agg
+		}
+		agg.accesses += ts.accesses
+		agg.cycles += ts.cycles
+		agg.runtime += ts.info.Runtime()
+	}
+	// The object's latency profile is heavy-tailed (rare coherence
+	// misses carry most cycles), so a thread with few samples has a very
+	// noisy Cycles_O. Blend the thread's own sampled average with the
+	// object-wide average (§3.1 computes Cycles_O at object level),
+	// weighting by sample count: dense threads use their own profile,
+	// sparse threads inherit the pooled one.
+	objAvgLat := 0.0
+	if o.accesses > 0 {
+		objAvgLat = float64(o.cycles) / float64(o.accesses)
+	}
+	const fullConfidenceSamples = 256
+	// scale[tid] = PredRT_t / RT_t from EQ(1)-EQ(3).
+	scale := make(map[mem.ThreadID]float64, len(byTID))
+	for tid, agg := range byTID {
+		scale[tid] = 1
+		objStats := o.byThread[tid]
+		if objStats == nil || agg.cycles == 0 {
+			continue
+		}
+		objAccesses := objStats.Accesses()
+		w := float64(objAccesses) / fullConfidenceSamples
+		if w > 1 {
+			w = 1
+		}
+		blended := w*float64(objStats.Cycles) + (1-w)*objAvgLat*float64(objAccesses)
+		objCycles := uint64(blended)
+		// EQ(1): PredCycles_O = AverCycles_nofs * Accesses_O.
+		predCyclesO := averNoFS * float64(objAccesses)
+		// EQ(2): PredCycles_t = Cycles_t - Cycles_O + PredCycles_O.
+		predCyclesT := float64(agg.cycles) - float64(objCycles) + predCyclesO
+		if predCyclesT < 0 {
+			predCyclesT = 0
+		}
+		// EQ(3): PredRT_t = (PredCycles_t / Cycles_t) * RT_t, expressed
+		// as the lifetime scale factor PredCycles_t / Cycles_t.
+		scale[tid] = predCyclesT / float64(agg.cycles)
+		a.Threads = append(a.Threads, ThreadAssessment{
+			Thread:           tid,
+			Runtime:          agg.runtime,
+			PredictedRuntime: uint64(scale[tid] * float64(agg.runtime)),
+			Accesses:         agg.accesses,
+			Cycles:           agg.cycles,
+			ObjectAccesses:   objAccesses,
+			ObjectCycles:     objCycles,
+		})
+		a.TotalThreadsAccesses += agg.accesses
+		a.TotalThreadsCycles += agg.cycles
+	}
+	a.TotalThreads = len(a.Threads)
+	sort.Slice(a.Threads, func(i, j int) bool { return a.Threads[i].Thread < a.Threads[j].Thread })
+	predRT := make(map[threadKey]uint64, len(p.threads))
+	for key, ts := range p.threads {
+		predRT[key] = uint64(scale[key.tid] * float64(ts.info.Runtime()))
+	}
+
+	// Step 3: recompute each phase's length — "the length of each phase is
+	// decided by the thread with the longest execution time, while the
+	// total time of an application is equal to the sum of different
+	// parallel and serial phases" (§3.3).
+	var predTotal uint64
+	for _, ph := range p.phases {
+		realLen := ph.info.Length()
+		if !ph.info.Parallel || len(ph.threads) == 0 {
+			predTotal += realLen
+			continue
+		}
+		var realMaxEnd, predMaxEnd uint64
+		for _, key := range ph.threads {
+			ts := p.threads[key]
+			if ts == nil {
+				continue
+			}
+			offset := ts.info.Start - ph.info.Start
+			if end := offset + ts.info.Runtime(); end > realMaxEnd {
+				realMaxEnd = end
+			}
+			if end := offset + predRT[key]; end > predMaxEnd {
+				predMaxEnd = end
+			}
+		}
+		// Keep the non-thread part of the phase (thread-join cost)
+		// constant across real and predicted timelines.
+		overhead := uint64(0)
+		if realLen > realMaxEnd {
+			overhead = realLen - realMaxEnd
+		}
+		predTotal += predMaxEnd + overhead
+	}
+	a.PredictedRuntime = predTotal
+	if predTotal > 0 {
+		// EQ(4): PerfImprove = RT_App / PredRT_App.
+		a.Improvement = float64(a.RealRuntime) / float64(predTotal)
+	} else {
+		a.Improvement = 1
+	}
+	return a
+}

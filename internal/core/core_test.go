@@ -1,0 +1,444 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+)
+
+// densePMU samples densely so small unit-test workloads yield plenty of
+// samples; costs are zeroed so native and profiled runtimes coincide.
+func densePMU() pmu.Config {
+	return pmu.Config{Period: 64, Jitter: 7, HandlerCycles: 0, SetupCycles: 0}
+}
+
+// env bundles the standard test rig.
+type env struct {
+	h    *heap.Heap
+	syms *symtab.Table
+	prof *core.Profiler
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	h := heap.New(heap.DefaultConfig())
+	syms := symtab.New(symtab.DefaultConfig())
+	opts := core.DefaultOptions(h, syms)
+	opts.PMU = densePMU()
+	return &env{h: h, syms: syms, prof: core.New(opts)}
+}
+
+// run executes prog on a fresh machine with the profiler attached and
+// returns the result.
+func (e *env) run(cores int, prog exec.Program) exec.Result {
+	sim := cache.New(cache.DefaultConfig(cores))
+	eng := exec.New(sim, exec.Config{OpBuffer: 1024}, e.prof.Probes()...)
+	return eng.Run(prog)
+}
+
+// runNative executes prog with no probes, returning the unprofiled result.
+func runNative(cores int, prog exec.Program) exec.Result {
+	sim := cache.New(cache.DefaultConfig(cores))
+	eng := exec.New(sim, exec.Config{OpBuffer: 1024})
+	return eng.Run(prog)
+}
+
+// incrementProgram builds the Figure 1 style workload: a serial init phase
+// followed by a parallel phase where thread i reads its private input
+// region and accumulates into element i of a shared array — the
+// linear_regression access shape. stride 4 produces false sharing;
+// stride 64 is the padded fix. scratch is a per-thread-partitioned input
+// region (4 KB per thread).
+func incrementProgram(base, scratch mem.Addr, threads, iters, stride int) exec.Program {
+	init := exec.SerialPhase("init", func(t *exec.T) {
+		for i := 0; i < threads; i++ {
+			t.Store(base.Add(i * stride))
+		}
+		// Serial reads establish the no-false-sharing latency baseline.
+		for i := 0; i < 2000; i++ {
+			t.Load(base.Add((i % threads) * stride))
+			t.Compute(1)
+		}
+	})
+	bodies := make([]exec.Body, threads)
+	for i := 0; i < threads; i++ {
+		fsAddr := base.Add(i * stride)
+		priv := scratch.Add(i * 4096)
+		bodies[i] = func(t *exec.T) {
+			for j := 0; j < iters; j++ {
+				t.Load(priv.Add((j % 32) * 4))
+				t.Load(priv.Add(((j + 7) % 32) * 4))
+				t.Store(fsAddr)
+				t.Compute(1)
+			}
+		}
+	}
+	return exec.Program{Name: "increment", Phases: []exec.Phase{init, exec.ParallelPhase("work", bodies...)}}
+}
+
+// allocPair allocates the shared object and the per-thread scratch region.
+func allocPair(e *env, size uint64, site heap.Frame) (obj, scratch mem.Addr) {
+	obj = e.h.Malloc(mem.MainThread, size, heap.Stack(site))
+	scratch = e.h.Malloc(mem.MainThread, 64*1024, heap.Stack(heap.Frame{File: "scratch.c", Line: 1}))
+	return obj, scratch
+}
+
+func TestDetectsHeapFalseSharing(t *testing.T) {
+	e := newEnv(t)
+	obj, scratch := allocPair(e, 4096, heap.Frame{File: "increment.c", Line: 42})
+	e.run(8, incrementProgram(obj, scratch, 4, 20000, 4))
+	rep := e.prof.Report()
+	if len(rep.Instances) != 1 {
+		t.Fatalf("got %d instances, want 1; candidates: %d", len(rep.Instances), len(rep.Candidates))
+	}
+	in := rep.Instances[0]
+	if !in.FalseSharing {
+		t.Error("instance not classified as false sharing")
+	}
+	if in.Object.Kind != core.HeapObject {
+		t.Errorf("object kind = %v, want heap", in.Object.Kind)
+	}
+	if in.Object.Start != obj {
+		t.Errorf("object start = %v, want %v", in.Object.Start, obj)
+	}
+	if got := in.Object.Stack.Site(); got.File != "increment.c" || got.Line != 42 {
+		t.Errorf("callsite = %v, want increment.c:42", got)
+	}
+	if in.Invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+	if in.Assessment.Improvement <= 1.5 {
+		t.Errorf("predicted improvement %.2f, want > 1.5", in.Assessment.Improvement)
+	}
+	if in.Assessment.TotalThreads != 4 {
+		t.Errorf("TotalThreads = %d, want 4", in.Assessment.TotalThreads)
+	}
+}
+
+func TestPaddedLayoutNotReported(t *testing.T) {
+	e := newEnv(t)
+	obj, scratch := allocPair(e, 4096, heap.Frame{File: "inc.c", Line: 1})
+	e.run(8, incrementProgram(obj, scratch, 4, 20000, mem.LineSize))
+	rep := e.prof.Report()
+	if len(rep.Instances) != 0 {
+		t.Fatalf("padded layout reported as false sharing: %+v", rep.Instances[0])
+	}
+}
+
+func TestTrueSharingClassified(t *testing.T) {
+	e := newEnv(t)
+	obj := e.h.Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "ts.c", Line: 9}))
+	bodies := make([]exec.Body, 4)
+	for i := range bodies {
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 20000; j++ {
+				tt.Store(obj) // every thread writes the same word
+				tt.Compute(6)
+			}
+		}
+	}
+	e.run(8, exec.Program{Name: "truesharing", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if len(rep.Instances) != 0 {
+		t.Fatalf("true sharing reported as false sharing (shared fraction %.2f)",
+			rep.Instances[0].SharedWordFraction)
+	}
+	// It must still appear as a candidate, classified true sharing.
+	found := false
+	for _, c := range rep.Candidates {
+		if c.Object.Start == obj && !c.FalseSharing && c.Invalidations > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("true-sharing object missing from candidates")
+	}
+}
+
+func TestNoSharingNoReport(t *testing.T) {
+	e := newEnv(t)
+	objs := make([]mem.Addr, 4)
+	for i := range objs {
+		objs[i] = e.h.Malloc(mem.ThreadID(i+1), 64, heap.Stack(heap.Frame{File: "p.c", Line: i}))
+	}
+	bodies := make([]exec.Body, 4)
+	for i := range bodies {
+		addr := objs[i]
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 10000; j++ {
+				tt.Store(addr)
+				tt.Compute(4)
+			}
+		}
+	}
+	e.run(8, exec.Program{Name: "private", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if len(rep.Instances) != 0 {
+		t.Fatalf("thread-private writes reported as false sharing")
+	}
+}
+
+func TestSerialInitializationNotMisreported(t *testing.T) {
+	// The main thread initializes the object, then exactly one worker uses
+	// it: no sharing should be reported even though two "threads" touched
+	// the data, because detailed recording happens only in parallel phases
+	// (§2.4's answer to Predator's false positive).
+	e := newEnv(t)
+	obj := e.h.Malloc(mem.MainThread, 256, heap.Stack(heap.Frame{File: "init.c", Line: 3}))
+	prog := exec.Program{Name: "initthenuse", Phases: []exec.Phase{
+		exec.SerialPhase("init", func(tt *exec.T) {
+			for j := 0; j < 5000; j++ {
+				tt.Store(obj.Add((j % 16) * 4))
+			}
+		}),
+		exec.ParallelPhase("work", func(tt *exec.T) {
+			for j := 0; j < 20000; j++ {
+				tt.Store(obj.Add((j % 16) * 4))
+				tt.Compute(2)
+			}
+		}),
+	}}
+	e.run(4, prog)
+	rep := e.prof.Report()
+	if len(rep.Instances) != 0 {
+		t.Fatalf("serial-init + single-worker object misreported as false sharing")
+	}
+	for _, c := range rep.Candidates {
+		if c.Object.Start == obj && c.Invalidations > 0 {
+			t.Errorf("invalidations attributed across serial/parallel boundary: %+v", c)
+		}
+	}
+}
+
+func TestGlobalVariableFalseSharing(t *testing.T) {
+	e := newEnv(t)
+	g := e.syms.Define("counters", 64)
+	bodies := make([]exec.Body, 4)
+	for i := range bodies {
+		addr := g.Add(i * 4)
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 20000; j++ {
+				tt.Store(addr)
+				tt.Compute(5)
+			}
+		}
+	}
+	e.run(8, exec.Program{Name: "globalfs", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if len(rep.Instances) != 1 {
+		t.Fatalf("got %d instances, want 1", len(rep.Instances))
+	}
+	in := rep.Instances[0]
+	if in.Object.Kind != core.GlobalObject || in.Object.Name != "counters" {
+		t.Errorf("object = %+v, want global \"counters\"", in.Object)
+	}
+}
+
+func TestRegionFilteringDropsUnknownAddresses(t *testing.T) {
+	e := newEnv(t)
+	// Accesses at raw addresses outside heap and globals segments.
+	bodies := make([]exec.Body, 2)
+	for i := range bodies {
+		addr := mem.Addr(0xDEAD0000 + uint64(i*4))
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 20000; j++ {
+				tt.Store(addr)
+			}
+		}
+	}
+	e.run(4, exec.Program{Name: "stackish", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if rep.Samples != 0 {
+		t.Errorf("accepted %d samples from unmapped region, want 0", rep.Samples)
+	}
+	if len(rep.Instances)+len(rep.Candidates) != 0 {
+		t.Error("unmapped region produced report entries")
+	}
+}
+
+func TestAssessmentTracksRealFix(t *testing.T) {
+	// The headline claim (Table 1): the predicted improvement from the
+	// broken run approximates the measured improvement from actually
+	// padding the object.
+	for _, threads := range []int{2, 4, 8} {
+		e := newEnv(t)
+		obj, scratch := allocPair(e, 4096, heap.Frame{File: "fix.c", Line: 7})
+		broken := incrementProgram(obj, scratch, threads, 30000, 4)
+		fixed := incrementProgram(obj, scratch, threads, 30000, mem.LineSize)
+
+		brokenRT := runNative(threads+1, broken).TotalCycles
+		fixedRT := runNative(threads+1, fixed).TotalCycles
+		real := float64(brokenRT) / float64(fixedRT)
+
+		e.run(threads+1, broken)
+		rep := e.prof.Report()
+		if len(rep.Instances) != 1 {
+			t.Fatalf("threads=%d: got %d instances, want 1", threads, len(rep.Instances))
+		}
+		pred := rep.Instances[0].Assessment.Improvement
+		diff := math.Abs(pred-real) / real
+		t.Logf("threads=%d: predicted %.2fx real %.2fx diff %.1f%%", threads, pred, real, diff*100)
+		// This synthetic workload is far more coherence-bound than the
+		// paper's applications; the calibrated <10% precision claim is
+		// validated at full scale by the Table 1 harness experiment.
+		if diff > 0.35 {
+			t.Errorf("threads=%d: predicted %.2fx vs real %.2fx (%.0f%% off)",
+				threads, pred, real, diff*100)
+		}
+		if real < 1.5 {
+			t.Errorf("threads=%d: fix yields only %.2fx; workload not exhibiting false sharing", threads, real)
+		}
+	}
+}
+
+func TestInsignificantInstanceFiltered(t *testing.T) {
+	e := newEnv(t)
+	obj := e.h.Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "tiny.c", Line: 1}))
+	other := e.h.Malloc(mem.MainThread, 1<<16, heap.Stack(heap.Frame{File: "big.c", Line: 2}))
+	bodies := make([]exec.Body, 2)
+	for i := range bodies {
+		fsAddr := obj.Add(i * 4)
+		privBase := other.Add(i * (1 << 15))
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 40000; j++ {
+				// Dominant thread-private traffic...
+				tt.Store(privBase.Add((j % 512) * 64))
+				tt.Compute(20)
+				// ...with very rare falsely-shared writes.
+				if j%2000 == 0 {
+					tt.Store(fsAddr)
+				}
+			}
+		}
+	}
+	e.run(4, exec.Program{Name: "tinyfs", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	for _, in := range rep.Instances {
+		if in.Object.Start == obj {
+			t.Errorf("negligible false sharing reported as significant (inv=%d, improve=%.3f)",
+				in.Invalidations, in.Assessment.Improvement)
+		}
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	e := newEnv(t)
+	obj, scratch := allocPair(e, 4000, heap.Frame{File: "linear_regression-pthread.c", Line: 139})
+	e.run(8, incrementProgram(obj, scratch, 4, 20000, 4))
+	rep := e.prof.Report()
+	out := rep.Format()
+	for _, want := range []string{
+		"Detecting false sharing at the object:",
+		"(with size 4000)",
+		"invalidations",
+		"totalThreads 4",
+		"totalPossibleImprovementRate",
+		"It is a heap object with the following callsite:",
+		"linear_regression-pthread.c: 139",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	words := rep.Instances[0].FormatWords()
+	if !strings.Contains(words, "thread") || !strings.Contains(words, "writes") {
+		t.Errorf("word report missing detail:\n%s", words)
+	}
+}
+
+func TestReportEmptyFormat(t *testing.T) {
+	e := newEnv(t)
+	e.run(2, exec.Program{Name: "idle", Phases: []exec.Phase{
+		exec.SerialPhase("s", func(tt *exec.T) { tt.Compute(1000) }),
+	}})
+	out := e.prof.Report().Format()
+	if !strings.Contains(out, "No significant false sharing detected.") {
+		t.Errorf("empty report = %q", out)
+	}
+}
+
+func TestProfilerResetsBetweenRuns(t *testing.T) {
+	e := newEnv(t)
+	obj, scratch := allocPair(e, 4096, heap.Frame{File: "r.c", Line: 1})
+	prog := incrementProgram(obj, scratch, 4, 20000, 4)
+	e.run(8, prog)
+	first := e.prof.Report()
+	e.run(8, prog)
+	second := e.prof.Report()
+	if len(first.Instances) != len(second.Instances) {
+		t.Fatalf("instance counts differ across identical runs: %d vs %d",
+			len(first.Instances), len(second.Instances))
+	}
+	if first.Samples != second.Samples {
+		t.Errorf("samples differ across identical runs: %d vs %d", first.Samples, second.Samples)
+	}
+}
+
+func TestSerialAvgLatencyFallback(t *testing.T) {
+	e := newEnv(t)
+	// No serial-phase memory accesses at all.
+	e.run(2, exec.Program{Name: "nofallback", Phases: []exec.Phase{
+		exec.ParallelPhase("work", func(tt *exec.T) { tt.Compute(100000) }),
+	}})
+	rep := e.prof.Report()
+	if rep.SerialAvgLatency != 6 {
+		t.Errorf("SerialAvgLatency = %v, want default 6", rep.SerialAvgLatency)
+	}
+}
+
+func TestWordLevelDetailInReport(t *testing.T) {
+	e := newEnv(t)
+	obj := e.h.Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "w.c", Line: 5}))
+	bodies := make([]exec.Body, 2)
+	for i := range bodies {
+		addr := obj.Add(i * 4)
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 30000; j++ {
+				tt.Store(addr)
+				tt.Compute(3)
+			}
+		}
+	}
+	e.run(4, exec.Program{Name: "words", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if len(rep.Instances) != 1 {
+		t.Fatalf("instances = %d, want 1", len(rep.Instances))
+	}
+	in := rep.Instances[0]
+	if len(in.Lines) != 1 {
+		t.Fatalf("lines = %d, want 1", len(in.Lines))
+	}
+	offsets := map[int]bool{}
+	for _, w := range in.Lines[0].Words {
+		offsets[w.Offset] = true
+		if w.Shared {
+			t.Errorf("word at offset %d marked shared in disjoint-word workload", w.Offset)
+		}
+		if len(w.Accesses) != 1 {
+			t.Errorf("word at offset %d has %d accessing threads, want 1", w.Offset, len(w.Accesses))
+		}
+	}
+	if !offsets[0] || !offsets[4] {
+		t.Errorf("word offsets = %v, want 0 and 4", offsets)
+	}
+}

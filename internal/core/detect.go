@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// ObjectKind classifies a detected object's region.
+type ObjectKind uint8
+
+const (
+	// HeapObject is an allocation resolved through the custom heap.
+	HeapObject ObjectKind = iota
+	// GlobalObject is a variable resolved through the symbol table.
+	GlobalObject
+	// UnknownObject covers sampled lines no resolver claimed.
+	UnknownObject
+)
+
+func (k ObjectKind) String() string {
+	switch k {
+	case HeapObject:
+		return "heap"
+	case GlobalObject:
+		return "global"
+	default:
+		return "unknown"
+	}
+}
+
+// ObjectInfo identifies a detected object for reporting.
+type ObjectInfo struct {
+	// Kind says how the object was resolved.
+	Kind ObjectKind
+	// Start and End delimit the object ([Start, End)).
+	Start, End mem.Addr
+	// Size is the object's requested size in bytes.
+	Size uint64
+	// Name is the symbol name for globals.
+	Name string
+	// Stack is the allocation call stack for heap objects.
+	Stack heap.CallStack
+	// Thread is the allocating thread for heap objects.
+	Thread mem.ThreadID
+}
+
+// objectAgg accumulates detection state for one object across its sampled
+// cache lines.
+type objectAgg struct {
+	info  ObjectInfo
+	lines []*shadow.Line
+
+	// Aggregates over detailed lines.
+	invalidations uint64
+	writes, reads uint64
+	accesses      uint64
+	cycles        uint64
+
+	// byThread aggregates sampled accesses and cycles per thread — the
+	// per-thread Cycles_O and Accesses_O of EQ(2).
+	byThread map[mem.ThreadID]*shadow.WordStats
+
+	// sharedAccesses counts accesses attributed to words touched by more
+	// than one thread — the true-sharing signal.
+	sharedAccesses uint64
+}
+
+// collectObjects walks the shadow memory, resolves each sampled line to
+// its owning object (heap allocation, global variable, or unknown), and
+// aggregates per-object detection state.
+func (p *Profiler) collectObjects() []*objectAgg {
+	byKey := make(map[mem.Addr]*objectAgg)
+	p.shadow.ForEach(func(l *shadow.Line) {
+		if !l.Detailed() {
+			return
+		}
+		base := mem.LineAddr(l.Index)
+		info := p.resolveObject(base)
+		agg := byKey[info.Start]
+		if agg == nil {
+			agg = &objectAgg{info: info, byThread: make(map[mem.ThreadID]*shadow.WordStats)}
+			byKey[info.Start] = agg
+		}
+		agg.addLine(l)
+	})
+	objs := make([]*objectAgg, 0, len(byKey))
+	for _, o := range byKey {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].info.Start < objs[j].info.Start })
+	return objs
+}
+
+// resolveObject maps a line base address to its owning object. Lines that
+// no resolver claims become single-line unknown objects.
+func (p *Profiler) resolveObject(base mem.Addr) ObjectInfo {
+	if p.opts.Heap != nil {
+		if obj, ok := p.opts.Heap.Lookup(base); ok {
+			return ObjectInfo{
+				Kind:   HeapObject,
+				Start:  obj.Addr,
+				End:    obj.Addr.Add(int(obj.Size)),
+				Size:   obj.Size,
+				Stack:  obj.Stack,
+				Thread: obj.Thread,
+			}
+		}
+	}
+	if p.opts.Symbols != nil {
+		if sym, ok := p.opts.Symbols.Resolve(base); ok {
+			return ObjectInfo{
+				Kind:  GlobalObject,
+				Start: sym.Addr,
+				End:   sym.End(),
+				Size:  sym.Size,
+				Name:  sym.Name,
+			}
+		}
+	}
+	return ObjectInfo{
+		Kind:  UnknownObject,
+		Start: base,
+		End:   base.Add(mem.LineSize),
+		Size:  mem.LineSize,
+	}
+}
+
+// addLine folds one detailed shadow line into the aggregate.
+func (o *objectAgg) addLine(l *shadow.Line) {
+	o.lines = append(o.lines, l)
+	o.invalidations += l.Invalidations
+	o.writes += l.Writes
+	o.reads += l.Reads
+	o.accesses += l.Accesses
+	o.cycles += l.Cycles
+	for i := 0; i < l.Words(); i++ {
+		w := l.Word(i)
+		if w.Threads() == 0 {
+			continue
+		}
+		shared := w.SharedByMultipleThreads()
+		for tid, s := range w.ByThread {
+			agg := o.byThread[tid]
+			if agg == nil {
+				agg = &shadow.WordStats{}
+				o.byThread[tid] = agg
+			}
+			agg.Reads += s.Reads
+			agg.Writes += s.Writes
+			agg.Cycles += s.Cycles
+			if shared {
+				o.sharedAccesses += s.Accesses()
+			}
+		}
+	}
+}
+
+// threadCount returns the number of distinct threads that touched the
+// object.
+func (o *objectAgg) threadCount() int { return len(o.byThread) }
+
+// sharedFraction is the fraction of sampled accesses that landed on words
+// touched by more than one thread.
+func (o *objectAgg) sharedFraction() float64 {
+	if o.accesses == 0 {
+		return 0
+	}
+	return float64(o.sharedAccesses) / float64(o.accesses)
+}
+
+// trueSharingDominanceThreshold is the word-sharing fraction above which
+// an object's invalidations are attributed to true sharing rather than
+// false sharing. In true sharing "multiple threads will access the same
+// words" (§2.4), so shared-word accesses dominate; in false sharing the
+// threads' footprints are disjoint and the fraction stays near zero.
+const trueSharingDominanceThreshold = 0.5
+
+// classify labels the object. Objects without invalidations or with only
+// one thread are not sharing instances at all.
+type classification uint8
+
+const (
+	classNone classification = iota
+	classFalseSharing
+	classTrueSharing
+)
+
+func (o *objectAgg) classify() classification {
+	if o.invalidations == 0 || o.threadCount() < 2 {
+		return classNone
+	}
+	if o.sharedFraction() > trueSharingDominanceThreshold {
+		return classTrueSharing
+	}
+	return classFalseSharing
+}

@@ -1,0 +1,247 @@
+// Package core implements the Cheetah profiler — the paper's primary
+// contribution. It consumes PMU address samples, detects false sharing
+// with the two-entry-table invalidation rule and word-granularity
+// discrimination (paper §2), quantitatively assesses the performance
+// impact of fixing each instance (paper §3, EQ(1)–EQ(4)), and produces
+// reports in the style of paper Figure 5.
+package core
+
+import (
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/shadow"
+	"repro/internal/symtab"
+)
+
+// Options configures a Profiler.
+type Options struct {
+	// PMU configures address sampling; the zero value uses the paper's
+	// defaults (64K-instruction period).
+	PMU pmu.Config
+	// Heap resolves heap addresses to allocation sites. Required for heap
+	// object reporting.
+	Heap *heap.Heap
+	// Symbols resolves global addresses to variable names.
+	Symbols *symtab.Table
+	// MinInvalidations is the minimum number of sampled invalidations for
+	// an object to become a report candidate; below it the object cannot
+	// "possibly have a high impact on performance" (§2.3).
+	MinInvalidations uint64
+	// MinImprovement is the minimum predicted speedup (e.g. 1.01 = 1%)
+	// for an instance to be reported as significant.
+	MinImprovement float64
+	// DefaultSerialLatency is the fallback for AverCycles_nofs when no
+	// serial-phase samples were collected: "a default value learned from
+	// experience" (§3.1), in cycles.
+	DefaultSerialLatency float64
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions(h *heap.Heap, syms *symtab.Table) Options {
+	return Options{
+		PMU:                  pmu.DefaultConfig(),
+		Heap:                 h,
+		Symbols:              syms,
+		MinInvalidations:     8,
+		MinImprovement:       1.008,
+		DefaultSerialLatency: 6,
+	}
+}
+
+// threadKey identifies a thread record; the main thread reappears in every
+// serial phase, so records are per (thread, phase).
+type threadKey struct {
+	tid   mem.ThreadID
+	phase int
+}
+
+// threadStats is the paper's per-thread runtime information (§3.2): RT_t,
+// Accesses_t and Cycles_t, plus bookkeeping for phase reconstruction.
+type threadStats struct {
+	info exec.ThreadInfo
+	// accesses and cycles cover all delivered samples of this thread.
+	accesses uint64
+	cycles   uint64
+	ended    bool
+}
+
+// phaseStats records one serial or parallel phase of the fork-join model.
+type phaseStats struct {
+	info    exec.PhaseInfo
+	threads []threadKey
+}
+
+// Profiler is the Cheetah runtime. It implements exec.Probe (thread and
+// phase lifecycle, mirroring the paper's interception of thread creation
+// and RDTSC timestamping) and pmu.Handler (the signal handler receiving
+// address samples). Attach both the profiler and its PMU to an engine via
+// Probes.
+type Profiler struct {
+	exec.BaseProbe
+	opts Options
+	pmu  *pmu.PMU
+
+	shadow  *shadow.Memory
+	threads map[threadKey]*threadStats
+	phases  []phaseStats
+
+	// inParallel gates detailed detection: "only recording detailed
+	// accesses inside parallel phases" (§2.4) avoids misreporting
+	// main-thread initialization as sharing.
+	inParallel   bool
+	currentPhase int
+
+	// serialCycles/serialSamples accumulate serial-phase sample latency
+	// for the AverCycles_serial approximation (§3.1).
+	serialCycles  uint64
+	serialSamples uint64
+
+	// Aggregate counters.
+	samples       uint64
+	dropped       uint64
+	totalCycles   uint64
+	programName   string
+	programCores  int
+	programEnded  bool
+	totalsByPhase map[int]uint64
+}
+
+// New creates a profiler with the given options.
+func New(opts Options) *Profiler {
+	if opts.MinImprovement == 0 {
+		opts.MinImprovement = 1.008
+	}
+	if opts.DefaultSerialLatency == 0 {
+		opts.DefaultSerialLatency = 6
+	}
+	p := &Profiler{opts: opts}
+	p.pmu = pmu.New(opts.PMU, p)
+	p.reset()
+	return p
+}
+
+// reset clears all per-run state.
+func (p *Profiler) reset() {
+	p.shadow = shadow.NewMemory()
+	p.threads = make(map[threadKey]*threadStats)
+	p.phases = nil
+	p.inParallel = false
+	p.currentPhase = -1
+	p.serialCycles, p.serialSamples = 0, 0
+	p.samples, p.dropped, p.totalCycles = 0, 0, 0
+	p.programEnded = false
+	p.totalsByPhase = make(map[int]uint64)
+}
+
+// Probes returns the probe chain to attach to an exec.Engine: the PMU
+// (which samples and charges overhead) and the profiler itself (thread
+// and phase lifecycle).
+func (p *Profiler) Probes() []exec.Probe {
+	return []exec.Probe{p.pmu, p}
+}
+
+// PMUStats exposes the underlying PMU counters.
+func (p *Profiler) PMUStats() pmu.Stats { return p.pmu.Stats() }
+
+// Samples returns the number of samples the profiler accepted (after
+// region filtering).
+func (p *Profiler) Samples() uint64 { return p.samples }
+
+// Shadow exposes the shadow memory for tests and tooling.
+func (p *Profiler) Shadow() *shadow.Memory { return p.shadow }
+
+// ProgramStart implements exec.Probe.
+func (p *Profiler) ProgramStart(name string, cores int) {
+	p.reset()
+	p.programName = name
+	p.programCores = cores
+}
+
+// PhaseStart implements exec.Probe: it tracks the fork-join structure the
+// assessment recomputes (§3.3).
+func (p *Profiler) PhaseStart(ph exec.PhaseInfo) {
+	p.inParallel = ph.Parallel
+	p.currentPhase = ph.Index
+	p.phases = append(p.phases, phaseStats{info: ph})
+}
+
+// PhaseEnd implements exec.Probe.
+func (p *Profiler) PhaseEnd(ph exec.PhaseInfo) {
+	p.phases[len(p.phases)-1].info = ph
+	p.inParallel = false
+	p.currentPhase = -1
+}
+
+// ThreadStart implements exec.Probe; the PMU charges its own setup cost,
+// so the profiler charges nothing extra.
+func (p *Profiler) ThreadStart(th exec.ThreadInfo) uint64 {
+	key := threadKey{tid: th.ID, phase: th.Phase}
+	p.threads[key] = &threadStats{info: th}
+	if n := len(p.phases); n > 0 && p.phases[n-1].info.Index == th.Phase {
+		p.phases[n-1].threads = append(p.phases[n-1].threads, key)
+	}
+	return 0
+}
+
+// ThreadEnd implements exec.Probe, capturing RT_t.
+func (p *Profiler) ThreadEnd(th exec.ThreadInfo) {
+	if ts := p.threads[threadKey{tid: th.ID, phase: th.Phase}]; ts != nil {
+		ts.info = th
+		ts.ended = true
+	}
+}
+
+// ProgramEnd implements exec.Probe.
+func (p *Profiler) ProgramEnd(total uint64) {
+	p.totalCycles = total
+	p.programEnded = true
+}
+
+// Sample implements pmu.Handler: Cheetah's signal handler. It filters by
+// region (the driver passes only heap and global accesses, §1 Figure 2),
+// feeds serial-phase latency into the no-false-sharing baseline, and
+// applies detailed detection only inside parallel phases.
+func (p *Profiler) Sample(a mem.Access) {
+	region := p.regionOf(a.Addr)
+	if region != mem.RegionHeap && region != mem.RegionGlobal {
+		p.dropped++
+		return
+	}
+	p.samples++
+
+	if !p.inParallel {
+		// Serial phase: contribute to AverCycles_serial only.
+		p.serialCycles += uint64(a.Latency)
+		p.serialSamples++
+		return
+	}
+
+	if ts := p.threads[threadKey{tid: a.Thread, phase: p.currentPhase}]; ts != nil {
+		ts.accesses++
+		ts.cycles += uint64(a.Latency)
+	}
+	p.shadow.Record(a)
+}
+
+// regionOf classifies an address.
+func (p *Profiler) regionOf(a mem.Addr) mem.Region {
+	if p.opts.Heap != nil && p.opts.Heap.Contains(a) {
+		return mem.RegionHeap
+	}
+	if p.opts.Symbols != nil && p.opts.Symbols.Contains(a) {
+		return mem.RegionGlobal
+	}
+	return mem.RegionOther
+}
+
+// SerialAvgLatency returns AverCycles_serial — the observed average
+// latency of serial-phase samples, or the configured default when serial
+// phases produced no samples (§3.1).
+func (p *Profiler) SerialAvgLatency() float64 {
+	if p.serialSamples == 0 {
+		return p.opts.DefaultSerialLatency
+	}
+	return float64(p.serialCycles) / float64(p.serialSamples)
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// WordAccess is one thread's sampled activity on one word, for the
+// word-level report that "helps programmers to decide how to pad a
+// problematic data structure" (§2.4).
+type WordAccess struct {
+	Thread        mem.ThreadID
+	Reads, Writes uint64
+	Cycles        uint64
+}
+
+// WordReport describes one word of an affected cache line.
+type WordReport struct {
+	// Offset is the word's byte offset within the object.
+	Offset int
+	// Shared marks words accessed by more than one thread (true sharing).
+	Shared bool
+	// Accesses lists per-thread activity, ordered by thread id.
+	Accesses []WordAccess
+}
+
+// LineReport describes one affected cache line of an instance.
+type LineReport struct {
+	// Start is the line's base address.
+	Start mem.Addr
+	// Invalidations, Writes, Reads and Cycles are the line's sampled
+	// detection counters.
+	Invalidations uint64
+	Writes, Reads uint64
+	Cycles        uint64
+	// Words holds per-word detail for words with any activity.
+	Words []WordReport
+}
+
+// Instance is one detected sharing instance: an object, its detection
+// counters, and — for false sharing — the predicted benefit of fixing it.
+type Instance struct {
+	// Object identifies what is being shared.
+	Object ObjectInfo
+	// FalseSharing distinguishes false from true sharing (§2.4).
+	FalseSharing bool
+	// Significant marks instances passing the reporting thresholds.
+	Significant bool
+
+	// Accesses, Invalidations, Writes, Reads and Cycles are sampled
+	// totals over the object's detailed lines (the first output line of
+	// paper Figure 5).
+	Accesses      uint64
+	Invalidations uint64
+	Writes, Reads uint64
+	Cycles        uint64
+
+	// SharedWordFraction is the fraction of accesses on words touched by
+	// multiple threads (≈0 for pure false sharing).
+	SharedWordFraction float64
+
+	// Assessment is the §3 impact prediction.
+	Assessment Assessment
+
+	// Lines holds per-line, per-word detail.
+	Lines []LineReport
+}
+
+// Improvement returns the predicted speedup from fixing this instance.
+func (in *Instance) Improvement() float64 { return in.Assessment.Improvement }
+
+// Report is the profiler's end-of-run output ("either at the end of an
+// execution, or when interrupted by the user", §2.4).
+type Report struct {
+	// App is the program name.
+	App string
+	// Cores is the machine size the program ran on.
+	Cores int
+	// RuntimeCycles is the application's measured runtime.
+	RuntimeCycles uint64
+	// SerialAvgLatency is the AverCycles_nofs baseline used by all
+	// assessments.
+	SerialAvgLatency float64
+	// Samples is the number of accepted address samples.
+	Samples uint64
+	// Instances holds significant false sharing, sorted by predicted
+	// improvement (highest first) — what Cheetah reports to the user.
+	Instances []Instance
+	// Candidates holds everything else that crossed the detail threshold
+	// (true sharing, insignificant false sharing), for tooling and the
+	// comparison experiments.
+	Candidates []Instance
+}
+
+// Report runs detection, classification and assessment over the collected
+// samples and returns the full report.
+func (p *Profiler) Report() *Report {
+	r := &Report{
+		App:              p.programName,
+		Cores:            p.programCores,
+		RuntimeCycles:    p.totalCycles,
+		SerialAvgLatency: p.SerialAvgLatency(),
+		Samples:          p.samples,
+	}
+	for _, o := range p.collectObjects() {
+		class := o.classify()
+		if class == classNone && o.invalidations == 0 {
+			continue
+		}
+		in := p.buildInstance(o, class)
+		if in.FalseSharing && in.Significant {
+			r.Instances = append(r.Instances, in)
+		} else {
+			r.Candidates = append(r.Candidates, in)
+		}
+	}
+	sort.Slice(r.Instances, func(i, j int) bool {
+		return r.Instances[i].Improvement() > r.Instances[j].Improvement()
+	})
+	sort.Slice(r.Candidates, func(i, j int) bool {
+		return r.Candidates[i].Invalidations > r.Candidates[j].Invalidations
+	})
+	return r
+}
+
+// buildInstance assembles the reportable view of one aggregated object.
+func (p *Profiler) buildInstance(o *objectAgg, class classification) Instance {
+	in := Instance{
+		Object:             o.info,
+		FalseSharing:       class == classFalseSharing,
+		Accesses:           o.accesses,
+		Invalidations:      o.invalidations,
+		Writes:             o.writes,
+		Reads:              o.reads,
+		Cycles:             o.cycles,
+		SharedWordFraction: o.sharedFraction(),
+	}
+	in.Assessment = p.assess(o)
+	in.Significant = in.FalseSharing &&
+		o.invalidations >= p.opts.MinInvalidations &&
+		in.Assessment.Improvement >= p.opts.MinImprovement
+	in.Lines = p.lineReports(o)
+	return in
+}
+
+// lineReports renders per-line, per-word detail sorted by address.
+func (p *Profiler) lineReports(o *objectAgg) []LineReport {
+	sort.Slice(o.lines, func(i, j int) bool { return o.lines[i].Index < o.lines[j].Index })
+	reports := make([]LineReport, 0, len(o.lines))
+	for _, l := range o.lines {
+		lr := LineReport{
+			Start:         mem.LineAddr(l.Index),
+			Invalidations: l.Invalidations,
+			Writes:        l.Writes,
+			Reads:         l.Reads,
+			Cycles:        l.Cycles,
+		}
+		for i := 0; i < l.Words(); i++ {
+			w := l.Word(i)
+			if w.Threads() == 0 {
+				continue
+			}
+			wr := WordReport{
+				Offset: int(lr.Start.Add(i*mem.WordSize) - o.info.Start),
+				Shared: w.SharedByMultipleThreads(),
+			}
+			wr.Accesses = wordAccesses(w)
+			lr.Words = append(lr.Words, wr)
+		}
+		reports = append(reports, lr)
+	}
+	return reports
+}
+
+func wordAccesses(w *shadow.Word) []WordAccess {
+	out := make([]WordAccess, 0, len(w.ByThread))
+	for tid, s := range w.ByThread {
+		out = append(out, WordAccess{Thread: tid, Reads: s.Reads, Writes: s.Writes, Cycles: s.Cycles})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}
+
+// Format renders the report in the style of paper Figure 5. Counters
+// mirror the paper's output, including its quirk of printing access and
+// invalidation counts in hexadecimal.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cheetah report for %q (%d cores, runtime %d cycles, %d samples)\n",
+		r.App, r.Cores, r.RuntimeCycles, r.Samples)
+	if len(r.Instances) == 0 {
+		b.WriteString("No significant false sharing detected.\n")
+		return b.String()
+	}
+	for i := range r.Instances {
+		b.WriteString("\n")
+		r.Instances[i].format(&b)
+	}
+	return b.String()
+}
+
+// format renders one instance, following paper Figure 5 line by line.
+func (in *Instance) format(b *strings.Builder) {
+	fmt.Fprintf(b, "Detecting false sharing at the object: start %v end %v (with size %d).\n",
+		in.Object.Start, in.Object.End, in.Object.Size)
+	fmt.Fprintf(b, "Accesses %d invalidations %x writes %d total latency %d cycles.\n",
+		in.Accesses, in.Invalidations, in.Writes, in.Cycles)
+	b.WriteString("Latency information:\n")
+	fmt.Fprintf(b, "totalThreads %d\n", in.Assessment.TotalThreads)
+	fmt.Fprintf(b, "totalThreadsAccesses %x\n", in.Assessment.TotalThreadsAccesses)
+	fmt.Fprintf(b, "totalThreadsCycles %x\n", in.Assessment.TotalThreadsCycles)
+	fmt.Fprintf(b, "totalPossibleImprovementRate %f%%\n", in.Assessment.Improvement*100)
+	fmt.Fprintf(b, "(realRuntime %d predictedRuntime %d).\n",
+		in.Assessment.RealRuntime, in.Assessment.PredictedRuntime)
+	switch in.Object.Kind {
+	case HeapObject:
+		b.WriteString("It is a heap object with the following callsite:\n")
+		for _, f := range in.Object.Stack {
+			fmt.Fprintf(b, "%s: %d\n", f.File, f.Line)
+		}
+	case GlobalObject:
+		fmt.Fprintf(b, "It is a global variable %q at %v.\n", in.Object.Name, in.Object.Start)
+	default:
+		fmt.Fprintf(b, "It is an unresolved object at %v.\n", in.Object.Start)
+	}
+}
+
+// FormatWords renders the word-level access table of an instance — the
+// detail the linear_regression case study consults ("By checking
+// word-based accesses that are reported by Cheetah", §4.2.1).
+func (in *Instance) FormatWords() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Word-level accesses for object %v..%v:\n", in.Object.Start, in.Object.End)
+	for _, l := range in.Lines {
+		fmt.Fprintf(&b, "  line %v: invalidations %d writes %d reads %d\n",
+			l.Start, l.Invalidations, l.Writes, l.Reads)
+		for _, w := range l.Words {
+			shared := ""
+			if w.Shared {
+				shared = " [shared by multiple threads]"
+			}
+			fmt.Fprintf(&b, "    +%-4d%s\n", w.Offset, shared)
+			for _, a := range w.Accesses {
+				fmt.Fprintf(&b, "      thread %-3d reads %-6d writes %-6d cycles %d\n",
+					a.Thread, a.Reads, a.Writes, a.Cycles)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// TestMultipleInstancesRankedByImprovement builds a program with two
+// independent falsely-shared objects of very different severity and
+// checks both are reported, ordered by predicted improvement.
+func TestMultipleInstancesRankedByImprovement(t *testing.T) {
+	e := newEnv(t)
+	hot, scratch := allocPair(e, 64, heap.Frame{File: "hot.c", Line: 1})
+	cold := e.h.Malloc(mem.MainThread, 64, heap.Stack(heap.Frame{File: "cold.c", Line: 2}))
+
+	bodies := make([]exec.Body, 4)
+	for i := 0; i < 4; i++ {
+		hotAddr := hot.Add(i * 4)
+		coldAddr := cold.Add(i * 4)
+		priv := scratch.Add(i * 4096)
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 30000; j++ {
+				tt.Load(priv.Add((j % 32) * 4))
+				tt.Store(hotAddr) // hammered falsely-shared line
+				if j%16 == 0 {
+					tt.Store(coldAddr) // occasional falsely-shared line
+				}
+				tt.Compute(1)
+			}
+		}
+	}
+	e.run(8, exec.Program{Name: "two-objects", Phases: []exec.Phase{
+		exec.SerialPhase("init", func(tt *exec.T) {
+			for i := 0; i < 2000; i++ {
+				tt.Load(hot.Add((i % 4) * 4))
+				tt.Compute(1)
+			}
+		}),
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if len(rep.Instances) < 2 {
+		t.Fatalf("got %d instances, want 2 (candidates %d)", len(rep.Instances), len(rep.Candidates))
+	}
+	if rep.Instances[0].Object.Start != hot {
+		t.Errorf("hottest object not ranked first: %v", rep.Instances[0].Object.Start)
+	}
+	if rep.Instances[0].Improvement() < rep.Instances[1].Improvement() {
+		t.Error("instances not sorted by predicted improvement")
+	}
+}
+
+// TestMidRunReport exercises "when interrupted by the user" (§2.4): the
+// report is available and consistent after any prefix of the execution.
+func TestMidRunReport(t *testing.T) {
+	e := newEnv(t)
+	obj, scratch := allocPair(e, 4096, heap.Frame{File: "mid.c", Line: 9})
+	prog := incrementProgram(obj, scratch, 4, 20000, 4)
+	e.run(8, prog)
+
+	// First report, then ask again: both must agree (reporting must not
+	// consume or corrupt the detection state).
+	r1 := e.prof.Report()
+	r2 := e.prof.Report()
+	if len(r1.Instances) != len(r2.Instances) {
+		t.Fatalf("repeated reports disagree: %d vs %d instances", len(r1.Instances), len(r2.Instances))
+	}
+	if len(r1.Instances) > 0 &&
+		r1.Instances[0].Assessment.Improvement != r2.Instances[0].Assessment.Improvement {
+		t.Error("repeated reports disagree on improvement")
+	}
+}
+
+func TestAssessmentThreadDetail(t *testing.T) {
+	e := newEnv(t)
+	obj, scratch := allocPair(e, 4096, heap.Frame{File: "detail.c", Line: 3})
+	e.run(8, incrementProgram(obj, scratch, 4, 20000, 4))
+	rep := e.prof.Report()
+	if len(rep.Instances) != 1 {
+		t.Fatalf("instances = %d", len(rep.Instances))
+	}
+	a := rep.Instances[0].Assessment
+	if len(a.Threads) != 4 {
+		t.Fatalf("thread assessments = %d, want 4", len(a.Threads))
+	}
+	var sumAcc, sumCyc uint64
+	for _, ta := range a.Threads {
+		if ta.Runtime == 0 {
+			t.Errorf("thread %d has zero runtime", ta.Thread)
+		}
+		if ta.PredictedRuntime > ta.Runtime {
+			t.Errorf("thread %d predicted runtime %d exceeds measured %d (fixing FS should help)",
+				ta.Thread, ta.PredictedRuntime, ta.Runtime)
+		}
+		if ta.ObjectAccesses == 0 {
+			t.Errorf("thread %d has no object accesses", ta.Thread)
+		}
+		sumAcc += ta.Accesses
+		sumCyc += ta.Cycles
+	}
+	if sumAcc != a.TotalThreadsAccesses || sumCyc != a.TotalThreadsCycles {
+		t.Errorf("totals (%d, %d) != sums (%d, %d)",
+			a.TotalThreadsAccesses, a.TotalThreadsCycles, sumAcc, sumCyc)
+	}
+	if a.RealRuntime == 0 || a.PredictedRuntime == 0 {
+		t.Error("app-level runtimes missing")
+	}
+	if a.Improvement <= 1 {
+		t.Errorf("improvement %.3f, want > 1", a.Improvement)
+	}
+}
+
+func TestUnknownRegionObjectsSkipped(t *testing.T) {
+	// Samples on heap addresses with no allocation metadata (e.g. a
+	// workload touching raw heap space) resolve to unknown objects and
+	// must not panic or produce significant instances by themselves.
+	e := newEnv(t)
+	raw := e.h.Base().Add(1 << 20) // inside the heap segment, never allocated
+	bodies := make([]exec.Body, 2)
+	for i := range bodies {
+		addr := raw.Add(i * 4)
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 30000; j++ {
+				tt.Store(addr)
+				tt.Compute(2)
+			}
+		}
+	}
+	e.run(4, exec.Program{Name: "raw", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	for _, in := range rep.Instances {
+		if in.Object.Kind != core.UnknownObject {
+			continue
+		}
+		// Unknown objects may be reported, but must carry the line range.
+		if in.Object.Size != mem.LineSize {
+			t.Errorf("unknown object size = %d", in.Object.Size)
+		}
+	}
+	out := rep.Format()
+	if len(rep.Instances) > 0 && !strings.Contains(out, "unresolved") {
+		t.Errorf("unknown object not labelled in report:\n%s", out)
+	}
+}
+
+func TestObjectKindStrings(t *testing.T) {
+	if core.HeapObject.String() != "heap" ||
+		core.GlobalObject.String() != "global" ||
+		core.UnknownObject.String() != "unknown" {
+		t.Error("ObjectKind string forms changed")
+	}
+}
+
+func TestGlobalInstanceFormat(t *testing.T) {
+	e := newEnv(t)
+	g := e.syms.Define("shared_flags", 64)
+	bodies := make([]exec.Body, 4)
+	for i := range bodies {
+		addr := g.Add(i * 4)
+		bodies[i] = func(tt *exec.T) {
+			for j := 0; j < 30000; j++ {
+				tt.Store(addr)
+				tt.Compute(2)
+			}
+		}
+	}
+	e.run(8, exec.Program{Name: "globals", Phases: []exec.Phase{
+		exec.ParallelPhase("work", bodies...),
+	}})
+	rep := e.prof.Report()
+	if len(rep.Instances) != 1 {
+		t.Fatalf("instances = %d", len(rep.Instances))
+	}
+	out := rep.Format()
+	if !strings.Contains(out, `It is a global variable "shared_flags"`) {
+		t.Errorf("global not named in report:\n%s", out)
+	}
+}

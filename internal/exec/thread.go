@@ -1,0 +1,209 @@
+package exec
+
+import "repro/internal/mem"
+
+// opKind distinguishes the three operation types a thread body can issue.
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opCompute
+)
+
+// op is one thread operation: a memory access or a block of pure compute
+// instructions.
+type op struct {
+	kind opKind
+	size uint8
+	n    uint32 // compute instruction count
+	addr mem.Addr
+}
+
+// T is the context handed to a thread body. Its methods record operations
+// into a buffer that the engine consumes in virtual-time order; bodies
+// never block except when the engine has fallen a full buffer behind.
+type T struct {
+	id    mem.ThreadID
+	index int
+	buf   []op
+	out   chan []op
+	free  chan []op
+}
+
+// ID returns the engine-wide thread id.
+func (t *T) ID() mem.ThreadID { return t.id }
+
+// Index returns the thread's index within its phase (0-based).
+func (t *T) Index() int { return t.index }
+
+// Load issues a 4-byte load from addr.
+func (t *T) Load(addr mem.Addr) { t.emit(op{kind: opLoad, size: 4, addr: addr}) }
+
+// Store issues a 4-byte store to addr.
+func (t *T) Store(addr mem.Addr) { t.emit(op{kind: opStore, size: 4, addr: addr}) }
+
+// Load8 issues an 8-byte load (e.g. the long long fields of
+// linear_regression's lreg_args).
+func (t *T) Load8(addr mem.Addr) { t.emit(op{kind: opLoad, size: 8, addr: addr}) }
+
+// Store8 issues an 8-byte store.
+func (t *T) Store8(addr mem.Addr) { t.emit(op{kind: opStore, size: 8, addr: addr}) }
+
+// Compute advances the thread by n arithmetic instructions (one cycle
+// each) without touching memory.
+func (t *T) Compute(n int) {
+	for n > 0 {
+		chunk := n
+		const max = 1 << 30
+		if chunk > max {
+			chunk = max
+		}
+		t.emit(op{kind: opCompute, n: uint32(chunk)})
+		n -= chunk
+	}
+}
+
+// emit appends an operation, flushing the buffer to the engine when full.
+func (t *T) emit(o op) {
+	t.buf = append(t.buf, o)
+	if len(t.buf) == cap(t.buf) {
+		t.flush()
+	}
+}
+
+// flush hands the current buffer to the engine and picks up an empty one.
+func (t *T) flush() {
+	if len(t.buf) == 0 {
+		return
+	}
+	t.out <- t.buf
+	t.buf = (<-t.free)[:0]
+}
+
+// thread is the engine-side state of one simulated thread.
+type thread struct {
+	id    mem.ThreadID
+	core  int
+	phase int
+	start uint64
+
+	vtime       uint64
+	instrs      uint64
+	memAccesses uint64
+	memCycles   uint64
+
+	body Body
+	t    *T
+	out  chan []op
+	free chan []op
+
+	buf []op
+	pos int
+}
+
+// newThread builds a thread whose virtual clock starts at start. index is
+// the thread's position within its phase.
+func newThread(id mem.ThreadID, core, phase, index int, start uint64, bufSize int, body Body) *thread {
+	out := make(chan []op, 1)
+	free := make(chan []op, 2)
+	// Two buffers rotate between generator and engine.
+	free <- make([]op, 0, bufSize)
+	return &thread{
+		id: id, core: core, phase: phase, start: start, vtime: start,
+		body: body,
+		t:    &T{id: id, index: index, buf: make([]op, 0, bufSize), out: out, free: free},
+		out:  out, free: free,
+	}
+}
+
+// startGen launches the generator goroutine running the thread body.
+func (th *thread) startGen() {
+	go func() {
+		th.body(th.t)
+		th.t.flush()
+		close(th.out)
+	}()
+}
+
+// refill obtains the next operation buffer, returning false when the body
+// has finished. The previous buffer is recycled to the generator.
+func (th *thread) refill() bool {
+	if th.buf != nil {
+		select {
+		case th.free <- th.buf:
+		default:
+		}
+	}
+	buf, ok := <-th.out
+	if !ok {
+		th.buf = nil
+		return false
+	}
+	th.buf = buf
+	th.pos = 0
+	return len(buf) > 0 || th.refill()
+}
+
+// threadHeap is a binary min-heap of threads ordered by (vtime, id), the
+// id tie-break making interleavings fully deterministic.
+type threadHeap struct {
+	items []*thread
+}
+
+func newThreadHeap(capacity int) *threadHeap {
+	return &threadHeap{items: make([]*thread, 0, capacity)}
+}
+
+func (h *threadHeap) len() int      { return len(h.items) }
+func (h *threadHeap) peek() *thread { return h.items[0] }
+
+func (h *threadHeap) less(a, b *thread) bool {
+	if a.vtime != b.vtime {
+		return a.vtime < b.vtime
+	}
+	return a.id < b.id
+}
+
+func (h *threadHeap) push(th *thread) {
+	h.items = append(h.items, th)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *threadHeap) pop() *thread {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *threadHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+
+	cheetah "repro"
+	"repro/internal/baseline"
+	"repro/internal/exec"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/shadow"
+	"repro/internal/workload"
+)
+
+// PeriodRow is one sampling period of the period ablation: the
+// detection-quality/overhead trade-off behind the paper's choice of 64K.
+type PeriodRow struct {
+	Period uint64
+	// Samples accepted by the profiler.
+	Samples uint64
+	// Detected reports whether linear_regression's instance was found.
+	Detected bool
+	// Predict is the assessed improvement (0 when undetected).
+	Predict float64
+	// Overhead is the profiled/native runtime ratio minus one.
+	Overhead float64
+}
+
+// PeriodAblation sweeps the sampling period on linear_regression, showing
+// detection degrading and overhead falling as samples get sparser.
+func PeriodAblation(c Config) []PeriodRow {
+	c = c.withDefaults()
+	w, _ := workload.ByName("linear_regression")
+	native := runNative("linear_regression", c, false).TotalCycles
+	var rows []PeriodRow
+	for _, period := range []uint64{1024, 4096, 16384, 65536, 262144, 1048576} {
+		cc := c
+		cc.PMU = pmu.Config{
+			Period:        period,
+			Jitter:        period / 8,
+			HandlerCycles: 4500,
+			SetupCycles:   6000,
+		}
+		rep, profiled := runProfiled("linear_regression", cc, false)
+		row := PeriodRow{
+			Period:   period,
+			Samples:  rep.Samples,
+			Overhead: float64(profiled.TotalCycles)/float64(native) - 1,
+		}
+		if in := findInstance(rep, w.FSSite); in != nil {
+			row.Detected = true
+			row.Predict = in.Assessment.Improvement
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatPeriodAblation renders the sweep.
+func FormatPeriodAblation(rows []PeriodRow) string {
+	header := []string{"period(instr)", "samples", "detected", "predict", "overhead"}
+	var out [][]string
+	for _, r := range rows {
+		predict := "-"
+		if r.Detected {
+			predict = fmt.Sprintf("%.2fX", r.Predict)
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Period),
+			fmt.Sprintf("%d", r.Samples),
+			reportMark(r.Detected),
+			predict,
+			pct(r.Overhead),
+		})
+	}
+	return "Ablation: sampling period vs detection and overhead (linear_regression)\n" +
+		renderTable(header, out)
+}
+
+// RuleRow compares invalidation-counting rules against the machine's
+// coherence ground truth on a full (unsampled) access stream.
+type RuleRow struct {
+	App string
+	// GroundTruth is the MESI simulator's invalidation count.
+	GroundTruth uint64
+	// TwoEntry is Cheetah's two-entry-table count (§2.3).
+	TwoEntry uint64
+	// Ownership is the Zhao et al. full-ownership-bitmap count.
+	Ownership uint64
+	// TwoEntryBytes and OwnershipBytes are per-line footprints at the
+	// run's thread count.
+	TwoEntryBytes, OwnershipBytes int
+}
+
+// RuleAblation feeds the full access stream of each application into both
+// counting rules and compares them with the coherence simulator's ground
+// truth, quantifying the accuracy the two-entry table trades for its
+// fixed footprint.
+func RuleAblation(c Config) []RuleRow {
+	c = c.withDefaults()
+	var rows []RuleRow
+	for _, app := range []string{"figure1", "linear_regression", "streamcluster"} {
+		w, _ := workload.ByName(app)
+		sys := cheetah.New(cheetah.Config{Cores: c.Cores})
+		prog := w.Build(sys, workload.Params{Threads: c.Threads, Scale: c.Scale})
+
+		two := newTwoEntryCounter(sys)
+		own := baseline.NewOwnership()
+		_, sim := sys.RunTraced(prog, two, own)
+
+		var truth uint64
+		for _, n := range sim.TotalLineInvalidations() {
+			truth += n
+		}
+		rows = append(rows, RuleRow{
+			App:            app,
+			GroundTruth:    truth,
+			TwoEntry:       two.invalidations,
+			Ownership:      own.Invalidations,
+			TwoEntryBytes:  baseline.TwoEntryBytesPerLine(),
+			OwnershipBytes: baseline.OwnershipBytesPerLine(c.Threads),
+		})
+	}
+	return rows
+}
+
+// FormatRuleAblation renders the rule comparison.
+func FormatRuleAblation(rows []RuleRow) string {
+	header := []string{"application", "ground truth", "two-entry", "ownership", "two-entry B/line", "ownership B/line"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%d", r.GroundTruth),
+			fmt.Sprintf("%d", r.TwoEntry),
+			fmt.Sprintf("%d", r.Ownership),
+			fmt.Sprintf("%d", r.TwoEntryBytes),
+			fmt.Sprintf("%d", r.OwnershipBytes),
+		})
+	}
+	return "Ablation: invalidation rules vs coherence ground truth (full instrumentation)\n" +
+		renderTable(header, out)
+}
+
+// twoEntryCounter feeds every parallel-phase heap/global access into the
+// shadow two-entry tables — Cheetah's rule at full instrumentation.
+type twoEntryCounter struct {
+	exec.BaseProbe
+	sys           *cheetah.System
+	mem           *shadow.Memory
+	parallel      bool
+	invalidations uint64
+}
+
+func newTwoEntryCounter(sys *cheetah.System) *twoEntryCounter {
+	return &twoEntryCounter{sys: sys, mem: shadow.NewMemory()}
+}
+
+// PhaseStart implements exec.Probe, matching Cheetah's parallel-phase
+// gating so the comparison isolates the counting rule.
+func (t *twoEntryCounter) PhaseStart(ph exec.PhaseInfo) { t.parallel = ph.Parallel }
+
+// Access implements exec.Probe.
+func (t *twoEntryCounter) Access(a mem.Access, instrs uint64) uint64 {
+	if !t.parallel {
+		return 0
+	}
+	if !t.sys.Heap().Contains(a.Addr) && !t.sys.Globals().Contains(a.Addr) {
+		return 0
+	}
+	if t.mem.Record(a) {
+		t.invalidations++
+	}
+	return 0
+}

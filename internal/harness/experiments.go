@@ -1,0 +1,319 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Fig1Row is one thread count of the Figure 1 experiment.
+type Fig1Row struct {
+	Threads int
+	// Expectation is the linear-speedup runtime (single-thread runtime
+	// divided by the thread count), in cycles.
+	Expectation float64
+	// Reality is the measured runtime with false sharing.
+	Reality uint64
+	// Fixed is the measured runtime with the padded layout.
+	Fixed uint64
+}
+
+// Slowdown is Reality over Expectation — the paper reports ~13x at 8
+// threads.
+func (r Fig1Row) Slowdown() float64 { return float64(r.Reality) / r.Expectation }
+
+// Figure1 reproduces the introduction's motivation experiment.
+func Figure1(c Config) []Fig1Row {
+	c = c.withDefaults()
+	single := runNative("figure1", Config{Scale: c.Scale, Threads: 1, Cores: c.Cores}, false)
+	rows := make([]Fig1Row, 0, 4)
+	for _, threads := range []int{1, 2, 4, 8} {
+		cc := Config{Scale: c.Scale, Threads: threads, Cores: c.Cores}
+		rows = append(rows, Fig1Row{
+			Threads:     threads,
+			Expectation: float64(single.TotalCycles) / float64(threads),
+			Reality:     runNative("figure1", cc, false).TotalCycles,
+			Fixed:       runNative("figure1", cc, true).TotalCycles,
+		})
+	}
+	return rows
+}
+
+// FormatFigure1 renders the Figure 1 rows.
+func FormatFigure1(rows []Fig1Row) string {
+	header := []string{"threads", "expectation(cyc)", "reality(cyc)", "fixed(cyc)", "reality/expectation"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.0f", r.Expectation),
+			fmt.Sprintf("%d", r.Reality),
+			fmt.Sprintf("%d", r.Fixed),
+			fmt.Sprintf("%.1fx", r.Slowdown()),
+		})
+	}
+	return "Figure 1: false sharing microbenchmark (expectation vs reality)\n" +
+		renderTable(header, out)
+}
+
+// Fig4Row is one application of the overhead study.
+type Fig4Row struct {
+	App string
+	// Native and Profiled are end-to-end runtimes in cycles.
+	Native, Profiled uint64
+	// Threads is the total number of threads the program created.
+	Threads int
+	// Samples is the number of address samples Cheetah accepted.
+	Samples uint64
+}
+
+// Overhead is Profiled/Native - 1.
+func (r Fig4Row) Overhead() float64 {
+	return float64(r.Profiled)/float64(r.Native) - 1
+}
+
+// Figure4 measures Cheetah's runtime overhead on all 17 applications with
+// the paper's 64K sampling period. Overhead is measured, not asserted:
+// the PMU charges per-tag handler cycles and per-thread setup cycles to
+// the monitored threads.
+func Figure4(c Config) []Fig4Row {
+	c = c.withDefaults()
+	c.PMU = OverheadPMU()
+	var rows []Fig4Row
+	for _, w := range workload.All() {
+		if w.Suite == "micro" {
+			continue
+		}
+		native := runNative(w.Name, c, false)
+		rep, profiled := runProfiled(w.Name, c, false)
+		rows = append(rows, Fig4Row{
+			App:      w.Name,
+			Native:   native.TotalCycles,
+			Profiled: profiled.TotalCycles,
+			Threads:  w.TotalThreads(c.Threads),
+			Samples:  rep.Samples,
+		})
+	}
+	return rows
+}
+
+// AverageOverhead returns the mean overhead over rows, and the mean with
+// the thread-heavy outliers (kmeans, x264) excluded — the paper reports
+// ~7% and ~4% respectively.
+func AverageOverhead(rows []Fig4Row) (all, excludingThreadHeavy float64) {
+	var sum, sumEx float64
+	nEx := 0
+	for _, r := range rows {
+		sum += r.Overhead()
+		if r.App != "kmeans" && r.App != "x264" {
+			sumEx += r.Overhead()
+			nEx++
+		}
+	}
+	return sum / float64(len(rows)), sumEx / float64(nEx)
+}
+
+// FormatFigure4 renders the overhead study.
+func FormatFigure4(rows []Fig4Row) string {
+	header := []string{"application", "threads", "native(cyc)", "cheetah(cyc)", "overhead", "samples"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%d", r.Native),
+			fmt.Sprintf("%d", r.Profiled),
+			pct(r.Overhead()),
+			fmt.Sprintf("%d", r.Samples),
+		})
+	}
+	avg, avgEx := AverageOverhead(rows)
+	return "Figure 4: Cheetah runtime overhead (normalized to pthreads)\n" +
+		renderTable(header, out) +
+		fmt.Sprintf("AVERAGE overhead: %s (excluding kmeans/x264: %s)\n", pct(avg), pct(avgEx))
+}
+
+// Figure5 runs the named case-study application under Cheetah and returns
+// its report (the paper shows linear_regression's).
+func Figure5(app string, c Config) (*core.Report, string) {
+	c = c.withDefaults()
+	rep, _ := runProfiled(app, c, false)
+	text := rep.Format()
+	if len(rep.Instances) > 0 {
+		text += "\n" + rep.Instances[0].FormatWords()
+	}
+	return rep, text
+}
+
+// Fig7Row is one application of the missed-instances study.
+type Fig7Row struct {
+	App string
+	// WithFS and NoFS are native runtimes of the broken and fixed
+	// layouts.
+	WithFS, NoFS uint64
+	// CheetahReports and PredatorReports say whether each tool flags the
+	// app's false sharing.
+	CheetahReports  bool
+	PredatorReports bool
+}
+
+// Improvement is the real speedup from fixing — below 0.2% in the paper.
+func (r Fig7Row) Improvement() float64 {
+	return float64(r.WithFS)/float64(r.NoFS) - 1
+}
+
+// Figure7 reproduces the §4.2.3 comparison: the false sharing instances
+// Cheetah misses (relative to Predator) have negligible performance
+// impact.
+func Figure7(c Config) []Fig7Row {
+	c = c.withDefaults()
+	var rows []Fig7Row
+	for _, app := range []string{"histogram", "reverse_index", "word_count"} {
+		w, _ := workload.ByName(app)
+		rep, _ := runProfiled(app, c, false)
+		pred, _ := predatorFindings(app, c, false)
+		rows = append(rows, Fig7Row{
+			App:             app,
+			WithFS:          runNative(app, c, false).TotalCycles,
+			NoFS:            runNative(app, c, true).TotalCycles,
+			CheetahReports:  reportsSite(rep, w.FSSite),
+			PredatorReports: findingsContain(pred, w.FSSite),
+		})
+	}
+	return rows
+}
+
+// FormatFigure7 renders the missed-instances study.
+func FormatFigure7(rows []Fig7Row) string {
+	header := []string{"application", "with-FS(cyc)", "no-FS(cyc)", "impact", "cheetah", "predator"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%d", r.WithFS),
+			fmt.Sprintf("%d", r.NoFS),
+			fmt.Sprintf("%+.2f%%", r.Improvement()*100),
+			reportMark(r.CheetahReports),
+			reportMark(r.PredatorReports),
+		})
+	}
+	return "Figure 7: false sharing missed by Cheetah has negligible impact\n" +
+		renderTable(header, out)
+}
+
+func reportMark(b bool) string {
+	if b {
+		return "reported"
+	}
+	return "missed"
+}
+
+// Table1Row is one (application, threads) cell of the precision study.
+type Table1Row struct {
+	App     string
+	Threads int
+	// Predict is Cheetah's assessed improvement from the broken run.
+	Predict float64
+	// Real is the measured improvement: native broken / native fixed.
+	Real float64
+	// Detected reports whether Cheetah found the instance at all.
+	Detected bool
+}
+
+// Diff is the paper's last column: positive when the prediction
+// undershoots the real improvement.
+func (r Table1Row) Diff() float64 { return (r.Real - r.Predict) / r.Real }
+
+// AbsDiff is |Diff|; the paper's headline is < 10% everywhere.
+func (r Table1Row) AbsDiff() float64 { return math.Abs(r.Diff()) }
+
+// Table1 reproduces the assessment-precision study on linear_regression
+// and streamcluster at 16, 8, 4 and 2 threads.
+func Table1(c Config) []Table1Row {
+	c = c.withDefaults()
+	var rows []Table1Row
+	for _, app := range []string{"linear_regression", "streamcluster"} {
+		w, _ := workload.ByName(app)
+		for _, threads := range []int{16, 8, 4, 2} {
+			cc := Config{Scale: c.Scale, Threads: threads, Cores: c.Cores, PMU: c.PMU}
+			broken := runNative(app, cc, false)
+			fixed := runNative(app, cc, true)
+			rep, _ := runProfiled(app, cc, false)
+			row := Table1Row{
+				App:     app,
+				Threads: threads,
+				Real:    float64(broken.TotalCycles) / float64(fixed.TotalCycles),
+			}
+			if in := findInstance(rep, w.FSSite); in != nil {
+				row.Detected = true
+				row.Predict = in.Assessment.Improvement
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatTable1 renders the precision study in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	header := []string{"Application", "Threads(#)", "Predict", "Real", "Diff(%)"}
+	var out [][]string
+	for _, r := range rows {
+		predict := "n/a"
+		if r.Detected {
+			predict = fmt.Sprintf("%.3fX", r.Predict)
+		}
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%d", r.Threads),
+			predict,
+			fmt.Sprintf("%.3fX", r.Real),
+			fmt.Sprintf("%+.1f", r.Diff()*100),
+		})
+	}
+	return "Table 1: precision of assessment\n" + renderTable(header, out)
+}
+
+// findInstance returns the reported instance whose object matches the
+// workload's known FS site (allocation file:line or global name).
+func findInstance(rep *core.Report, site string) *core.Instance {
+	for i := range rep.Instances {
+		if instanceMatches(&rep.Instances[i], site) {
+			return &rep.Instances[i]
+		}
+	}
+	return nil
+}
+
+// reportsSite says whether the report's significant instances include the
+// site.
+func reportsSite(rep *core.Report, site string) bool {
+	return findInstance(rep, site) != nil
+}
+
+func instanceMatches(in *core.Instance, site string) bool {
+	if in.Object.Name == site {
+		return true
+	}
+	for _, f := range in.Object.Stack {
+		if fmt.Sprintf("%s:%d", f.File, f.Line) == site {
+			return true
+		}
+	}
+	return false
+}
+
+// findingsContain says whether a baseline's findings include a
+// false sharing instance at the site.
+func findingsContain(fs []baseline.Finding, site string) bool {
+	for _, f := range fs {
+		if f.FalseSharing && strings.HasPrefix(f.Site, site) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// small is a scaled-down configuration keeping harness tests fast while
+// preserving every experiment's qualitative outcome.
+func small() Config { return Config{Scale: 0.4, Threads: 8} }
+
+func TestFigure1ShowsSlowdown(t *testing.T) {
+	rows := Figure1(small())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if rows[0].Threads != 1 || rows[3].Threads != 8 {
+		t.Errorf("thread axis = %v", []int{rows[0].Threads, rows[3].Threads})
+	}
+	// Reality degrades monotonically relative to expectation, strongly at
+	// 8 threads (paper: ~13x).
+	if rows[3].Slowdown() < 5 {
+		t.Errorf("8-thread slowdown = %.1fx, want >= 5x", rows[3].Slowdown())
+	}
+	if rows[0].Slowdown() > 1.1 {
+		t.Errorf("1-thread slowdown = %.1fx, want ~1", rows[0].Slowdown())
+	}
+	// The fixed layout stays near the expectation.
+	for _, r := range rows {
+		if ratio := float64(r.Fixed) / r.Expectation; ratio > 1.5 {
+			t.Errorf("threads=%d fixed/expectation = %.2f, want near 1", r.Threads, ratio)
+		}
+	}
+	out := FormatFigure1(rows)
+	if !strings.Contains(out, "reality/expectation") {
+		t.Errorf("format output missing header:\n%s", out)
+	}
+}
+
+func TestTable1PrecisionAtReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows := Table1(Config{Scale: 1, Threads: 16})
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Detected {
+			t.Errorf("%s threads=%d: instance not detected", r.App, r.Threads)
+			continue
+		}
+		// The paper's headline: |diff| < 10% on every cell.
+		if r.AbsDiff() > 0.10 {
+			t.Errorf("%s threads=%d: predict %.3f real %.3f diff %.1f%%, want < 10%%",
+				r.App, r.Threads, r.Predict, r.Real, r.Diff()*100)
+		}
+	}
+	// linear_regression's improvement grows with threads; streamcluster's
+	// stays within a few percent of 1.
+	var lr16, lr2 float64
+	for _, r := range rows {
+		if r.App == "linear_regression" {
+			if r.Threads == 16 {
+				lr16 = r.Real
+			}
+			if r.Threads == 2 {
+				lr2 = r.Real
+			}
+		}
+		if r.App == "streamcluster" && (r.Real < 1.0 || r.Real > 1.1) {
+			t.Errorf("streamcluster real improvement %.3f outside (1.0, 1.1)", r.Real)
+		}
+	}
+	if lr16 <= lr2 {
+		t.Errorf("linear_regression improvement should grow with threads: 2t=%.2f 16t=%.2f", lr2, lr16)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Diff(%)") {
+		t.Errorf("format output missing header:\n%s", out)
+	}
+}
+
+func TestFigure4OverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("17-application sweep")
+	}
+	rows := Figure4(Config{Scale: 1, Threads: 16})
+	if len(rows) != 17 {
+		t.Fatalf("got %d applications, want 17", len(rows))
+	}
+	byApp := map[string]Fig4Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	// The paper's shape: ~7% average; kmeans and x264 are thread-heavy
+	// outliers above 20%; everything else stays under ~13%.
+	avg, avgEx := AverageOverhead(rows)
+	if avg < 0.03 || avg > 0.15 {
+		t.Errorf("average overhead %.1f%%, want ~7%%", avg*100)
+	}
+	if avgEx > 0.10 {
+		t.Errorf("average excluding outliers %.1f%%, want ~4%%", avgEx*100)
+	}
+	for _, outlier := range []string{"kmeans", "x264"} {
+		if byApp[outlier].Overhead() < 0.15 {
+			t.Errorf("%s overhead %.1f%%, want > 15%% (thread-heavy outlier)",
+				outlier, byApp[outlier].Overhead()*100)
+		}
+	}
+	for _, r := range rows {
+		if r.App == "kmeans" || r.App == "x264" {
+			continue
+		}
+		if r.Overhead() > 0.14 {
+			t.Errorf("%s overhead %.1f%%, want < 14%%", r.App, r.Overhead()*100)
+		}
+	}
+	if byApp["kmeans"].Threads != 224 || byApp["x264"].Threads != 1024 {
+		t.Errorf("thread counts: kmeans=%d x264=%d, want 224 and 1024",
+			byApp["kmeans"].Threads, byApp["x264"].Threads)
+	}
+	out := FormatFigure4(rows)
+	if !strings.Contains(out, "AVERAGE overhead") {
+		t.Errorf("format output missing average:\n%s", out)
+	}
+}
+
+func TestFigure5Report(t *testing.T) {
+	rep, text := Figure5("linear_regression", Config{Scale: 1, Threads: 16})
+	if len(rep.Instances) == 0 {
+		t.Fatal("no instance in the case-study report")
+	}
+	for _, want := range []string{
+		"Detecting false sharing at the object:",
+		"linear_regression-pthread.c: 139",
+		"totalPossibleImprovementRate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigure7MissedInstancesAreInsignificant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows := Figure7(Config{Scale: 1, Threads: 16})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.CheetahReports {
+			t.Errorf("%s: Cheetah reported an instance the paper says it misses", r.App)
+		}
+		if !r.PredatorReports {
+			t.Errorf("%s: Predator (full instrumentation) failed to find the minor FS", r.App)
+		}
+		// The point of Figure 7: the missed instances barely matter.
+		if r.Improvement() > 0.01 {
+			t.Errorf("%s: real impact %.2f%%, want < 1%%", r.App, r.Improvement()*100)
+		}
+	}
+	out := FormatFigure7(rows)
+	if !strings.Contains(out, "predator") {
+		t.Errorf("format output missing columns:\n%s", out)
+	}
+}
+
+func TestCompareToolMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tool sweep")
+	}
+	rows := Compare(Config{Scale: 1, Threads: 16})
+	byApp := map[string]CompareRow{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	lr := byApp["linear_regression"]
+	if !lr.Cheetah || !lr.Predator {
+		t.Errorf("linear_regression: cheetah=%v predator=%v, want both reported", lr.Cheetah, lr.Predator)
+	}
+	if lr.CheetahOverhead > 1.15 {
+		t.Errorf("Cheetah overhead %.2fx on linear_regression, want light", lr.CheetahOverhead)
+	}
+	if lr.PredatorOverhead < 2 {
+		t.Errorf("Predator overhead %.2fx, want heavy (paper ~6x)", lr.PredatorOverhead)
+	}
+	hist := byApp["histogram"]
+	if hist.Cheetah {
+		t.Error("histogram: Cheetah should miss the minor instance")
+	}
+	if !hist.Predator {
+		t.Error("histogram: Predator should find the minor instance")
+	}
+	out := FormatCompare(rows)
+	if !strings.Contains(out, "ground truth") {
+		t.Errorf("format output missing header:\n%s", out)
+	}
+}
+
+func TestPeriodAblationTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("period sweep")
+	}
+	rows := PeriodAblation(Config{Scale: 1, Threads: 16})
+	if len(rows) < 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Overhead decreases as the period grows; detection is eventually
+	// lost at very sparse sampling.
+	if rows[0].Overhead <= rows[len(rows)-1].Overhead {
+		t.Errorf("overhead did not fall with sparser sampling: %.3f .. %.3f",
+			rows[0].Overhead, rows[len(rows)-1].Overhead)
+	}
+	if !rows[0].Detected {
+		t.Error("densest sampling failed to detect the instance")
+	}
+	if rows[len(rows)-1].Detected {
+		t.Error("sparsest sampling (1M instructions) still detected; workload too FS-dense")
+	}
+	out := FormatPeriodAblation(rows)
+	if !strings.Contains(out, "period(instr)") {
+		t.Errorf("format output missing header:\n%s", out)
+	}
+}
+
+func TestRuleAblationAgainstGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-instrumentation sweep")
+	}
+	rows := RuleAblation(Config{Scale: 0.5, Threads: 16})
+	for _, r := range rows {
+		if r.App == "figure1" || r.App == "linear_regression" {
+			if r.GroundTruth == 0 {
+				t.Errorf("%s: no ground-truth invalidations", r.App)
+			}
+			if r.TwoEntry == 0 {
+				t.Errorf("%s: two-entry rule counted nothing", r.App)
+			}
+			// The paper's assumptions overreport; wildly undercounting
+			// would break detection.
+			if r.TwoEntry < r.GroundTruth/2 {
+				t.Errorf("%s: two-entry %d far below ground truth %d", r.App, r.TwoEntry, r.GroundTruth)
+			}
+		}
+		if r.TwoEntryBytes != 16 {
+			t.Errorf("two-entry bytes/line = %d", r.TwoEntryBytes)
+		}
+	}
+	out := FormatRuleAblation(rows)
+	if !strings.Contains(out, "ground truth") {
+		t.Errorf("format output missing header:\n%s", out)
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := renderTable([]string{"a", "long-header"}, [][]string{{"xxxx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator length mismatch:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 || c.Threads != 16 || c.Cores != 48 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.PMU.Period == 0 {
+		t.Error("PMU not defaulted")
+	}
+}

@@ -1,0 +1,339 @@
+// Package heap implements the custom memory allocator Cheetah interposes
+// on application allocations (paper §2.2).
+//
+// Like the paper's allocator — built on Heap Layers and adapting Hoard's
+// per-thread heap organization — this allocator:
+//
+//   - pre-allocates one fixed-size region and satisfies every request from
+//     it (the paper uses mmap), so the heap range is known and shadow
+//     memory can be indexed by simple arithmetic;
+//   - manages objects in power-of-two size classes;
+//   - gives each thread its own superblocks, so objects allocated by two
+//     different threads never share a cache line and the allocator cannot
+//     itself introduce inter-object false sharing;
+//   - records the call site (up to five frames, §2.4) and requested size of
+//     every allocation, so the reporter can name the file and line of a
+//     falsely-shared heap object.
+//
+// Addresses are simulated (package mem); no real memory is addressed.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Frame is one call-stack entry of an allocation site.
+type Frame struct {
+	// Func is the function name (may be empty).
+	Func string
+	// File and Line locate the call, e.g. "linear_regression-pthread.c:139".
+	File string
+	Line int
+}
+
+// String formats the frame as file:line, the form used in paper Figure 5.
+func (f Frame) String() string {
+	if f.Func != "" {
+		return fmt.Sprintf("%s:%d (%s)", f.File, f.Line, f.Func)
+	}
+	return fmt.Sprintf("%s:%d", f.File, f.Line)
+}
+
+// MaxStackDepth is the paper's call-stack collection limit: "we only
+// collect five function entries on the call stack for performance
+// reasons" (§2.4).
+const MaxStackDepth = 5
+
+// CallStack is an allocation call stack, innermost frame first, truncated
+// to MaxStackDepth entries.
+type CallStack []Frame
+
+// Stack builds a CallStack, truncating to MaxStackDepth.
+func Stack(frames ...Frame) CallStack {
+	if len(frames) > MaxStackDepth {
+		frames = frames[:MaxStackDepth]
+	}
+	return CallStack(frames)
+}
+
+// Site returns the innermost frame, or a zero Frame for an empty stack.
+func (s CallStack) Site() Frame {
+	if len(s) == 0 {
+		return Frame{}
+	}
+	return s[0]
+}
+
+// Object describes one live or freed heap allocation.
+type Object struct {
+	// Addr is the object's base address.
+	Addr mem.Addr
+	// Size is the requested size in bytes.
+	Size uint64
+	// ClassSize is the power-of-two allocation unit actually reserved.
+	ClassSize uint64
+	// Thread is the allocating thread.
+	Thread mem.ThreadID
+	// Stack is the allocation call stack.
+	Stack CallStack
+	// Seq is a monotonically increasing allocation sequence number.
+	Seq uint64
+	// Live reports whether the object is currently allocated.
+	Live bool
+}
+
+// End returns the first address past the object's reserved unit.
+func (o Object) End() mem.Addr { return o.Addr.Add(int(o.ClassSize)) }
+
+// Contains reports whether addr falls inside the object's reserved unit.
+func (o Object) Contains(addr mem.Addr) bool { return addr >= o.Addr && addr < o.End() }
+
+const (
+	// MinClass is the smallest allocation unit.
+	MinClass = 16
+	// superblockSize is the size of each per-thread, per-class superblock.
+	superblockSize = 64 * 1024
+)
+
+// Config sizes the heap.
+type Config struct {
+	// Base is the first address of the pre-allocated region. The paper's
+	// report shows heap objects around 0x40000000 (Figure 5).
+	Base mem.Addr
+	// Size is the region size in bytes; allocation beyond it panics, as
+	// exhausting the paper's pre-allocated mmap block would.
+	Size uint64
+}
+
+// DefaultConfig returns a 1 GB simulated heap at the address range seen in
+// the paper's sample report.
+func DefaultConfig() Config {
+	return Config{Base: 0x40000000, Size: 1 << 30}
+}
+
+// Heap is the allocator. It is not safe for concurrent use; the
+// deterministic engine serializes workload setup, and Malloc during
+// execution happens from engine callbacks which are single-threaded.
+type Heap struct {
+	cfg       Config
+	nextSuper mem.Addr
+	// subheaps maps (thread, class index) to the superblock currently
+	// being carved for that pair.
+	subheaps map[subheapKey]*superblock
+	// supers maps superblock index (from Base) to its state, for lookup.
+	supers map[uint64]*superblock
+	// seq counts allocations.
+	seq uint64
+	// liveBytes and allocs track usage.
+	liveBytes uint64
+	allocs    uint64
+	frees     uint64
+}
+
+type subheapKey struct {
+	thread mem.ThreadID
+	class  uint8
+}
+
+// superblock is a contiguous chunk dedicated to one thread and one size
+// class.
+type superblock struct {
+	base      mem.Addr
+	class     uint8
+	classSize uint64
+	thread    mem.ThreadID
+	// next is the bump pointer for never-allocated slots.
+	next mem.Addr
+	// free holds freed slot addresses for reuse.
+	free []mem.Addr
+	// objects maps slot index to its metadata (nil when never allocated).
+	objects []*Object
+}
+
+// New creates a heap over the configured region.
+func New(cfg Config) *Heap {
+	if cfg.Size == 0 {
+		cfg = DefaultConfig()
+	}
+	if uint64(cfg.Base)%superblockSize != 0 {
+		panic(fmt.Sprintf("heap: base %v not aligned to superblock size", cfg.Base))
+	}
+	return &Heap{
+		cfg:       cfg,
+		nextSuper: cfg.Base,
+		subheaps:  make(map[subheapKey]*superblock),
+		supers:    make(map[uint64]*superblock),
+	}
+}
+
+// Base returns the first heap address.
+func (h *Heap) Base() mem.Addr { return h.cfg.Base }
+
+// Limit returns the first address past the heap region.
+func (h *Heap) Limit() mem.Addr { return h.cfg.Base.Add(int(h.cfg.Size)) }
+
+// Contains reports whether addr lies in the heap region.
+func (h *Heap) Contains(addr mem.Addr) bool {
+	return addr >= h.cfg.Base && addr < h.Limit()
+}
+
+// classFor returns the size-class index and unit for a request: the
+// smallest power of two >= size, at least MinClass.
+func classFor(size uint64) (uint8, uint64) {
+	if size == 0 {
+		size = 1
+	}
+	class := uint8(0)
+	unit := uint64(MinClass)
+	for unit < size {
+		unit <<= 1
+		class++
+	}
+	return class, unit
+}
+
+// Malloc allocates size bytes on behalf of thread, recording the call
+// stack. It returns the object's base address.
+func (h *Heap) Malloc(thread mem.ThreadID, size uint64, stack CallStack) mem.Addr {
+	class, unit := classFor(size)
+	if unit > superblockSize {
+		// Large objects get dedicated superblock runs.
+		return h.mallocLarge(thread, size, unit, stack)
+	}
+	key := subheapKey{thread: thread, class: class}
+	sb := h.subheaps[key]
+	if sb == nil || (len(sb.free) == 0 && sb.next >= sb.base.Add(superblockSize)) {
+		sb = h.newSuperblock(thread, class, unit, superblockSize)
+		h.subheaps[key] = sb
+	}
+	var addr mem.Addr
+	if n := len(sb.free); n > 0 {
+		addr = sb.free[n-1]
+		sb.free = sb.free[:n-1]
+	} else {
+		addr = sb.next
+		sb.next = sb.next.Add(int(unit))
+	}
+	return h.record(sb, addr, thread, size, unit, stack)
+}
+
+// mallocLarge serves requests bigger than a superblock with a dedicated
+// run of superblocks.
+func (h *Heap) mallocLarge(thread mem.ThreadID, size, unit uint64, stack CallStack) mem.Addr {
+	span := (unit + superblockSize - 1) / superblockSize * superblockSize
+	sb := h.newSuperblock(thread, 0xFF, unit, span)
+	addr := sb.base
+	sb.next = sb.base.Add(int(unit))
+	return h.record(sb, addr, thread, size, unit, stack)
+}
+
+// newSuperblock carves a fresh superblock (or large-object span) from the
+// region.
+func (h *Heap) newSuperblock(thread mem.ThreadID, class uint8, classSize, span uint64) *superblock {
+	if h.nextSuper.Add(int(span)) > h.Limit() {
+		panic(fmt.Sprintf("heap: out of memory (region %d bytes exhausted)", h.cfg.Size))
+	}
+	sb := &superblock{
+		base:      h.nextSuper,
+		class:     class,
+		classSize: classSize,
+		thread:    thread,
+		next:      h.nextSuper,
+	}
+	slots := span / classSize
+	if slots == 0 {
+		slots = 1
+	}
+	sb.objects = make([]*Object, slots)
+	for i := uint64(0); i < span/superblockSize; i++ {
+		h.supers[h.superIndex(h.nextSuper.Add(int(i*superblockSize)))] = sb
+	}
+	h.nextSuper = h.nextSuper.Add(int(span))
+	return sb
+}
+
+func (h *Heap) superIndex(addr mem.Addr) uint64 {
+	return uint64(addr-h.cfg.Base) / superblockSize
+}
+
+// record stores allocation metadata and returns the address.
+func (h *Heap) record(sb *superblock, addr mem.Addr, thread mem.ThreadID, size, unit uint64, stack CallStack) mem.Addr {
+	if len(stack) > MaxStackDepth {
+		stack = stack[:MaxStackDepth]
+	}
+	h.seq++
+	obj := &Object{
+		Addr: addr, Size: size, ClassSize: unit,
+		Thread: thread, Stack: stack, Seq: h.seq, Live: true,
+	}
+	slot := uint64(addr-sb.base) / sb.classSize
+	sb.objects[slot] = obj
+	h.allocs++
+	h.liveBytes += unit
+	return addr
+}
+
+// Free releases the object at addr. Freeing an unknown or already-freed
+// address panics, surfacing workload bugs immediately.
+func (h *Heap) Free(addr mem.Addr) {
+	obj, sb := h.lookup(addr)
+	if obj == nil || !obj.Live {
+		panic(fmt.Sprintf("heap: invalid free of %v", addr))
+	}
+	if obj.Addr != addr {
+		panic(fmt.Sprintf("heap: free of interior pointer %v (object at %v)", addr, obj.Addr))
+	}
+	obj.Live = false
+	h.frees++
+	h.liveBytes -= obj.ClassSize
+	sb.free = append(sb.free, addr)
+}
+
+// Lookup resolves an address to the object whose reserved unit contains
+// it. Freed objects remain resolvable (their metadata is retained until
+// the slot is reused), matching the paper's report of allocation sites at
+// the end of an execution.
+func (h *Heap) Lookup(addr mem.Addr) (Object, bool) {
+	obj, _ := h.lookup(addr)
+	if obj == nil {
+		return Object{}, false
+	}
+	return *obj, true
+}
+
+func (h *Heap) lookup(addr mem.Addr) (*Object, *superblock) {
+	if !h.Contains(addr) {
+		return nil, nil
+	}
+	sb := h.supers[h.superIndex(addr)]
+	if sb == nil {
+		return nil, nil
+	}
+	slot := uint64(addr-sb.base) / sb.classSize
+	if slot >= uint64(len(sb.objects)) {
+		return nil, nil
+	}
+	obj := sb.objects[slot]
+	if obj == nil || !obj.Contains(addr) {
+		return nil, nil
+	}
+	return obj, sb
+}
+
+// Stats reports allocator usage.
+type Stats struct {
+	Allocs, Frees uint64
+	LiveBytes     uint64
+	RegionUsed    uint64
+}
+
+// Stats returns current allocator counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Allocs: h.allocs, Frees: h.frees,
+		LiveBytes:  h.liveBytes,
+		RegionUsed: uint64(h.nextSuper - h.cfg.Base),
+	}
+}

@@ -1,0 +1,278 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newTestHeap() *Heap { return New(DefaultConfig()) }
+
+func site(line int) CallStack {
+	return Stack(Frame{File: "test.c", Line: line})
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		size uint64
+		unit uint64
+	}{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {32, 32}, {33, 64},
+		{64, 64}, {100, 128}, {4000, 4096}, {4096, 4096}, {4097, 8192},
+	}
+	for _, c := range cases {
+		_, unit := classFor(c.size)
+		if unit != c.unit {
+			t.Errorf("classFor(%d) unit = %d, want %d", c.size, unit, c.unit)
+		}
+	}
+}
+
+func TestMallocReturnsDistinctAlignedAddresses(t *testing.T) {
+	h := newTestHeap()
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		a := h.Malloc(1, 48, site(i))
+		if seen[a] {
+			t.Fatalf("address %v returned twice", a)
+		}
+		seen[a] = true
+		if uint64(a)%64 != 0 {
+			t.Errorf("48-byte object at %v not aligned to its 64-byte class", a)
+		}
+	}
+}
+
+func TestLookupResolvesInteriorPointers(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(2, 4000, site(139))
+	obj, ok := h.Lookup(a.Add(1234))
+	if !ok {
+		t.Fatal("interior pointer not resolved")
+	}
+	if obj.Addr != a || obj.Size != 4000 || obj.ClassSize != 4096 {
+		t.Errorf("object = %+v", obj)
+	}
+	if obj.Stack.Site().Line != 139 {
+		t.Errorf("callsite line = %d, want 139", obj.Stack.Site().Line)
+	}
+	if obj.Thread != 2 {
+		t.Errorf("thread = %d, want 2", obj.Thread)
+	}
+}
+
+func TestLookupOutsideHeap(t *testing.T) {
+	h := newTestHeap()
+	if _, ok := h.Lookup(h.Base() - 1); ok {
+		t.Error("resolved address below heap")
+	}
+	if _, ok := h.Lookup(h.Base()); ok {
+		t.Error("resolved never-allocated heap address")
+	}
+}
+
+func TestHoardPropertyNoCrossThreadLineSharing(t *testing.T) {
+	// The defining Hoard property the paper relies on: "two objects in the
+	// same cache line will never be allocated to two different threads".
+	h := newTestHeap()
+	lineOwner := map[uint64]mem.ThreadID{}
+	for round := 0; round < 2000; round++ {
+		thread := mem.ThreadID(round % 7)
+		size := uint64(8 + (round*13)%120)
+		a := h.Malloc(thread, size, site(round))
+		_, unit := classFor(size)
+		for off := uint64(0); off < unit; off += mem.LineSize {
+			line := a.Add(int(off)).Line()
+			if owner, ok := lineOwner[line]; ok && owner != thread {
+				if unit >= mem.LineSize {
+					continue // whole lines owned exclusively; cannot collide
+				}
+				t.Fatalf("line %d shared by threads %d and %d", line, owner, thread)
+			}
+			if unit < mem.LineSize {
+				lineOwner[line] = thread
+			}
+		}
+	}
+}
+
+func TestFreeAndReuseSameThread(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(3, 64, site(1))
+	h.Free(a)
+	b := h.Malloc(3, 64, site(2))
+	if a != b {
+		t.Errorf("freed slot not reused: %v then %v", a, b)
+	}
+	obj, ok := h.Lookup(b)
+	if !ok || obj.Stack.Site().Line != 2 {
+		t.Errorf("reused slot metadata stale: %+v", obj)
+	}
+}
+
+func TestFreedObjectStillResolvable(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(1, 256, site(7))
+	h.Free(a)
+	obj, ok := h.Lookup(a)
+	if !ok {
+		t.Fatal("freed object not resolvable")
+	}
+	if obj.Live {
+		t.Error("freed object reported live")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(1, 32, site(1))
+	h.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	h.Free(a)
+}
+
+func TestInteriorFreePanics(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(1, 128, site(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("interior free did not panic")
+		}
+	}()
+	h.Free(a.Add(8))
+}
+
+func TestLargeObjects(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(1, 300_000, site(1))
+	obj, ok := h.Lookup(a.Add(299_999))
+	if !ok {
+		t.Fatal("large object tail not resolvable")
+	}
+	if obj.Addr != a || obj.Size != 300_000 {
+		t.Errorf("object = %+v", obj)
+	}
+	b := h.Malloc(2, 100, site(2))
+	if b < obj.End() {
+		t.Errorf("next allocation %v overlaps large object ending %v", b, obj.End())
+	}
+}
+
+func TestStackTruncatedToFiveFrames(t *testing.T) {
+	frames := make([]Frame, 9)
+	for i := range frames {
+		frames[i] = Frame{File: "deep.c", Line: i}
+	}
+	s := Stack(frames...)
+	if len(s) != MaxStackDepth {
+		t.Errorf("stack depth = %d, want %d", len(s), MaxStackDepth)
+	}
+	h := newTestHeap()
+	a := h.Malloc(1, 8, CallStack(frames))
+	obj, _ := h.Lookup(a)
+	if len(obj.Stack) != MaxStackDepth {
+		t.Errorf("recorded stack depth = %d, want %d", len(obj.Stack), MaxStackDepth)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := newTestHeap()
+	a := h.Malloc(1, 100, site(1)) // unit 128
+	h.Malloc(1, 16, site(2))
+	st := h.Stats()
+	if st.Allocs != 2 || st.Frees != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LiveBytes != 128+16 {
+		t.Errorf("LiveBytes = %d, want %d", st.LiveBytes, 128+16)
+	}
+	h.Free(a)
+	st = h.Stats()
+	if st.Frees != 1 || st.LiveBytes != 16 {
+		t.Errorf("after free stats = %+v", st)
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	h := New(Config{Base: 0x40000000, Size: 2 * superblockSize})
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted heap did not panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		h.Malloc(mem.ThreadID(i), superblockSize, site(i))
+	}
+}
+
+func TestUnalignedBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned base did not panic")
+		}
+	}()
+	New(Config{Base: 0x40000100, Size: 1 << 20})
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{File: "linear_regression-pthread.c", Line: 139}
+	if got := f.String(); got != "linear_regression-pthread.c:139" {
+		t.Errorf("Frame.String() = %q", got)
+	}
+	f.Func = "main"
+	if got := f.String(); got != "linear_regression-pthread.c:139 (main)" {
+		t.Errorf("Frame.String() = %q", got)
+	}
+}
+
+// TestAllocatorProperty drives random alloc/free sequences and checks the
+// core invariants: returned units never overlap live objects, lookups
+// resolve every interior address to the right object, and cross-thread
+// cache-line sharing never occurs for sub-line classes.
+func TestAllocatorProperty(t *testing.T) {
+	type step struct {
+		Thread  uint8
+		Size    uint16
+		DoAlloc bool
+	}
+	f := func(steps []step) bool {
+		h := newTestHeap()
+		type live struct {
+			addr mem.Addr
+			end  mem.Addr
+			th   mem.ThreadID
+		}
+		var lives []live
+		for i, s := range steps {
+			if s.DoAlloc || len(lives) == 0 {
+				th := mem.ThreadID(s.Thread % 5)
+				size := uint64(s.Size%2048) + 1
+				a := h.Malloc(th, size, site(i))
+				o, ok := h.Lookup(a)
+				if !ok || o.Addr != a || !o.Live {
+					return false
+				}
+				// No overlap with any live object.
+				for _, l := range lives {
+					if a < l.end && o.End() > l.addr {
+						return false
+					}
+				}
+				lives = append(lives, live{addr: a, end: o.End(), th: th})
+			} else {
+				idx := int(s.Size) % len(lives)
+				h.Free(lives[idx].addr)
+				lives = append(lives[:idx], lives[idx+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package mem defines the base memory-model types shared by every layer of
+// the Cheetah reproduction: virtual addresses, cache-line and word
+// arithmetic, and memory-access records.
+//
+// The simulated machine uses a flat 64-bit virtual address space. Cache
+// lines are 64 bytes, matching the experimental machine in the paper
+// (§4.2.2 discusses streamcluster assuming 32-byte lines while the real
+// machine uses larger ones). Words are 4 bytes, the granularity at which
+// Cheetah distinguishes true sharing from false sharing (§2.4).
+package mem
+
+import "fmt"
+
+const (
+	// LineSize is the size of a cache line in bytes.
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// WordSize is the tracking granularity for true/false sharing
+	// discrimination, in bytes ("word-based (four byte) memory accesses",
+	// paper §2.4).
+	WordSize = 4
+	// WordShift is log2(WordSize).
+	WordShift = 2
+	// WordsPerLine is the number of 4-byte words in a cache line.
+	WordsPerLine = LineSize / WordSize
+)
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// Line returns the cache-line index containing a.
+func (a Addr) Line() uint64 { return uint64(a) >> LineShift }
+
+// LineBase returns the address of the first byte of a's cache line.
+func (a Addr) LineBase() Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns a's byte offset within its cache line.
+func (a Addr) LineOffset() int { return int(a & (LineSize - 1)) }
+
+// Word returns the global 4-byte-word index containing a.
+func (a Addr) Word() uint64 { return uint64(a) >> WordShift }
+
+// WordInLine returns the index of a's word within its cache line (0..15).
+func (a Addr) WordInLine() int { return int(a&(LineSize-1)) >> WordShift }
+
+// Add returns the address offset by n bytes.
+func (a Addr) Add(n int) Addr { return a + Addr(n) }
+
+// String formats the address in hexadecimal, as in the paper's report
+// output (Figure 5).
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// LineAddr returns the base address of cache line index line.
+func LineAddr(line uint64) Addr { return Addr(line << LineShift) }
+
+// ThreadID identifies a simulated thread. The main thread is 0; threads
+// created in parallel phases receive consecutive positive ids.
+type ThreadID int32
+
+// MainThread is the id of the initial (serial-phase) thread.
+const MainThread ThreadID = 0
+
+// AccessKind distinguishes memory reads from writes.
+type AccessKind uint8
+
+const (
+	// Read is a memory load.
+	Read AccessKind = iota
+	// Write is a memory store.
+	Write
+)
+
+// IsWrite reports whether the access kind is a store.
+func (k AccessKind) IsWrite() bool { return k == Write }
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Region classifies an address by segment, mirroring the paper's driver
+// module which "filters out memory accesses associated with heap or
+// globals" for the detector and drops the rest (kernel, libraries, stack).
+type Region uint8
+
+const (
+	// RegionOther covers addresses the profiler ignores (kernel,
+	// libraries, unmapped).
+	RegionOther Region = iota
+	// RegionHeap covers the simulated application heap.
+	RegionHeap
+	// RegionGlobal covers registered global variables.
+	RegionGlobal
+	// RegionStack covers thread stacks; Cheetah "does not monitor stack
+	// variables" (§2.4).
+	RegionStack
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionHeap:
+		return "heap"
+	case RegionGlobal:
+		return "global"
+	case RegionStack:
+		return "stack"
+	default:
+		return "other"
+	}
+}
+
+// Access is one memory access as observed by the machine: who touched
+// which address, how, and — once the cache model has processed it — at what
+// latency. It is the unit flowing through probes and, after sampling,
+// through the profiler.
+type Access struct {
+	// Addr is the accessed virtual address.
+	Addr Addr
+	// Thread is the accessing thread.
+	Thread ThreadID
+	// Kind is Read or Write.
+	Kind AccessKind
+	// Size is the access width in bytes (typically 4 or 8).
+	Size uint8
+	// Latency is the access cost in cycles, filled in by the cache
+	// simulator. This is the channel the PMU exposes and that Cheetah's
+	// assessment consumes (paper Observation 2).
+	Latency uint32
+	// Time is the thread-local virtual timestamp (cycles since engine
+	// start) at which the access was issued.
+	Time uint64
+}

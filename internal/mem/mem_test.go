@@ -1,0 +1,137 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineMath(t *testing.T) {
+	cases := []struct {
+		addr     Addr
+		line     uint64
+		base     Addr
+		offset   int
+		wordIn   int
+		wordGlob uint64
+	}{
+		{0, 0, 0, 0, 0, 0},
+		{1, 0, 0, 1, 0, 0},
+		{3, 0, 0, 3, 0, 0},
+		{4, 0, 0, 4, 1, 1},
+		{63, 0, 0, 63, 15, 15},
+		{64, 1, 64, 0, 0, 16},
+		{65, 1, 64, 1, 0, 16},
+		{127, 1, 64, 63, 15, 31},
+		{128, 2, 128, 0, 0, 32},
+		{0x400004b8, 0x400004b8 >> 6, 0x40000480, 0x38, 14, 0x400004b8 >> 2},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Addr(%d).Line() = %d, want %d", c.addr, got, c.line)
+		}
+		if got := c.addr.LineBase(); got != c.base {
+			t.Errorf("Addr(%d).LineBase() = %d, want %d", c.addr, got, c.base)
+		}
+		if got := c.addr.LineOffset(); got != c.offset {
+			t.Errorf("Addr(%d).LineOffset() = %d, want %d", c.addr, got, c.offset)
+		}
+		if got := c.addr.WordInLine(); got != c.wordIn {
+			t.Errorf("Addr(%d).WordInLine() = %d, want %d", c.addr, got, c.wordIn)
+		}
+		if got := c.addr.Word(); got != c.wordGlob {
+			t.Errorf("Addr(%d).Word() = %d, want %d", c.addr, got, c.wordGlob)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(line uint32) bool {
+		a := LineAddr(uint64(line))
+		return a.Line() == uint64(line) && a.LineOffset() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrDecomposition(t *testing.T) {
+	// Every address is exactly reconstructible from (line, offset), and the
+	// word-in-line index always falls in [0, WordsPerLine).
+	f := func(a Addr) bool {
+		rebuilt := LineAddr(a.Line()).Add(a.LineOffset())
+		w := a.WordInLine()
+		return rebuilt == a && w >= 0 && w < WordsPerLine
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordConsistency(t *testing.T) {
+	// Global word index and (line, word-in-line) must agree.
+	f := func(a Addr) bool {
+		return a.Word() == a.Line()*WordsPerLine+uint64(a.WordInLine())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameLineSameWordRelation(t *testing.T) {
+	// Two addresses within the same 4-byte word are always within the same
+	// cache line.
+	f := func(a Addr, delta uint8) bool {
+		b := a.LineBase().Add(int(delta) % LineSize)
+		if a.Word() == b.Word() && a.Line() != b.Line() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("unexpected AccessKind strings: %q %q", Read, Write)
+	}
+	if Read.IsWrite() {
+		t.Error("Read.IsWrite() = true")
+	}
+	if !Write.IsWrite() {
+		t.Error("Write.IsWrite() = false")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	want := map[Region]string{
+		RegionHeap:   "heap",
+		RegionGlobal: "global",
+		RegionStack:  "stack",
+		RegionOther:  "other",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Region(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0x400004b8).String(); got != "0x400004b8" {
+		t.Errorf("Addr.String() = %q, want %q", got, "0x400004b8")
+	}
+}
+
+func TestConstantsConsistent(t *testing.T) {
+	if 1<<LineShift != LineSize {
+		t.Errorf("LineShift %d inconsistent with LineSize %d", LineShift, LineSize)
+	}
+	if 1<<WordShift != WordSize {
+		t.Errorf("WordShift %d inconsistent with WordSize %d", WordShift, WordSize)
+	}
+	if WordsPerLine*WordSize != LineSize {
+		t.Errorf("WordsPerLine %d inconsistent", WordsPerLine)
+	}
+}

@@ -1,0 +1,175 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/mem"
+)
+
+// runCycleMode executes a loop under a cycle-counting PMU.
+func runCycleMode(cfg Config, nIter, computeN int) (*collect, *PMU, exec.Result) {
+	cfg.Mode = CountCycles
+	sink := &collect{}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(2))
+	e := exec.New(sim, exec.Config{OpBuffer: 1024}, p)
+	res := e.Run(exec.Program{
+		Name: "cycleloop",
+		Phases: []exec.Phase{
+			exec.SerialPhase("s", func(t *exec.T) {
+				for i := 0; i < nIter; i++ {
+					t.Store(mem.Addr(0x1000 + (i%64)*4))
+					t.Compute(computeN)
+				}
+			}),
+		},
+	})
+	return sink, p, res
+}
+
+func TestCycleModeTrapRateTracksRuntime(t *testing.T) {
+	// In cycle mode the tag count is runtime/period regardless of the
+	// instruction mix — the property the overhead study relies on.
+	cfg := Config{Period: 1000, Jitter: 0, HandlerCycles: 0, SetupCycles: 0}
+	_, pMem, resMem := runCycleMode(cfg, 50000, 1)  // memory-heavy
+	_, pCpu, resCpu := runCycleMode(cfg, 5000, 200) // compute-heavy
+	tagsMem := pMem.Stats().Delivered + pMem.Stats().Untagged
+	tagsCpu := pCpu.Stats().Delivered + pCpu.Stats().Untagged
+	wantMem := resMem.TotalCycles / cfg.Period
+	wantCpu := resCpu.TotalCycles / cfg.Period
+	if tagsMem < wantMem*8/10 || tagsMem > wantMem*11/10 {
+		t.Errorf("memory-heavy tags = %d, want ~%d", tagsMem, wantMem)
+	}
+	if tagsCpu < wantCpu*8/10 || tagsCpu > wantCpu*11/10 {
+		t.Errorf("compute-heavy tags = %d, want ~%d", tagsCpu, wantCpu)
+	}
+}
+
+func TestCycleModeOverheadUniform(t *testing.T) {
+	// Handler cost per trap yields the same relative overhead for memory-
+	// and compute-bound code in cycle mode.
+	base := Config{Period: 1000, Jitter: 0, HandlerCycles: 0, SetupCycles: 0}
+	withCost := base
+	withCost.HandlerCycles = 100
+	_, _, memFree := runCycleMode(base, 50000, 1)
+	_, _, memCost := runCycleMode(withCost, 50000, 1)
+	_, _, cpuFree := runCycleMode(base, 5000, 200)
+	_, _, cpuCost := runCycleMode(withCost, 5000, 200)
+	ovhMem := float64(memCost.TotalCycles)/float64(memFree.TotalCycles) - 1
+	ovhCpu := float64(cpuCost.TotalCycles)/float64(cpuFree.TotalCycles) - 1
+	if ovhMem < 0.05 || ovhCpu < 0.05 {
+		t.Fatalf("overheads too small to compare: mem %.3f cpu %.3f", ovhMem, ovhCpu)
+	}
+	ratio := ovhMem / ovhCpu
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("cycle-mode overhead not uniform: memory %.1f%% vs compute %.1f%%",
+			ovhMem*100, ovhCpu*100)
+	}
+}
+
+func TestCycleModeThreadStartOrigin(t *testing.T) {
+	// A thread starting late in the run (second phase) must not replay
+	// tags for the cycles before it existed.
+	sink := &collect{}
+	cfg := Config{Period: 500, Mode: CountCycles, HandlerCycles: 0, SetupCycles: 0}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(4))
+	e := exec.New(sim, exec.Config{OpBuffer: 256}, p)
+	res := e.Run(exec.Program{
+		Name: "late",
+		Phases: []exec.Phase{
+			exec.SerialPhase("long", func(t *exec.T) { t.Compute(1_000_000) }),
+			exec.ParallelPhase("short", func(t *exec.T) {
+				for i := 0; i < 500; i++ {
+					t.Store(0x2000)
+				}
+			}),
+		},
+	})
+	// The worker runs ~500 stores x ~4 cycles = ~2000 cycles: at most a
+	// handful of tags, not the ~2000 a zero-origin counter would replay.
+	tags := p.Stats().Delivered + p.Stats().Untagged
+	if tags > 100 {
+		t.Errorf("late-starting thread replayed %d tags (total %d cycles)", tags, res.TotalCycles)
+	}
+}
+
+func TestCycleModePooledRearm(t *testing.T) {
+	// Pooled threads re-enter later phases at much later clock values;
+	// the re-armed counter must track.
+	sink := &collect{}
+	cfg := Config{Period: 200, Mode: CountCycles, HandlerCycles: 0, SetupCycles: 0}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(4))
+	e := exec.New(sim, exec.Config{OpBuffer: 256}, p)
+	body := func(t *exec.T) {
+		for i := 0; i < 2000; i++ {
+			t.Store(0x3000)
+		}
+	}
+	e.Run(exec.Program{
+		Name: "pooledcycles",
+		Phases: []exec.Phase{
+			exec.PooledPhase("p1", body),
+			exec.SerialPhase("gap", func(t *exec.T) { t.Compute(500_000) }),
+			exec.PooledPhase("p2", body),
+		},
+	})
+	// Both pooled phases should deliver samples.
+	if len(sink.samples) < 10 {
+		t.Errorf("pooled cycle-mode sampling delivered only %d samples", len(sink.samples))
+	}
+	// And no storm of catch-up tags.
+	tags := p.Stats().Delivered + p.Stats().Untagged
+	if tags > 500 {
+		t.Errorf("catch-up storm: %d tags", tags)
+	}
+}
+
+func TestInstructionModeUnaffectedByLatency(t *testing.T) {
+	// Instruction mode tags by retirement count: two runs with identical
+	// instruction streams but different latencies deliver samples at the
+	// same instruction indexes.
+	run := func(latency uint32) []mem.Addr {
+		sink := &collect{}
+		p := New(Config{Period: 97, Jitter: 0}, sink)
+		m := &fixedLatency{latency: latency}
+		e := exec.New(m, exec.Config{OpBuffer: 256}, p)
+		e.Run(exec.Program{
+			Name: "instr",
+			Phases: []exec.Phase{
+				exec.SerialPhase("s", func(t *exec.T) {
+					for i := 0; i < 5000; i++ {
+						t.Store(mem.Addr(0x100 + i%32*4))
+					}
+				}),
+			},
+		})
+		addrs := make([]mem.Addr, len(sink.samples))
+		for i, s := range sink.samples {
+			addrs[i] = s.Addr
+		}
+		return addrs
+	}
+	fast, slow := run(1), run(50)
+	if len(fast) != len(slow) {
+		t.Fatalf("sample counts differ with latency: %d vs %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("sample %d address differs with latency", i)
+		}
+	}
+}
+
+// fixedLatency is a trivial machine for latency-independence tests.
+type fixedLatency struct {
+	latency uint32
+}
+
+func (m *fixedLatency) Access(core int, addr mem.Addr, write bool, now uint64) uint32 {
+	return m.latency
+}
+func (m *fixedLatency) Cores() int { return 2 }

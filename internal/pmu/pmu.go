@@ -1,0 +1,226 @@
+// Package pmu simulates hardware performance-monitoring-unit address
+// sampling in the style of AMD instruction-based sampling (IBS) and Intel
+// precise event-based sampling (PEBS), the mechanisms Cheetah builds on
+// (paper §2.1).
+//
+// The PMU tags one instruction out of every sampling period. When the
+// tagged instruction is a memory access, a sample is delivered carrying
+// the address, thread id, read/write flag, and access latency in cycles —
+// the exact payload the paper's data-collection module consumes. Tagged
+// instructions that are not memory operations produce no address sample,
+// matching real IBS behaviour and naturally thinning samples on
+// compute-heavy code.
+//
+// Costs are charged mechanistically: every delivered sample costs the
+// sampled thread the configured handler cycles (the paper's signal
+// handler), and every thread start costs the setup cycles (the paper's
+// "six pfmon APIs and six additional system calls", §4.1). Paper Figure
+// 4's overhead results are reproduced from these charges, not asserted.
+package pmu
+
+import (
+	"repro/internal/exec"
+	"repro/internal/mem"
+)
+
+// DefaultPeriod is the paper's sampling frequency: one sample out of every
+// 64K instructions (§4.1).
+const DefaultPeriod = 64 * 1024
+
+// Handler consumes delivered samples. Implementations run inline with the
+// simulated thread, like the paper's signal handler.
+type Handler interface {
+	// Sample delivers one sampled memory access.
+	Sample(a mem.Access)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(a mem.Access)
+
+// Sample implements Handler.
+func (f HandlerFunc) Sample(a mem.Access) { f(a) }
+
+// CountMode selects what the sampling counter counts, mirroring AMD IBS
+// op sampling's IbsOpCntCtl: cycle counting (the hardware default) tags
+// an operation every Period clock cycles, dispatched-op counting tags
+// every Period instructions.
+type CountMode uint8
+
+const (
+	// CountInstructions tags every Period retired instructions, giving
+	// unbiased per-access address samples.
+	CountInstructions CountMode = iota
+	// CountCycles tags every Period clock cycles, giving a constant trap
+	// rate per unit of runtime — the mode that determines profiling
+	// overhead on real hardware.
+	CountCycles
+)
+
+// Config tunes the simulated PMU.
+type Config struct {
+	// Period is the number of count units (instructions or cycles,
+	// per Mode) between tagged instructions.
+	Period uint64
+	// Mode selects instruction or cycle counting.
+	Mode CountMode
+	// Jitter randomizes each interval by up to ±Jitter instructions, the
+	// analog of IBS's randomized counter reload that prevents lockstep
+	// aliasing with loop bodies. Zero disables jitter.
+	Jitter uint64
+	// HandlerCycles is the cost charged to a thread per delivered sample.
+	HandlerCycles uint64
+	// SetupCycles is the cost charged to every thread at start for
+	// programming the PMU registers.
+	SetupCycles uint64
+}
+
+// DefaultConfig mirrors the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Period:        DefaultPeriod,
+		Jitter:        DefaultPeriod / 16,
+		HandlerCycles: 1600,
+		SetupCycles:   12000,
+	}
+}
+
+// Stats counts PMU activity.
+type Stats struct {
+	// Delivered is the number of address samples handed to the handler.
+	Delivered uint64
+	// Untagged is the number of tag points that fell on non-memory
+	// instructions and produced no address sample.
+	Untagged uint64
+	// ThreadsMonitored counts ThreadStart events (PMU setups).
+	ThreadsMonitored uint64
+}
+
+// PMU is an exec.Probe that performs address sampling over an execution
+// and forwards samples to a handler.
+type PMU struct {
+	exec.BaseProbe
+	cfg     Config
+	handler Handler
+	threads map[mem.ThreadID]*threadCounter
+	stats   Stats
+}
+
+// threadCounter is the per-thread sampling state: the instruction index of
+// the next tagged instruction and a deterministic RNG for jitter.
+type threadCounter struct {
+	nextTag uint64
+	rng     uint64
+}
+
+// New creates a PMU delivering samples to handler.
+func New(cfg Config, handler Handler) *PMU {
+	if cfg.Period == 0 {
+		cfg.Period = DefaultPeriod
+	}
+	return &PMU{cfg: cfg, handler: handler, threads: make(map[mem.ThreadID]*threadCounter)}
+}
+
+// Stats returns a copy of the PMU's counters.
+func (p *PMU) Stats() Stats { return p.stats }
+
+// ProgramStart resets per-run state, implementing exec.Probe.
+func (p *PMU) ProgramStart(name string, cores int) {
+	p.threads = make(map[mem.ThreadID]*threadCounter)
+	p.stats = Stats{}
+}
+
+// ThreadStart programs the PMU for a new thread and returns the setup
+// cost, implementing exec.Probe.
+func (p *PMU) ThreadStart(th exec.ThreadInfo) uint64 {
+	if th.Reused {
+		// Pooled thread re-entering a phase: its PMU registers are
+		// already programmed, so no setup cost — but the engine restarts
+		// the per-phase counters, so the tag point is re-armed.
+		if tc := p.threads[th.ID]; tc != nil {
+			tc.rng = splitmix(tc.rng)
+			tc.nextTag = p.base(th) + 1 + tc.rng%p.cfg.Period
+		}
+		return 0
+	}
+	p.stats.ThreadsMonitored++
+	tc := &threadCounter{rng: splitmix(uint64(th.ID)*0x9e3779b97f4a7c15 + 1)}
+	// Stagger the first tag point across threads so samples spread evenly
+	// over the execution (paper Observation 1).
+	tc.nextTag = p.base(th) + 1 + splitmix(tc.rng)%p.cfg.Period
+	p.threads[th.ID] = tc
+	return p.cfg.SetupCycles
+}
+
+// base returns the origin of a thread's sampling counter: zero for
+// instruction counting (per-thread instruction counters start at zero),
+// or the thread's start time for cycle counting (its clock starts at the
+// phase boundary).
+func (p *PMU) base(th exec.ThreadInfo) uint64 {
+	if p.cfg.Mode == CountCycles {
+		return th.Start
+	}
+	return 0
+}
+
+// Access implements exec.Probe: it advances the thread's sampling counter
+// (instructions retired or cycles elapsed, per Mode) and delivers a
+// sample if this access is tagged.
+func (p *PMU) Access(a mem.Access, instrs uint64) uint64 {
+	tc := p.threads[a.Thread]
+	if tc == nil {
+		// Thread not monitored (probe attached mid-run); skip.
+		return 0
+	}
+	if p.cfg.Mode == CountCycles {
+		// a.Time is the thread's cycle clock at issue; the access itself
+		// spans Latency cycles, during which pending tags also fire.
+		instrs = a.Time + uint64(a.Latency)
+	}
+	if instrs < tc.nextTag {
+		return 0
+	}
+	// One or more tag points elapsed since the last memory access. Every
+	// tag fires the trap handler ("for every 64K instructions, the trap
+	// handler is notified once", §4.1), but only a tag hitting this
+	// memory operation yields an address sample; tags that hit compute
+	// instructions are discarded by the handler. In instruction mode the
+	// tag must land exactly on this instruction's index; in cycle mode it
+	// must land while the access is in flight (between issue and
+	// completion).
+	var charge uint64
+	for tc.nextTag <= instrs {
+		charge += p.cfg.HandlerCycles
+		tagged := tc.nextTag == instrs
+		if p.cfg.Mode == CountCycles {
+			tagged = tc.nextTag > a.Time
+		}
+		if tagged {
+			p.stats.Delivered++
+			p.handler.Sample(a)
+		} else {
+			p.stats.Untagged++
+		}
+		tc.nextTag += p.interval(tc)
+	}
+	return charge
+}
+
+// interval returns the next sampling interval with deterministic jitter.
+func (p *PMU) interval(tc *threadCounter) uint64 {
+	if p.cfg.Jitter == 0 {
+		return p.cfg.Period
+	}
+	tc.rng = splitmix(tc.rng)
+	j := tc.rng % (2*p.cfg.Jitter + 1)
+	return p.cfg.Period - p.cfg.Jitter + j
+}
+
+// splitmix is the SplitMix64 mixing function, used for cheap deterministic
+// per-thread randomness.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,242 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/mem"
+)
+
+// collect gathers all delivered samples.
+type collect struct {
+	samples []mem.Access
+}
+
+func (c *collect) Sample(a mem.Access) { c.samples = append(c.samples, a) }
+
+// runLoop executes a single-thread loop of nIter iterations, each with one
+// store and computeN compute instructions, under a PMU with the given
+// config, and returns the samples and the result.
+func runLoop(cfg Config, nIter, computeN int) (*collect, *PMU, exec.Result) {
+	sink := &collect{}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(2))
+	e := exec.New(sim, exec.Config{OpBuffer: 1024}, p)
+	res := e.Run(exec.Program{
+		Name: "loop",
+		Phases: []exec.Phase{
+			exec.SerialPhase("s", func(t *exec.T) {
+				for i := 0; i < nIter; i++ {
+					t.Store(mem.Addr(0x1000 + (i%64)*4))
+					t.Compute(computeN)
+				}
+			}),
+		},
+	})
+	return sink, p, res
+}
+
+func TestSamplingRateApproximatesPeriod(t *testing.T) {
+	cfg := Config{Period: 1000, Jitter: 50, HandlerCycles: 0, SetupCycles: 0}
+	const iters = 100000
+	sink, p, _ := runLoop(cfg, iters, 9) // 10 instructions per iteration
+	totalInstrs := uint64(iters * 10)
+	tags := p.Stats().Delivered + p.Stats().Untagged
+	wantTags := totalInstrs / cfg.Period
+	if tags < wantTags*9/10 || tags > wantTags*11/10 {
+		t.Errorf("tag points = %d, want ~%d", tags, wantTags)
+	}
+	// Memory instructions are 1/10 of the stream, so ~1/10 of tags deliver.
+	wantSamples := wantTags / 10
+	got := uint64(len(sink.samples))
+	if got < wantSamples/2 || got > wantSamples*2 {
+		t.Errorf("delivered samples = %d, want ~%d", got, wantSamples)
+	}
+}
+
+func TestAllMemoryStreamSamplesEveryTag(t *testing.T) {
+	// With no compute instructions, every tag lands on a memory access.
+	cfg := Config{Period: 100, Jitter: 0, HandlerCycles: 0, SetupCycles: 0}
+	sink, p, _ := runLoop(cfg, 10000, 0)
+	st := p.Stats()
+	if st.Untagged != 0 {
+		t.Errorf("untagged = %d, want 0 for a pure-memory stream", st.Untagged)
+	}
+	if len(sink.samples) == 0 || uint64(len(sink.samples)) != st.Delivered {
+		t.Errorf("samples = %d, delivered = %d", len(sink.samples), st.Delivered)
+	}
+	want := uint64(10000 / 100)
+	if st.Delivered != want {
+		t.Errorf("delivered = %d, want %d", st.Delivered, want)
+	}
+}
+
+func TestSamplePayload(t *testing.T) {
+	cfg := Config{Period: 7, Jitter: 0}
+	sink, _, _ := runLoop(cfg, 1000, 0)
+	if len(sink.samples) == 0 {
+		t.Fatal("no samples delivered")
+	}
+	for _, s := range sink.samples {
+		if s.Thread != mem.MainThread {
+			t.Fatalf("sample thread = %d, want main", s.Thread)
+		}
+		if s.Kind != mem.Write {
+			t.Fatalf("sample kind = %v, want write", s.Kind)
+		}
+		if s.Latency == 0 {
+			t.Fatal("sample without latency")
+		}
+		if s.Addr < 0x1000 || s.Addr >= 0x1000+64*4 {
+			t.Fatalf("sample addr %v outside accessed range", s.Addr)
+		}
+	}
+}
+
+func TestHandlerCostCharged(t *testing.T) {
+	base := Config{Period: 100, Jitter: 0, HandlerCycles: 0, SetupCycles: 0}
+	_, _, cheap := runLoop(base, 5000, 0)
+	costly := base
+	costly.HandlerCycles = 500
+	_, p, expensive := runLoop(costly, 5000, 0)
+	tags := p.Stats().Delivered + p.Stats().Untagged
+	wantExtra := tags * costly.HandlerCycles
+	gotExtra := expensive.TotalCycles - cheap.TotalCycles
+	if gotExtra != wantExtra {
+		t.Errorf("handler overhead = %d cycles, want %d", gotExtra, wantExtra)
+	}
+}
+
+func TestSetupCostCharged(t *testing.T) {
+	sink := &collect{}
+	cfg := Config{Period: 1 << 20, SetupCycles: 9999}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(4))
+	e := exec.New(sim, exec.Config{OpBuffer: 64}, p)
+	noop := func(t *exec.T) { t.Compute(10) }
+	res := e.Run(exec.Program{
+		Name:   "setup",
+		Phases: []exec.Phase{exec.ParallelPhase("p", noop, noop, noop)},
+	})
+	if p.Stats().ThreadsMonitored != 3 {
+		t.Errorf("ThreadsMonitored = %d, want 3", p.Stats().ThreadsMonitored)
+	}
+	// Each thread's runtime includes the setup charge.
+	for _, th := range res.Threads {
+		if th.Runtime() < cfg.SetupCycles {
+			t.Errorf("thread %d runtime %d < setup cost %d", th.ID, th.Runtime(), cfg.SetupCycles)
+		}
+	}
+}
+
+func TestJitterAvoidsAliasing(t *testing.T) {
+	// A loop whose instruction count divides the period would, without
+	// jitter, sample the same site forever. The body alternates two
+	// addresses; with jitter both must eventually be sampled.
+	sink := &collect{}
+	cfg := Config{Period: 64, Jitter: 8}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(2))
+	e := exec.New(sim, exec.Config{OpBuffer: 1024}, p)
+	e.Run(exec.Program{
+		Name: "alias",
+		Phases: []exec.Phase{
+			exec.SerialPhase("s", func(t *exec.T) {
+				for i := 0; i < 50000; i++ {
+					t.Store(0x2000)
+					t.Compute(30)
+					t.Store(0x2004)
+					t.Compute(32) // 64 instructions per iteration
+				}
+			}),
+		},
+	})
+	addrs := map[mem.Addr]int{}
+	for _, s := range sink.samples {
+		addrs[s.Addr]++
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("sampled %d distinct addresses, want 2 (got %v)", len(addrs), addrs)
+	}
+	if addrs[0x2000] == 0 || addrs[0x2004] == 0 {
+		t.Errorf("aliased sampling: %v", addrs)
+	}
+}
+
+func TestPerThreadStaggering(t *testing.T) {
+	// Threads with identical bodies must not sample in lockstep; their
+	// first tag points differ.
+	sink := &collect{}
+	cfg := Config{Period: 1000, Jitter: 0}
+	p := New(cfg, sink)
+	sim := cache.New(cache.DefaultConfig(8))
+	e := exec.New(sim, exec.Config{OpBuffer: 1024}, p)
+	body := func(t *exec.T) {
+		for i := 0; i < 20000; i++ {
+			t.Store(mem.Addr(0x3000 + uint64(t.ID())*0x1000))
+		}
+	}
+	e.Run(exec.Program{
+		Name:   "stagger",
+		Phases: []exec.Phase{exec.ParallelPhase("p", body, body, body, body)},
+	})
+	first := map[mem.ThreadID]mem.Addr{}
+	order := map[mem.ThreadID]int{}
+	for i, s := range sink.samples {
+		if _, ok := first[s.Thread]; !ok {
+			first[s.Thread] = s.Addr
+			order[s.Thread] = i
+		}
+	}
+	if len(first) != 4 {
+		t.Fatalf("samples from %d threads, want 4", len(first))
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	run := func() []mem.Access {
+		sink, _, _ := runLoop(Config{Period: 333, Jitter: 31}, 30000, 3)
+		return sink.samples
+	}
+	s1, s2 := run(), run()
+	if len(s1) != len(s2) {
+		t.Fatalf("sample counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestProgramStartResets(t *testing.T) {
+	sink := &collect{}
+	p := New(Config{Period: 50}, sink)
+	sim := cache.New(cache.DefaultConfig(2))
+	e := exec.New(sim, exec.Config{OpBuffer: 64}, p)
+	prog := exec.Program{
+		Name: "reset",
+		Phases: []exec.Phase{
+			exec.SerialPhase("s", func(t *exec.T) {
+				for i := 0; i < 1000; i++ {
+					t.Store(0x4000)
+				}
+			}),
+		},
+	}
+	e.Run(prog)
+	n1 := p.Stats().Delivered
+	e.Run(prog)
+	n2 := p.Stats().Delivered
+	if n1 == 0 || n1 != n2 {
+		t.Errorf("stats not reset between runs: %d then %d", n1, n2)
+	}
+}
+
+func TestZeroPeriodDefaults(t *testing.T) {
+	p := New(Config{}, &collect{})
+	if p.cfg.Period != DefaultPeriod {
+		t.Errorf("zero period not defaulted: %d", p.cfg.Period)
+	}
+}

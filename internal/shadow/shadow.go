@@ -1,0 +1,282 @@
+// Package shadow implements Cheetah's shadow-memory structures (paper
+// §2.2-2.4): per-cache-line state with the two-entry invalidation table,
+// and word-granularity per-thread access tracking used to distinguish
+// false sharing from true sharing.
+//
+// The paper indexes two large mmap'd arrays by bit-shifted address; this
+// reproduction keys the same per-line state by cache-line index in a hash
+// map, which is equivalent for detection purposes and proportional to the
+// touched working set rather than the reserved address space.
+package shadow
+
+import "repro/internal/mem"
+
+// DetailThreshold is the write count after which a line gets detailed
+// tracking: "Cheetah first tracks the number of writes on a cache line,
+// and only tracks detailed information for cache lines with more than two
+// writes" (§2.3). This avoids tracking write-once memory.
+const DetailThreshold = 2
+
+// WordStats aggregates one thread's sampled activity on one 4-byte word.
+type WordStats struct {
+	// Reads and Writes count sampled accesses attributed to the word.
+	Reads, Writes uint64
+	// Cycles is the summed sampled latency of those accesses.
+	Cycles uint64
+}
+
+// Accesses returns reads plus writes.
+func (w WordStats) Accesses() uint64 { return w.Reads + w.Writes }
+
+// Word tracks per-thread activity on one word of a susceptible line.
+type Word struct {
+	// ByThread maps thread id to its activity on this word.
+	ByThread map[mem.ThreadID]*WordStats
+}
+
+// Threads returns the number of distinct threads that touched the word.
+func (w *Word) Threads() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.ByThread)
+}
+
+// SharedByMultipleThreads reports whether more than one thread accessed
+// the word — the paper's true-sharing marker ("When more than one thread
+// access a word, Cheetah marks this word to be shared by multiple
+// threads", §2.4).
+func (w *Word) SharedByMultipleThreads() bool { return w.Threads() > 1 }
+
+// Writers returns the number of distinct threads that wrote the word.
+func (w *Word) Writers() int {
+	if w == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range w.ByThread {
+		if s.Writes > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Totals sums activity across threads.
+func (w *Word) Totals() WordStats {
+	var t WordStats
+	if w == nil {
+		return t
+	}
+	for _, s := range w.ByThread {
+		t.Reads += s.Reads
+		t.Writes += s.Writes
+		t.Cycles += s.Cycles
+	}
+	return t
+}
+
+// stats returns the per-thread record, allocating on first use.
+func (w *Word) stats(tid mem.ThreadID) *WordStats {
+	if w.ByThread == nil {
+		w.ByThread = make(map[mem.ThreadID]*WordStats)
+	}
+	s := w.ByThread[tid]
+	if s == nil {
+		s = &WordStats{}
+		w.ByThread[tid] = s
+	}
+	return s
+}
+
+// tableEntry is one slot of the per-line two-entry table (§2.3). Each
+// thread occupies at most one slot.
+type tableEntry struct {
+	tid   mem.ThreadID
+	kind  mem.AccessKind
+	valid bool
+}
+
+// Line is the shadow state of one cache line.
+type Line struct {
+	// Index is the cache-line index (address >> 6).
+	Index uint64
+	// Writes and Reads count all sampled accesses to the line, including
+	// those before detailed tracking started.
+	Writes, Reads uint64
+	// Invalidations is the number of cache invalidations computed by the
+	// two-entry-table rule.
+	Invalidations uint64
+	// Accesses and Cycles aggregate sampled accesses and their latency
+	// during detailed tracking.
+	Accesses, Cycles uint64
+	// table is the two-entry invalidation table.
+	table [2]tableEntry
+	// words is allocated when detailed tracking starts.
+	words *[mem.WordsPerLine]Word
+	// detailed marks lines past the write threshold.
+	detailed bool
+}
+
+// Detailed reports whether the line crossed the write threshold and is
+// being tracked at word granularity.
+func (l *Line) Detailed() bool { return l.detailed }
+
+// Word returns the tracked word state at index i (0..15), or nil when the
+// line has no detailed tracking.
+func (l *Line) Word(i int) *Word {
+	if l.words == nil {
+		return nil
+	}
+	return &l.words[i]
+}
+
+// Words returns the number of tracked words (0 or mem.WordsPerLine).
+func (l *Line) Words() int {
+	if l.words == nil {
+		return 0
+	}
+	return mem.WordsPerLine
+}
+
+// record applies one sampled access to the line, implementing the §2.3
+// two-entry-table rules and the §2.4 word tracking. It reports whether the
+// access incurred a cache invalidation.
+func (l *Line) record(a mem.Access) bool {
+	if a.Kind.IsWrite() {
+		l.Writes++
+	} else {
+		l.Reads++
+	}
+	if !l.detailed {
+		if l.Writes <= DetailThreshold {
+			return false
+		}
+		l.detailed = true
+		l.words = new([mem.WordsPerLine]Word)
+	}
+
+	l.Accesses++
+	l.Cycles += uint64(a.Latency)
+	l.trackWords(a)
+
+	if !a.Kind.IsWrite() {
+		l.recordRead(a.Thread)
+		return false
+	}
+	return l.recordWrite(a.Thread)
+}
+
+// recordRead applies the read rule: record the read only when the table
+// is not full and holds no entry from this thread.
+func (l *Line) recordRead(tid mem.ThreadID) {
+	if l.table[0].valid && l.table[0].tid == tid {
+		return
+	}
+	if l.table[1].valid {
+		return // full
+	}
+	if !l.table[0].valid {
+		l.table[0] = tableEntry{tid: tid, kind: mem.Read, valid: true}
+		return
+	}
+	// One entry from a different thread: occupy the second slot.
+	l.table[1] = tableEntry{tid: tid, kind: mem.Read, valid: true}
+}
+
+// recordWrite applies the write rule and reports whether the write incurs
+// an invalidation: it does whenever the table holds an entry from another
+// thread (a full table always does, since the two entries belong to
+// different threads by construction).
+func (l *Line) recordWrite(tid mem.ThreadID) bool {
+	full := l.table[0].valid && l.table[1].valid
+	empty := !l.table[0].valid
+	switch {
+	case full:
+		// At least one entry is another thread's (Assumption 1).
+	case empty:
+		// First recorded access: no one to invalidate.
+		l.table[0] = tableEntry{tid: tid, kind: mem.Write, valid: true}
+		return false
+	default: // exactly one entry
+		if l.table[0].tid == tid {
+			// Same thread: nothing to update, no invalidation.
+			return false
+		}
+	}
+	// Invalidation: flush the table and record this write so the table
+	// stays non-empty.
+	l.Invalidations++
+	l.table[0] = tableEntry{tid: tid, kind: mem.Write, valid: true}
+	l.table[1] = tableEntry{}
+	return true
+}
+
+// trackWords attributes the access to its words: the full access count and
+// latency go to the first word; any additional word covered by the access
+// width is marked as touched by the thread (zero-cost touch), so sharing
+// classification sees the true footprint without double-counting.
+func (l *Line) trackWords(a mem.Access) {
+	first := a.Addr.WordInLine()
+	s := l.words[first].stats(a.Thread)
+	if a.Kind.IsWrite() {
+		s.Writes++
+	} else {
+		s.Reads++
+	}
+	s.Cycles += uint64(a.Latency)
+
+	size := int(a.Size)
+	if size == 0 {
+		size = mem.WordSize
+	}
+	for off := mem.WordSize; off < size; off += mem.WordSize {
+		w := a.Addr.Add(off)
+		if w.Line() != a.Addr.Line() {
+			break // access spills into the next line; out of scope here
+		}
+		l.words[w.WordInLine()].stats(a.Thread)
+	}
+}
+
+// Memory is the shadow map over all tracked cache lines.
+type Memory struct {
+	lines map[uint64]*Line
+}
+
+// NewMemory creates an empty shadow memory.
+func NewMemory() *Memory {
+	return &Memory{lines: make(map[uint64]*Line)}
+}
+
+// Record applies one sampled access and reports whether it incurred a
+// cache invalidation under the detection rules.
+func (m *Memory) Record(a mem.Access) bool {
+	line := a.Addr.Line()
+	l := m.lines[line]
+	if l == nil {
+		l = &Line{Index: line}
+		m.lines[line] = l
+	}
+	return l.record(a)
+}
+
+// Line returns the shadow state for the cache line containing addr, or nil
+// if the line was never sampled.
+func (m *Memory) Line(addr mem.Addr) *Line { return m.lines[addr.Line()] }
+
+// LineByIndex returns the shadow state for a cache-line index.
+func (m *Memory) LineByIndex(idx uint64) *Line { return m.lines[idx] }
+
+// Len returns the number of tracked lines.
+func (m *Memory) Len() int { return len(m.lines) }
+
+// ForEach visits every tracked line. Iteration order is unspecified.
+func (m *Memory) ForEach(fn func(*Line)) {
+	for _, l := range m.lines {
+		fn(l)
+	}
+}
+
+// Reset drops all state.
+func (m *Memory) Reset() { m.lines = make(map[uint64]*Line) }

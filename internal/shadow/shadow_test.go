@@ -1,0 +1,308 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func acc(addr mem.Addr, tid mem.ThreadID, kind mem.AccessKind) mem.Access {
+	return mem.Access{Addr: addr, Thread: tid, Kind: kind, Size: 4, Latency: 10}
+}
+
+func TestDetailThresholdGatesTracking(t *testing.T) {
+	m := NewMemory()
+	a := mem.Addr(0x1000)
+	m.Record(acc(a, 1, mem.Write))
+	m.Record(acc(a, 2, mem.Write))
+	l := m.Line(a)
+	if l.Detailed() {
+		t.Fatal("line detailed after only 2 writes")
+	}
+	if l.Writes != 2 {
+		t.Errorf("Writes = %d, want 2", l.Writes)
+	}
+	m.Record(acc(a, 1, mem.Write))
+	if !l.Detailed() {
+		t.Fatal("line not detailed after 3rd write")
+	}
+	// The first two writes contributed only to the coarse counter.
+	if l.Accesses != 1 {
+		t.Errorf("detailed Accesses = %d, want 1", l.Accesses)
+	}
+}
+
+func TestReadsAloneNeverStartDetailTracking(t *testing.T) {
+	m := NewMemory()
+	a := mem.Addr(0x2000)
+	for i := 0; i < 100; i++ {
+		m.Record(acc(a, mem.ThreadID(i%4), mem.Read))
+	}
+	l := m.Line(a)
+	if l.Detailed() {
+		t.Error("read-only line became detailed")
+	}
+	if l.Reads != 100 {
+		t.Errorf("Reads = %d, want 100", l.Reads)
+	}
+}
+
+// detailedLine returns a line already past the threshold via writes from
+// thread 99 to word 15, which the tests below ignore.
+func detailedLine(m *Memory, base mem.Addr) *Line {
+	warm := base.Add(60)
+	for i := 0; i < 3; i++ {
+		m.Record(acc(warm, 99, mem.Write))
+	}
+	return m.Line(base)
+}
+
+func TestWriteWriteInvalidation(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x3000)
+	l := detailedLine(m, base)
+	inv0 := l.Invalidations
+
+	// The warm-up left {99, W} in the table, so thread 1's write
+	// invalidates; thread 2's subsequent write invalidates again.
+	if !m.Record(acc(base, 1, mem.Write)) {
+		t.Error("write over remote-thread entry not flagged as invalidation")
+	}
+	if !m.Record(acc(base.Add(4), 2, mem.Write)) {
+		t.Error("write-after-remote-write not flagged as invalidation")
+	}
+	if l.Invalidations != inv0+2 {
+		// First write hits the table entry left by the warm-up thread 99 —
+		// that is also an invalidation.
+		t.Errorf("Invalidations = %d, want %d", l.Invalidations, inv0+2)
+	}
+}
+
+func TestSameThreadWritesNoInvalidation(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x4000)
+	// All writes from one thread: threshold crossing but no invalidations.
+	for i := 0; i < 50; i++ {
+		if m.Record(acc(base, 7, mem.Write)) {
+			t.Fatal("single-thread write stream produced invalidation")
+		}
+	}
+	if l := m.Line(base); l.Invalidations != 0 {
+		t.Errorf("Invalidations = %d, want 0", l.Invalidations)
+	}
+}
+
+func TestReadThenRemoteWriteInvalidates(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x5000)
+	detailedLine(m, base)
+	m.Record(acc(base, 1, mem.Write))       // table: {1,W} after flush
+	m.Record(acc(base.Add(8), 2, mem.Read)) // table: {1,W},{2,R}
+	// A write from thread 1 now sees a full table: invalidation.
+	if !m.Record(acc(base, 1, mem.Write)) {
+		t.Error("write to full table not flagged as invalidation")
+	}
+}
+
+func TestReadRecordingRules(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x6000)
+	l := detailedLine(m, base)
+	// Table currently holds {99, W}. A read from 99 is skipped; a read
+	// from 1 occupies slot 2; a read from 2 is dropped (full).
+	m.Record(acc(base, 99, mem.Read))
+	m.Record(acc(base, 1, mem.Read))
+	m.Record(acc(base, 2, mem.Read))
+	// A write from thread 1 hits a full table -> invalidation even though
+	// thread 1 itself is in the table ("at least one of the existing
+	// entries in this table is from a different thread").
+	if !m.Record(acc(base, 1, mem.Write)) {
+		t.Error("write with full table not flagged")
+	}
+	_ = l
+}
+
+func TestPingPongInvalidationCount(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x7000)
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		m.Record(acc(base, mem.ThreadID(i%2+1), mem.Write))
+	}
+	l := m.Line(base)
+	// Tracking starts at the 3rd write; every tracked write alternates
+	// threads, so every tracked write except the first invalidates.
+	want := uint64(rounds - DetailThreshold - 1)
+	if l.Invalidations != want {
+		t.Errorf("Invalidations = %d, want %d", l.Invalidations, want)
+	}
+}
+
+func TestWordTrackingDistinguishesSharing(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x8000)
+	// False sharing: threads 1 and 2 write disjoint words.
+	for i := 0; i < 20; i++ {
+		m.Record(acc(base, 1, mem.Write))
+		m.Record(acc(base.Add(4), 2, mem.Write))
+	}
+	l := m.Line(base)
+	if w := l.Word(0); w.SharedByMultipleThreads() {
+		t.Error("word 0 written only by thread 1 marked shared")
+	}
+	if w := l.Word(1); w.SharedByMultipleThreads() {
+		t.Error("word 1 written only by thread 2 marked shared")
+	}
+	// True sharing: both threads hit word 8.
+	for i := 0; i < 10; i++ {
+		m.Record(acc(base.Add(32), 1, mem.Write))
+		m.Record(acc(base.Add(32), 2, mem.Write))
+	}
+	if w := l.Word(8); !w.SharedByMultipleThreads() {
+		t.Error("word 8 written by two threads not marked shared")
+	}
+}
+
+func TestWordStatsAccumulate(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0x9000)
+	detailedLine(m, base)
+	for i := 0; i < 5; i++ {
+		m.Record(mem.Access{Addr: base, Thread: 1, Kind: mem.Write, Size: 4, Latency: 100})
+		m.Record(mem.Access{Addr: base, Thread: 1, Kind: mem.Read, Size: 4, Latency: 20})
+	}
+	w := l0word(m, base, 0)
+	s := w.ByThread[1]
+	if s == nil {
+		t.Fatal("no stats for thread 1")
+	}
+	if s.Writes != 5 || s.Reads != 5 {
+		t.Errorf("stats = %+v", *s)
+	}
+	if s.Cycles != 5*100+5*20 {
+		t.Errorf("Cycles = %d, want 600", s.Cycles)
+	}
+	tot := w.Totals()
+	if tot.Accesses() != 10 {
+		t.Errorf("Totals().Accesses() = %d, want 10", tot.Accesses())
+	}
+}
+
+func l0word(m *Memory, base mem.Addr, i int) *Word {
+	return m.Line(base).Word(i)
+}
+
+func TestWideAccessTouchesBothWords(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0xA000)
+	detailedLine(m, base)
+	// An 8-byte store at word 2 covers words 2 and 3.
+	m.Record(mem.Access{Addr: base.Add(8), Thread: 1, Kind: mem.Write, Size: 8, Latency: 50})
+	m.Record(mem.Access{Addr: base.Add(12), Thread: 2, Kind: mem.Write, Size: 4, Latency: 50})
+	l := m.Line(base)
+	if l.Word(3).Threads() != 2 {
+		t.Errorf("word 3 threads = %d, want 2 (8-byte footprint)", l.Word(3).Threads())
+	}
+	// But the access count lands on the first word only.
+	if got := l.Word(2).Totals().Writes; got != 1 {
+		t.Errorf("word 2 writes = %d, want 1", got)
+	}
+	if got := l.Word(3).Totals().Writes; got != 1 {
+		t.Errorf("word 3 writes = %d (footprint touch must not count)", got)
+	}
+}
+
+func TestAccessSpillingPastLineIsClipped(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0xB000)
+	detailedLine(m, base)
+	// 8-byte access at the last word of the line: the spill into the next
+	// line is ignored by this line's tracker.
+	m.Record(mem.Access{Addr: base.Add(60), Thread: 1, Kind: mem.Write, Size: 8, Latency: 10})
+	if next := m.Line(base.Add(64)); next != nil {
+		t.Error("spill created state on the next line")
+	}
+}
+
+func TestTableInvariantTwoDistinctThreads(t *testing.T) {
+	// Property: the two-entry table never holds two entries of the same
+	// thread, and a full table always triggers invalidation on any write.
+	f := func(ops []uint16) bool {
+		m := NewMemory()
+		base := mem.Addr(0xC000)
+		for _, o := range ops {
+			tid := mem.ThreadID(o%5) + 1
+			kind := mem.Read
+			if o%2 == 0 {
+				kind = mem.Write
+			}
+			m.Record(acc(base.Add(int(o%16)*4), tid, kind))
+			l := m.Line(base)
+			if l.table[0].valid && l.table[1].valid &&
+				l.table[0].tid == l.table[1].tid {
+				return false
+			}
+			if l.table[1].valid && !l.table[0].valid {
+				return false // slot 2 filled while slot 1 empty
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidationsNeverExceedTrackedWrites(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		base := mem.Addr(0xD000)
+		steps := int(n%500) + 10
+		var trackedWrites uint64
+		l := (*Line)(nil)
+		for i := 0; i < steps; i++ {
+			a := acc(base.Add(rng.Intn(16)*4), mem.ThreadID(rng.Intn(6)), mem.AccessKind(rng.Intn(2)))
+			m.Record(a)
+			l = m.Line(base)
+			if l.Detailed() && a.Kind.IsWrite() {
+				trackedWrites++
+			}
+		}
+		return l == nil || l.Invalidations <= trackedWrites
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryResetAndLen(t *testing.T) {
+	m := NewMemory()
+	for i := 0; i < 10; i++ {
+		m.Record(acc(mem.Addr(i*64), 1, mem.Write))
+	}
+	if m.Len() != 10 {
+		t.Errorf("Len = %d, want 10", m.Len())
+	}
+	n := 0
+	m.ForEach(func(*Line) { n++ })
+	if n != 10 {
+		t.Errorf("ForEach visited %d, want 10", n)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Error("Reset left lines behind")
+	}
+}
+
+func TestZeroSizeAccessDefaultsToWord(t *testing.T) {
+	m := NewMemory()
+	base := mem.Addr(0xE000)
+	detailedLine(m, base)
+	m.Record(mem.Access{Addr: base, Thread: 1, Kind: mem.Write, Latency: 5})
+	if m.Line(base).Word(0).Totals().Writes != 1 {
+		t.Error("zero-size access not tracked")
+	}
+}

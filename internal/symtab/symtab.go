@@ -1,0 +1,125 @@
+// Package symtab models the binary symbol table Cheetah searches to name
+// global variables involved in false sharing (paper §2.4: "For global
+// variables, Cheetah reports names and addresses by searching through the
+// symbol table in the binary executable").
+//
+// Workloads register their global variables as named address ranges inside
+// a dedicated globals segment; the reporter resolves sampled addresses to
+// those names.
+package symtab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Symbol is one global variable: a named address range.
+type Symbol struct {
+	// Name is the source-level variable name.
+	Name string
+	// Addr is the variable's base address.
+	Addr mem.Addr
+	// Size is the variable size in bytes.
+	Size uint64
+}
+
+// End returns the first address past the symbol.
+func (s Symbol) End() mem.Addr { return s.Addr.Add(int(s.Size)) }
+
+// Contains reports whether addr falls inside the symbol.
+func (s Symbol) Contains(addr mem.Addr) bool { return addr >= s.Addr && addr < s.End() }
+
+// Config places the globals segment in the simulated address space.
+type Config struct {
+	// Base is the segment's first address.
+	Base mem.Addr
+	// Size is the segment size in bytes.
+	Size uint64
+}
+
+// DefaultConfig returns a 256 MB globals segment below the default heap.
+func DefaultConfig() Config {
+	return Config{Base: 0x10000000, Size: 1 << 28}
+}
+
+// Table is a registry of global variables laid out in a segment. Define
+// registers variables bump-allocated within the segment; Resolve maps
+// addresses back to symbols.
+type Table struct {
+	cfg  Config
+	next mem.Addr
+	// syms is kept sorted by base address for binary-search resolution.
+	syms []Symbol
+}
+
+// New creates an empty symbol table over the configured segment.
+func New(cfg Config) *Table {
+	if cfg.Size == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Table{cfg: cfg, next: cfg.Base}
+}
+
+// Base returns the segment's first address.
+func (t *Table) Base() mem.Addr { return t.cfg.Base }
+
+// Limit returns the first address past the segment.
+func (t *Table) Limit() mem.Addr { return t.cfg.Base.Add(int(t.cfg.Size)) }
+
+// Contains reports whether addr lies in the globals segment.
+func (t *Table) Contains(addr mem.Addr) bool {
+	return addr >= t.cfg.Base && addr < t.Limit()
+}
+
+// Define lays out a new global variable of the given size, cache-line
+// aligned as a linker would align large data, and returns its address.
+func (t *Table) Define(name string, size uint64) mem.Addr {
+	if size == 0 {
+		size = 1
+	}
+	// Align to the cache line, as linkers do for data above line size; it
+	// also keeps distinct globals from incidentally sharing lines, so any
+	// false sharing a workload exhibits on globals is internal to one
+	// variable, which is the interesting case.
+	addr := mem.Addr((uint64(t.next) + mem.LineSize - 1) &^ (mem.LineSize - 1))
+	if addr.Add(int(size)) > t.Limit() {
+		panic(fmt.Sprintf("symtab: globals segment exhausted defining %q (%d bytes)", name, size))
+	}
+	t.syms = append(t.syms, Symbol{Name: name, Addr: addr, Size: size})
+	t.next = addr.Add(int(size))
+	return addr
+}
+
+// DefineUnaligned lays out a global at the next raw address with no
+// alignment, allowing workloads to model adjacent globals that share a
+// cache line (a classic inter-variable false sharing source).
+func (t *Table) DefineUnaligned(name string, size uint64) mem.Addr {
+	if size == 0 {
+		size = 1
+	}
+	addr := t.next
+	if addr.Add(int(size)) > t.Limit() {
+		panic(fmt.Sprintf("symtab: globals segment exhausted defining %q (%d bytes)", name, size))
+	}
+	t.syms = append(t.syms, Symbol{Name: name, Addr: addr, Size: size})
+	t.next = addr.Add(int(size))
+	return addr
+}
+
+// Resolve returns the symbol containing addr.
+func (t *Table) Resolve(addr mem.Addr) (Symbol, bool) {
+	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].End() > addr })
+	if i < len(t.syms) && t.syms[i].Contains(addr) {
+		return t.syms[i], true
+	}
+	return Symbol{}, false
+}
+
+// Symbols returns a copy of all registered symbols in address order.
+func (t *Table) Symbols() []Symbol {
+	out := make([]Symbol, len(t.syms))
+	copy(out, t.syms)
+	return out
+}

@@ -1,0 +1,134 @@
+package symtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestDefineAndResolve(t *testing.T) {
+	tab := New(DefaultConfig())
+	a := tab.Define("counter_array", 256)
+	b := tab.Define("flags", 8)
+	sym, ok := tab.Resolve(a.Add(100))
+	if !ok || sym.Name != "counter_array" {
+		t.Errorf("Resolve inside counter_array = (%+v, %v)", sym, ok)
+	}
+	sym, ok = tab.Resolve(b)
+	if !ok || sym.Name != "flags" {
+		t.Errorf("Resolve flags = (%+v, %v)", sym, ok)
+	}
+	if _, ok := tab.Resolve(b.Add(int(sym.Size))); ok {
+		t.Error("resolved address past last symbol")
+	}
+}
+
+func TestDefineAlignsToCacheLine(t *testing.T) {
+	tab := New(DefaultConfig())
+	tab.Define("small", 3)
+	b := tab.Define("next", 10)
+	if uint64(b)%mem.LineSize != 0 {
+		t.Errorf("aligned Define returned %v, not line-aligned", b)
+	}
+}
+
+func TestDefineUnalignedPacksTightly(t *testing.T) {
+	tab := New(DefaultConfig())
+	a := tab.DefineUnaligned("x", 4)
+	b := tab.DefineUnaligned("y", 4)
+	if b != a.Add(4) {
+		t.Errorf("unaligned globals not adjacent: %v then %v", a, b)
+	}
+	if a.Line() != b.Line() {
+		t.Error("adjacent small globals expected to share a cache line")
+	}
+}
+
+func TestResolveBoundaries(t *testing.T) {
+	tab := New(DefaultConfig())
+	a := tab.Define("v", 64)
+	if _, ok := tab.Resolve(a - 1); ok {
+		t.Error("resolved address before symbol")
+	}
+	if sym, ok := tab.Resolve(a.Add(63)); !ok || sym.Name != "v" {
+		t.Error("last byte of symbol not resolved")
+	}
+	if _, ok := tab.Resolve(a.Add(64)); ok {
+		t.Error("first byte past symbol resolved")
+	}
+}
+
+func TestContains(t *testing.T) {
+	tab := New(Config{Base: 0x1000, Size: 0x1000})
+	if !tab.Contains(0x1000) || !tab.Contains(0x1FFF) {
+		t.Error("segment bounds not contained")
+	}
+	if tab.Contains(0xFFF) || tab.Contains(0x2000) {
+		t.Error("outside addresses contained")
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	tab := New(Config{Base: 0x1000, Size: 128})
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted segment did not panic")
+		}
+	}()
+	tab.Define("a", 64)
+	tab.Define("b", 64)
+	tab.Define("c", 64)
+}
+
+func TestSymbolsCopy(t *testing.T) {
+	tab := New(DefaultConfig())
+	tab.Define("a", 8)
+	syms := tab.Symbols()
+	syms[0].Name = "mutated"
+	if got, _ := tab.Resolve(tab.Base()); got.Name != "a" {
+		t.Error("Symbols() exposed internal state")
+	}
+}
+
+func TestResolveProperty(t *testing.T) {
+	// Every defined symbol resolves at every interior offset to itself.
+	f := func(sizes []uint8) bool {
+		tab := New(DefaultConfig())
+		type def struct {
+			name string
+			addr mem.Addr
+			size uint64
+		}
+		var defs []def
+		for i, s := range sizes {
+			if i >= 50 {
+				break
+			}
+			size := uint64(s%200) + 1
+			name := string(rune('a' + i%26))
+			addr := tab.Define(name, size)
+			defs = append(defs, def{name, addr, size})
+		}
+		for _, d := range defs {
+			for _, off := range []uint64{0, d.size / 2, d.size - 1} {
+				sym, ok := tab.Resolve(d.addr.Add(int(off)))
+				if !ok || sym.Addr != d.addr {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroSizeDefine(t *testing.T) {
+	tab := New(DefaultConfig())
+	a := tab.Define("empty", 0)
+	if sym, ok := tab.Resolve(a); !ok || sym.Size != 1 {
+		t.Errorf("zero-size define: %+v %v", sym, ok)
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	cheetah "repro"
+	"repro/internal/pmu"
+)
+
+// denseProfile profiles a workload at reduced scale with dense sampling,
+// returning the report.
+func denseProfile(t *testing.T, name string, threads int, scale float64) *cheetah.Report {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	sys := cheetah.New(cheetah.Config{})
+	prog := w.Build(sys, Params{Threads: threads, Scale: scale})
+	rep, _ := sys.Profile(prog, cheetah.ProfileOptions{
+		PMU: pmu.Config{Period: 64, Jitter: 24, HandlerCycles: 0, SetupCycles: 0},
+	})
+	return rep
+}
+
+// reportsFSSite reports whether a significant instance matches the
+// workload's documented FS site.
+func reportsFSSite(rep *cheetah.Report, site string) bool {
+	for _, in := range rep.Instances {
+		if in.Object.Name == site {
+			return true
+		}
+		for _, f := range in.Object.Stack {
+			if strings.HasPrefix(site, f.File) && strings.HasSuffix(site, ":"+itoa(f.Line)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestSignificantFSWorkloadsDetected(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"linear_regression", 0.5},
+		{"streamcluster", 0.5},
+		{"figure1", 0.2},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := ByName(tc.name)
+			rep := denseProfile(t, tc.name, 8, tc.scale)
+			if !reportsFSSite(rep, w.FSSite) {
+				t.Errorf("%s: FS at %s not reported (instances %d, candidates %d, samples %d)",
+					tc.name, w.FSSite, len(rep.Instances), len(rep.Candidates), rep.Samples)
+			}
+			for _, in := range rep.Instances {
+				if !in.FalseSharing {
+					t.Errorf("%s: reported instance not classified FS", tc.name)
+				}
+				if in.Assessment.Improvement < 1 {
+					t.Errorf("%s: improvement %.3f < 1", tc.name, in.Assessment.Improvement)
+				}
+			}
+		})
+	}
+}
+
+func TestFSFreeWorkloadsProduceNoInstances(t *testing.T) {
+	// Every NoFS workload must come out clean even under dense sampling —
+	// the no-false-positives property.
+	for _, w := range All() {
+		if w.FS != NoFS {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := denseProfile(t, w.Name, 8, 0.05)
+			if len(rep.Instances) != 0 {
+				in := rep.Instances[0]
+				t.Errorf("%s: spurious instance at %v (%s, improve %.3f, inv %d)",
+					w.Name, in.Object.Start, in.Object.Kind, in.Assessment.Improvement,
+					in.Invalidations)
+			}
+		})
+	}
+}
+
+func TestMinorFSWorkloadsBelowSignificance(t *testing.T) {
+	// The Figure 7 apps' minor instances must not be reported as
+	// significant even with dense sampling: their predicted improvement
+	// stays below the threshold.
+	for _, name := range []string{"histogram", "reverse_index", "word_count"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := ByName(name)
+			rep := denseProfile(t, name, 8, 0.3)
+			if reportsFSSite(rep, w.FSSite) {
+				t.Errorf("%s: minor FS at %s reported as significant", name, w.FSSite)
+			}
+		})
+	}
+}
+
+func TestFixedVariantsNotReported(t *testing.T) {
+	// After padding, nothing significant remains.
+	for _, name := range []string{"linear_regression", "streamcluster", "figure1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := ByName(name)
+			sys := cheetah.New(cheetah.Config{})
+			prog := w.Build(sys, Params{Threads: 8, Scale: 0.3, Fixed: true})
+			rep, _ := sys.Profile(prog, cheetah.ProfileOptions{
+				PMU: pmu.Config{Period: 64, Jitter: 24, HandlerCycles: 0, SetupCycles: 0},
+			})
+			if reportsFSSite(rep, w.FSSite) {
+				t.Errorf("%s: padded layout still reported", name)
+			}
+		})
+	}
+}
+
+func TestStreamclusterUsesThreadPool(t *testing.T) {
+	// The pgain rounds drive a persistent pool (the real program creates
+	// its workers once); distinct worker ids equal the per-phase count.
+	w, _ := ByName("streamcluster")
+	sys := cheetah.New(cheetah.Config{})
+	res := sys.Run(w.Build(sys, Params{Threads: 6, Scale: 0.02}))
+	distinct := map[int32]bool{}
+	records := 0
+	for _, th := range res.Threads {
+		if th.ID != 0 {
+			distinct[int32(th.ID)] = true
+			records++
+		}
+	}
+	if len(distinct) != 6 {
+		t.Errorf("distinct workers = %d, want 6", len(distinct))
+	}
+	if records != 6*streamclusterRounds {
+		t.Errorf("worker phase records = %d, want %d", records, 6*streamclusterRounds)
+	}
+}

@@ -1,0 +1,74 @@
+// The introduction's false sharing microbenchmark (paper Figure 1).
+package workload
+
+import (
+	cheetah "repro"
+	"repro/internal/mem"
+)
+
+func init() {
+	register(figure1())
+}
+
+// Figure1Iterations is the per-element increment count at Scale=1,
+// standing in for the paper's 10,000,000 (scaled to simulation size).
+const Figure1Iterations = 120_000
+
+// figure1 models the paper's Figure 1(a) program:
+//
+//	int array[total];
+//	void threadFunc(int start) {
+//	    for (index = start; index < start+window; index++)
+//	        for (j = 0; j < 10000000; j++)
+//	            array[index]++;
+//	}
+//
+// Every thread increments adjacent 4-byte elements of a global array, all
+// within the same cache lines: the canonical false sharing storm. The
+// fixed variant pads each thread's element to its own line, yielding the
+// linear-speedup "Expectation" of Figure 1(b).
+func figure1() *Workload {
+	return &Workload{
+		Name:           "figure1",
+		Suite:          "micro",
+		FS:             SignificantFS,
+		FSSite:         "array",
+		DefaultThreads: 8,
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(8)
+			iters := p.scaled(Figure1Iterations)
+			stride := 4
+			if p.Fixed {
+				stride = mem.LineSize
+			}
+			// The array has one element per thread at the maximum thread
+			// count; with fewer threads each thread handles a window of
+			// elements, keeping total work constant (the paper's
+			// window = total/numThreads).
+			total := 8
+			if p.Threads > total {
+				total = p.Threads
+			}
+			array := sys.Globals().Define("array", uint64(total*stride))
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(total, p.Threads, i)
+				bodies[i] = func(t *cheetah.T) {
+					for idx := lo; idx < hi; idx++ {
+						elem := array.Add(idx * stride)
+						for j := 0; j < iters; j++ {
+							// array[index]++ is a load, an add, and a store.
+							t.Load(elem)
+							t.Compute(1)
+							t.Store(elem)
+						}
+					}
+				}
+			}
+			return cheetah.Program{Name: "figure1", Phases: []cheetah.Phase{
+				cheetah.ParallelPhase("threadFunc", bodies...),
+			}}
+		},
+	}
+}

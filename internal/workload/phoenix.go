@@ -1,0 +1,538 @@
+// Phoenix benchmark analogs (Ranger et al., HPCA'07), the MapReduce-style
+// suite used throughout the paper's evaluation. The paper modified some of
+// these (e.g. linear_regression) to run long enough to collect samples;
+// the analogs bake comparable work in at Scale=1.
+package workload
+
+import (
+	cheetah "repro"
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+func init() {
+	register(linearRegression())
+	register(histogram())
+	register(kmeans())
+	register(matrixMultiply())
+	register(pca())
+	register(stringMatch())
+	register(reverseIndex())
+	register(wordCount())
+}
+
+// LinearRegressionSite is the allocation site of the falsely-shared
+// tid_args object, as reported in paper Figure 5.
+const LinearRegressionSite = "linear_regression-pthread.c:139"
+
+// lregArgsStride is the per-thread struct size in the broken layout: the
+// lreg_args struct packs its five long long accumulators (SX, SY, SXX,
+// SYY, SXY) back to back, so at 40 bytes per entry adjacent threads'
+// accumulators share cache lines.
+const lregArgsStride = 40
+
+// linearRegression models Phoenix's linear_regression: a serial phase
+// that loads the input points, then one parallel phase where each thread
+// scans its partition and accumulates the five regression sums into its
+// own entry of the shared tid_args array (paper Figure 6). The broken
+// layout packs entries at 32 bytes — two threads per cache line — which
+// is the paper's flagship false sharing instance; the fix pads each entry
+// to a full cache line plus padding ("By adding 64 bytes of useless
+// content", §4.2.1).
+func linearRegression() *Workload {
+	return &Workload{
+		Name:   "linear_regression",
+		Suite:  "phoenix",
+		FS:     SignificantFS,
+		FSSite: LinearRegressionSite,
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			// The paper lengthens linear_regression's parallel work "by
+			// adding more loop iterations" (§4 Evaluated Applications);
+			// repeats is that multiplier, keeping the serial input phase
+			// short relative to the parallel phase.
+			totalPoints := p.scaled(12_000)
+			const repeats = 40
+			stride := lregArgsStride
+			if p.Fixed {
+				stride = 2 * mem.LineSize // 64B struct + 64B padding
+			}
+			h := sys.Heap()
+			// Input points: two 4-byte coordinates each.
+			points := h.Malloc(mem.MainThread, uint64(totalPoints*8),
+				heap.Stack(heap.Frame{Func: "main", File: "linear_regression-pthread.c", Line: 114}))
+			// The falsely-shared per-thread argument array.
+			args := h.Malloc(mem.MainThread, uint64(p.Threads*stride),
+				heap.Stack(
+					heap.Frame{Func: "main", File: "linear_regression-pthread.c", Line: 139},
+					heap.Frame{Func: "__libc_start_main", File: "libc-start.c", Line: 308},
+				))
+
+			// Serial phase: parse the input file into the points array (the
+			// paper's mmap + fault-in). Parsing scans each point's
+			// characters repeatedly (atoi-style), so the serial latency
+			// profile is dominated by warm accesses — the property
+			// AverCycles_serial relies on (§3.1). The varying compute tail
+			// keeps the loop length irregular so sampling cannot alias
+			// with it.
+			load := cheetah.SerialPhase("load_input", func(t *cheetah.T) {
+				for i := 0; i < totalPoints; i++ {
+					t.Store(points.Add(i * 8))
+					t.Store(points.Add(i*8 + 4))
+					for scan := 0; scan < 6; scan++ {
+						t.Load(points.Add(i * 8))
+						t.Load(points.Add(i*8 + 4))
+					}
+					t.Compute(2 + i&3)
+				}
+			})
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(totalPoints, p.Threads, i)
+				mine := args.Add(i * stride)
+				bodies[i] = func(t *cheetah.T) {
+					for r := 0; r < repeats; r++ {
+						for j := lo; j < hi; j++ {
+							// Load the point.
+							t.Load(points.Add(j * 8))
+							t.Load(points.Add(j*8 + 4))
+							// SX += x; SXX += x*x; SY += y; SYY += y*y;
+							// SXY += x*y — read-modify-write of the five
+							// accumulators in this thread's lreg_args entry.
+							for f := 0; f < 5; f++ {
+								t.Load8(mine.Add(f * 8))
+								t.Store8(mine.Add(f * 8))
+							}
+							t.Compute(2)
+						}
+					}
+				}
+			}
+			work := cheetah.ParallelPhase("linear_regression_pthread", bodies...)
+
+			// Final serial phase: combine per-thread sums.
+			combine := cheetah.SerialPhase("combine", func(t *cheetah.T) {
+				for i := 0; i < p.Threads; i++ {
+					for f := 0; f < 5; f++ {
+						t.Load8(args.Add(i*stride + f*8))
+					}
+					t.Compute(20)
+				}
+			})
+			return cheetah.Program{Name: "linear_regression", Phases: []cheetah.Phase{load, work, combine}}
+		},
+	}
+}
+
+// histogram models Phoenix's histogram: threads scan private slices of a
+// bitmap and count pixel values into thread-private tables. The broken
+// layout also keeps a packed per-thread progress counter array that
+// threads update periodically — real false sharing with negligible
+// impact, which Predator finds and Cheetah deliberately misses (Figure 7).
+func histogram() *Workload {
+	return &Workload{
+		Name:   "histogram",
+		Suite:  "phoenix",
+		FS:     MinorFS,
+		FSSite: "histogram-pthread.c:213",
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			pixels := p.scaled(800_000)
+			h := sys.Heap()
+			img := h.Malloc(mem.MainThread, uint64(pixels*4),
+				heap.Stack(heap.Frame{Func: "main", File: "histogram-pthread.c", Line: 157}))
+			// Thread-private histograms: 3 channels x 256 bins, padded to
+			// superblock-separated allocations per thread.
+			hists := make([]mem.Addr, p.Threads)
+			for i := range hists {
+				hists[i] = h.Malloc(mem.ThreadID(i+1), 3*256*4,
+					heap.Stack(heap.Frame{Func: "calc_hist", File: "histogram-pthread.c", Line: 189}))
+			}
+			counterStride := 8
+			if p.Fixed {
+				counterStride = mem.LineSize
+			}
+			counters := h.Malloc(mem.MainThread, uint64(p.Threads*counterStride),
+				heap.Stack(heap.Frame{Func: "main", File: "histogram-pthread.c", Line: 213}))
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(pixels, p.Threads, i)
+				hist := hists[i]
+				counter := counters.Add(i * counterStride)
+				bodies[i] = func(t *cheetah.T) {
+					r := rng(uint64(lo))
+					for j := lo; j < hi; j++ {
+						t.Load(img.Add(j * 4))
+						bin := int(r() % 256)
+						t.Load(hist.Add(bin * 4))
+						t.Store(hist.Add(bin * 4))
+						t.Compute(2)
+						if j%8192 == 0 {
+							// Packed progress counter: the minor FS.
+							t.Store(counter)
+						}
+					}
+				}
+			}
+			return cheetah.Program{Name: "histogram", Phases: []cheetah.Phase{
+				cheetah.SerialPhase("read_bitmap", func(t *cheetah.T) {
+					for i := 0; i < pixels; i += 16 {
+						t.Store(img.Add(i * 4))
+						t.Compute(4)
+					}
+				}),
+				cheetah.ParallelPhase("calc_hist", bodies...),
+				cheetah.SerialPhase("merge", func(t *cheetah.T) {
+					for i := 0; i < p.Threads; i++ {
+						for b := 0; b < 3*256; b += 8 {
+							t.Load(hists[i].Add(b * 4))
+						}
+						t.Compute(64)
+					}
+				}),
+			}}
+		},
+	}
+}
+
+// kmeans models Phoenix's kmeans: an iterative fork-join loop. Each of
+// the 14 iterations spawns a fresh set of worker threads (16 x 14 = 224
+// threads, the count the paper cites when explaining kmeans' profiling
+// overhead) that assign points to the nearest of K centroids, followed by
+// a serial recompute phase.
+func kmeans() *Workload {
+	const iterations = 14
+	return &Workload{
+		Name:  "kmeans",
+		Suite: "phoenix",
+		FS:    NoFS,
+		TotalThreads: func(perPhase int) int {
+			return perPhase * iterations
+		},
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			points := p.scaled(48_000)
+			const dims = 8
+			const k = 16
+			h := sys.Heap()
+			data := h.Malloc(mem.MainThread, uint64(points*dims*4),
+				heap.Stack(heap.Frame{Func: "main", File: "kmeans-pthread.c", Line: 201}))
+			centroids := h.Malloc(mem.MainThread, uint64(k*dims*4),
+				heap.Stack(heap.Frame{Func: "main", File: "kmeans-pthread.c", Line: 208}))
+			// Per-thread partial sums, each its own allocation (no FS).
+			sums := make([]mem.Addr, p.Threads)
+			for i := range sums {
+				sums[i] = h.Malloc(mem.ThreadID(i+1), uint64(k*dims*4),
+					heap.Stack(heap.Frame{Func: "find_clusters", File: "kmeans-pthread.c", Line: 156}))
+			}
+
+			phases := []cheetah.Phase{
+				cheetah.SerialPhase("init", func(t *cheetah.T) {
+					for i := 0; i < points*dims; i += 8 {
+						t.Store(data.Add(i * 4))
+						t.Compute(2)
+					}
+				}),
+			}
+			for it := 0; it < iterations; it++ {
+				bodies := make([]cheetah.Body, p.Threads)
+				for i := 0; i < p.Threads; i++ {
+					lo, hi := splitRange(points, p.Threads, i)
+					sum := sums[i]
+					bodies[i] = func(t *cheetah.T) {
+						r := rng(uint64(lo))
+						for j := lo; j < hi; j++ {
+							// Distance to a sample of centroids.
+							t.Load(data.Add(j * dims * 4))
+							c := int(r() % k)
+							t.Load(centroids.Add(c * dims * 4))
+							t.Compute(3 * dims)
+							t.Store(sum.Add(c * dims * 4))
+						}
+					}
+				}
+				phases = append(phases,
+					cheetah.ParallelPhase("find_clusters", bodies...),
+					cheetah.SerialPhase("recompute_centroids", func(t *cheetah.T) {
+						for c := 0; c < k*dims; c++ {
+							t.Store(centroids.Add(c * 4))
+							t.Compute(p.Threads)
+						}
+					}),
+				)
+			}
+			return cheetah.Program{Name: "kmeans", Phases: phases}
+		},
+	}
+}
+
+// matrixMultiply models Phoenix's matrix_multiply: threads compute
+// disjoint row blocks of C = A x B; A rows and C rows are effectively
+// private, B is shared read-only.
+func matrixMultiply() *Workload {
+	return &Workload{
+		Name:  "matrix_multiply",
+		Suite: "phoenix",
+		FS:    NoFS,
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			n := p.scaled(192) // n x n matrices
+			h := sys.Heap()
+			a := h.Malloc(mem.MainThread, uint64(n*n*4),
+				heap.Stack(heap.Frame{Func: "main", File: "matrix_multiply-pthread.c", Line: 133}))
+			b := h.Malloc(mem.MainThread, uint64(n*n*4),
+				heap.Stack(heap.Frame{Func: "main", File: "matrix_multiply-pthread.c", Line: 134}))
+			c := h.Malloc(mem.MainThread, uint64(n*n*4),
+				heap.Stack(heap.Frame{Func: "main", File: "matrix_multiply-pthread.c", Line: 135}))
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(n, p.Threads, i)
+				bodies[i] = func(t *cheetah.T) {
+					for row := lo; row < hi; row++ {
+						for col := 0; col < n; col++ {
+							// Strided dot product sampling every 8th term.
+							for kk := 0; kk < n; kk += 8 {
+								t.Load(a.Add((row*n + kk) * 4))
+								t.Load(b.Add((kk*n + col) * 4))
+								t.Compute(4)
+							}
+							t.Store(c.Add((row*n + col) * 4))
+						}
+					}
+				}
+			}
+			return cheetah.Program{Name: "matrix_multiply", Phases: []cheetah.Phase{
+				cheetah.SerialPhase("init", func(t *cheetah.T) {
+					for i := 0; i < n*n; i += 16 {
+						t.Store(a.Add(i * 4))
+						t.Store(b.Add(i * 4))
+					}
+				}),
+				cheetah.ParallelPhase("multiply", bodies...),
+			}}
+		},
+	}
+}
+
+// pca models Phoenix's pca: two parallel phases (column means, then
+// covariance) over a shared read-only matrix with thread-private
+// accumulators.
+func pca() *Workload {
+	return &Workload{
+		Name:  "pca",
+		Suite: "phoenix",
+		FS:    NoFS,
+		TotalThreads: func(perPhase int) int {
+			return perPhase * 2 // two parallel phases: mean and covariance
+		},
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			rows := p.scaled(48_000)
+			const cols = 32
+			h := sys.Heap()
+			matrix := h.Malloc(mem.MainThread, uint64(rows*cols*4),
+				heap.Stack(heap.Frame{Func: "main", File: "pca-pthread.c", Line: 310}))
+			acc := make([]mem.Addr, p.Threads)
+			for i := range acc {
+				acc[i] = h.Malloc(mem.ThreadID(i+1), cols*8,
+					heap.Stack(heap.Frame{Func: "pca_mean", File: "pca-pthread.c", Line: 172}))
+			}
+			phase := func(name string, computePerCell int) cheetah.Phase {
+				bodies := make([]cheetah.Body, p.Threads)
+				for i := 0; i < p.Threads; i++ {
+					lo, hi := splitRange(rows, p.Threads, i)
+					mine := acc[i]
+					bodies[i] = func(t *cheetah.T) {
+						for r := lo; r < hi; r++ {
+							for c := 0; c < cols; c += 4 {
+								t.Load(matrix.Add((r*cols + c) * 4))
+								t.Compute(computePerCell)
+							}
+							t.Store8(mine.Add((r % cols) * 8))
+						}
+					}
+				}
+				return cheetah.ParallelPhase(name, bodies...)
+			}
+			return cheetah.Program{Name: "pca", Phases: []cheetah.Phase{
+				cheetah.SerialPhase("generate_points", func(t *cheetah.T) {
+					for i := 0; i < rows*cols; i += 32 {
+						t.Store(matrix.Add(i * 4))
+					}
+				}),
+				phase("pca_mean", 3),
+				phase("pca_cov", 6),
+			}}
+		},
+	}
+}
+
+// stringMatch models Phoenix's string_match: threads scan private chunks
+// of the key file and compare against a small read-only dictionary.
+func stringMatch() *Workload {
+	return &Workload{
+		Name:  "string_match",
+		Suite: "phoenix",
+		FS:    NoFS,
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			keys := p.scaled(800_000)
+			h := sys.Heap()
+			file := h.Malloc(mem.MainThread, uint64(keys*4),
+				heap.Stack(heap.Frame{Func: "main", File: "string_match-pthread.c", Line: 128}))
+			dict := h.Malloc(mem.MainThread, 4096,
+				heap.Stack(heap.Frame{Func: "main", File: "string_match-pthread.c", Line: 131}))
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(keys, p.Threads, i)
+				bodies[i] = func(t *cheetah.T) {
+					r := rng(uint64(hi))
+					for j := lo; j < hi; j++ {
+						t.Load(file.Add(j * 4))
+						t.Load(dict.Add(int(r()%1024) * 4))
+						t.Compute(5)
+					}
+				}
+			}
+			return cheetah.Program{Name: "string_match", Phases: []cheetah.Phase{
+				cheetah.SerialPhase("load_keys", func(t *cheetah.T) {
+					for i := 0; i < keys; i += 16 {
+						t.Store(file.Add(i * 4))
+					}
+				}),
+				cheetah.ParallelPhase("string_match_map", bodies...),
+			}}
+		},
+	}
+}
+
+// reverseIndex models Phoenix's reverse_index: threads parse private file
+// chunks and append links into shared buckets. The packed bucket-header
+// array (one 16-byte header per bucket, consecutive buckets owned by
+// different threads) is real but minor false sharing (Figure 7).
+func reverseIndex() *Workload {
+	return &Workload{
+		Name:   "reverse_index",
+		Suite:  "phoenix",
+		FS:     MinorFS,
+		FSSite: "reverse_index-pthread.c:331",
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			links := p.scaled(600_000)
+			h := sys.Heap()
+			files := h.Malloc(mem.MainThread, uint64(links*8),
+				heap.Stack(heap.Frame{Func: "main", File: "reverse_index-pthread.c", Line: 288}))
+			// Packed per-thread output cursors: each thread periodically
+			// bumps its own 16-byte entry, so adjacent threads share
+			// cache lines — real but minor false sharing.
+			cursorStride := 16
+			if p.Fixed {
+				cursorStride = mem.LineSize
+			}
+			cursors := h.Malloc(mem.MainThread, uint64(p.Threads*cursorStride),
+				heap.Stack(heap.Frame{Func: "main", File: "reverse_index-pthread.c", Line: 331}))
+			// Per-thread output areas.
+			outs := make([]mem.Addr, p.Threads)
+			for i := range outs {
+				outs[i] = h.Malloc(mem.ThreadID(i+1), uint64(links/p.Threads*8+64),
+					heap.Stack(heap.Frame{Func: "insert_sorted", File: "reverse_index-pthread.c", Line: 517}))
+			}
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(links, p.Threads, i)
+				out := outs[i]
+				cursor := cursors.Add(i * cursorStride)
+				bodies[i] = func(t *cheetah.T) {
+					for j := lo; j < hi; j++ {
+						t.Load(files.Add(j * 8))
+						t.Store(out.Add((j - lo) * 8))
+						t.Compute(6)
+						if j%4096 == 0 {
+							// Output cursor update: minor false sharing.
+							t.Store(cursor)
+						}
+					}
+				}
+			}
+			return cheetah.Program{Name: "reverse_index", Phases: []cheetah.Phase{
+				cheetah.SerialPhase("scan_dirs", func(t *cheetah.T) {
+					for i := 0; i < links; i += 32 {
+						t.Store(files.Add(i * 8))
+					}
+				}),
+				cheetah.ParallelPhase("process_files", bodies...),
+			}}
+		},
+	}
+}
+
+// wordCount models Phoenix's word_count: threads tokenize private chunks
+// into thread-private hash tables, with a packed per-thread length array
+// updated on rehash — minor false sharing (Figure 7).
+func wordCount() *Workload {
+	return &Workload{
+		Name:   "word_count",
+		Suite:  "phoenix",
+		FS:     MinorFS,
+		FSSite: "word_count-pthread.c:136",
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			p = p.withDefaults(16)
+			words := p.scaled(800_000)
+			h := sys.Heap()
+			text := h.Malloc(mem.MainThread, uint64(words*4),
+				heap.Stack(heap.Frame{Func: "main", File: "word_count-pthread.c", Line: 99}))
+			tables := make([]mem.Addr, p.Threads)
+			for i := range tables {
+				tables[i] = h.Malloc(mem.ThreadID(i+1), 1<<14,
+					heap.Stack(heap.Frame{Func: "wordcount_map", File: "word_count-pthread.c", Line: 181}))
+			}
+			lenStride := 4
+			if p.Fixed {
+				lenStride = mem.LineSize
+			}
+			lengths := h.Malloc(mem.MainThread, uint64(p.Threads*lenStride),
+				heap.Stack(heap.Frame{Func: "main", File: "word_count-pthread.c", Line: 136}))
+
+			bodies := make([]cheetah.Body, p.Threads)
+			for i := 0; i < p.Threads; i++ {
+				lo, hi := splitRange(words, p.Threads, i)
+				table := tables[i]
+				myLen := lengths.Add(i * lenStride)
+				bodies[i] = func(t *cheetah.T) {
+					r := rng(uint64(lo + 7))
+					for j := lo; j < hi; j++ {
+						t.Load(text.Add(j * 4))
+						slot := int(r() % (1 << 12))
+						t.Load(table.Add(slot * 4))
+						t.Store(table.Add(slot * 4))
+						t.Compute(4)
+						if j%8192 == 0 {
+							t.Store(myLen)
+						}
+					}
+				}
+			}
+			return cheetah.Program{Name: "word_count", Phases: []cheetah.Phase{
+				cheetah.SerialPhase("read_file", func(t *cheetah.T) {
+					for i := 0; i < words; i += 16 {
+						t.Store(text.Add(i * 4))
+					}
+				}),
+				cheetah.ParallelPhase("wordcount_map", bodies...),
+				cheetah.SerialPhase("merge", func(t *cheetah.T) {
+					for i := 0; i < p.Threads; i++ {
+						for s := 0; s < 1<<12; s += 64 {
+							t.Load(tables[i].Add(s * 4))
+						}
+						t.Compute(128)
+					}
+				}),
+			}}
+		},
+	}
+}

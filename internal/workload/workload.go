@@ -1,0 +1,175 @@
+// Package workload provides synthetic analogs of the 17 Phoenix and
+// PARSEC applications in the paper's evaluation (Figure 4), plus the
+// introduction's false sharing microbenchmark (Figure 1).
+//
+// Each analog reproduces the properties the experiments depend on: the
+// application's fork-join phase structure, thread count, the rough ratio
+// of memory traffic to compute, and — crucially — its sharing pattern.
+// Applications with false sharing (linear_regression, streamcluster) and
+// with minor false sharing (histogram, reverse_index, word_count) provide
+// both the original ("broken") layout and the padded fix, so experiments
+// measure real speedups rather than assuming them.
+//
+// Work is partitioned over the configured thread count with constant
+// total work, matching how the paper's benchmarks scale.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	cheetah "repro"
+	"repro/internal/mem"
+)
+
+// Params configures one workload instantiation.
+type Params struct {
+	// Threads is the number of worker threads per parallel phase; zero
+	// means the workload default (16, as in the paper's evaluation).
+	Threads int
+	// Scale multiplies the total work; zero means 1.0. Unit tests use
+	// small scales, experiments use 1.0.
+	Scale float64
+	// Fixed selects the padded (false-sharing-free) layout for workloads
+	// that have one.
+	Fixed bool
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults(defThreads int) Params {
+	if p.Threads == 0 {
+		p.Threads = defThreads
+	}
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	return p
+}
+
+// scaled returns n*Scale, at least 1.
+func (p Params) scaled(n int) int {
+	v := int(float64(n) * p.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// FSKind describes a workload's false sharing, for experiment assertions.
+type FSKind uint8
+
+const (
+	// NoFS means the workload has no false sharing.
+	NoFS FSKind = iota
+	// SignificantFS means fixing it yields a large speedup
+	// (linear_regression, streamcluster).
+	SignificantFS
+	// MinorFS means false sharing exists (Predator-style full
+	// instrumentation finds it) but its impact is negligible — the
+	// Figure 7 applications.
+	MinorFS
+)
+
+// Workload is one benchmark analog.
+type Workload struct {
+	// Name matches the paper's application name.
+	Name string
+	// Suite is "phoenix" or "parsec".
+	Suite string
+	// FS classifies the workload's false sharing.
+	FS FSKind
+	// FSSite is the allocation site (file:line) or global name of the
+	// falsely-shared object, when FS != NoFS.
+	FSSite string
+	// DefaultThreads is the per-phase worker count (16 in the paper).
+	DefaultThreads int
+	// TotalThreads returns the number of threads the program creates in
+	// total for the given per-phase count (kmeans creates 224, x264
+	// 1024, per paper §4.1).
+	TotalThreads func(perPhase int) int
+	// Build allocates the workload's data on the system and returns its
+	// program.
+	Build func(sys *cheetah.System, p Params) cheetah.Program
+}
+
+// registry holds all workloads keyed by name.
+var registry = map[string]*Workload{}
+
+// register adds a workload at init time.
+func register(w *Workload) {
+	if w.DefaultThreads == 0 {
+		w.DefaultThreads = 16
+	}
+	if w.TotalThreads == nil {
+		w.TotalThreads = func(perPhase int) int { return perPhase }
+	}
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// All returns every registered workload sorted by name — the Figure 4
+// x-axis order.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns all workload names in sorted order.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// splitRange divides [0, total) into threads contiguous chunks and
+// returns chunk i as [lo, hi).
+func splitRange(total, threads, i int) (lo, hi int) {
+	chunk := total / threads
+	lo = i * chunk
+	hi = lo + chunk
+	if i == threads-1 {
+		hi = total
+	}
+	return lo, hi
+}
+
+// rng returns a deterministic SplitMix64 generator.
+func rng(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// streamLoads issues n sequential 4-byte loads over region, wrapping at
+// bytes, starting from offset start — the inner loop of scan-heavy
+// workloads.
+func streamLoads(t *cheetah.T, region mem.Addr, bytes, start, n int) {
+	off := start % bytes
+	for i := 0; i < n; i++ {
+		t.Load(region.Add(off))
+		off += mem.WordSize
+		if off >= bytes {
+			off = 0
+		}
+	}
+}

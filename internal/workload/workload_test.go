@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	cheetah "repro"
+)
+
+// paperApps is the Figure 4 application list.
+var paperApps = []string{
+	"blackscholes", "bodytrack", "canneal", "facesim", "fluidanimate",
+	"freqmine", "histogram", "kmeans", "linear_regression",
+	"matrix_multiply", "pca", "string_match", "reverse_index",
+	"streamcluster", "swaptions", "word_count", "x264",
+}
+
+func TestRegistryCoversPaperApplications(t *testing.T) {
+	for _, name := range paperApps {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("workload %q missing from registry", name)
+		}
+	}
+	if _, ok := ByName("figure1"); !ok {
+		t.Error("figure1 microbenchmark missing")
+	}
+	if got := len(All()); got != len(paperApps)+1 {
+		t.Errorf("registry has %d workloads, want %d", got, len(paperApps)+1)
+	}
+}
+
+// tinyRun builds and runs a workload natively at small scale.
+func tinyRun(t *testing.T, name string, p Params) cheetah.Result {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 17})
+	prog := w.Build(sys, p)
+	if prog.Name != name {
+		t.Errorf("program name %q, want %q", prog.Name, name)
+	}
+	return sys.Run(prog)
+}
+
+func TestAllWorkloadsRunAtSmallScale(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			res := tinyRun(t, w.Name, Params{Threads: 4, Scale: 0.01})
+			if res.TotalCycles == 0 {
+				t.Fatal("zero runtime")
+			}
+			if len(res.Phases) == 0 {
+				t.Fatal("no phases recorded")
+			}
+			// Count distinct spawned (non-main) threads and check against
+			// the workload's advertised total (pooled threads reappear in
+			// several phases but are created once).
+			workers := map[int32]bool{}
+			for _, th := range res.Threads {
+				if th.ID != 0 {
+					workers[int32(th.ID)] = true
+				}
+			}
+			if want := w.TotalThreads(4); len(workers) != want {
+				t.Errorf("spawned %d worker threads, want %d", len(workers), want)
+			}
+		})
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, name := range []string{"linear_regression", "canneal", "streamcluster"} {
+		r1 := tinyRun(t, name, Params{Threads: 4, Scale: 0.01})
+		r2 := tinyRun(t, name, Params{Threads: 4, Scale: 0.01})
+		if r1.TotalCycles != r2.TotalCycles {
+			t.Errorf("%s: nondeterministic runtimes %d vs %d", name, r1.TotalCycles, r2.TotalCycles)
+		}
+	}
+}
+
+func TestSignificantFSWorkloadsBenefitFromFix(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		minGain float64
+	}{
+		{"linear_regression", 1.3},
+		{"streamcluster", 1.005},
+		{"figure1", 2.0},
+	} {
+		broken := tinyRun(t, tc.name, Params{Threads: 8, Scale: 0.05})
+		fixed := tinyRun(t, tc.name, Params{Threads: 8, Scale: 0.05, Fixed: true})
+		gain := float64(broken.TotalCycles) / float64(fixed.TotalCycles)
+		if gain < tc.minGain {
+			t.Errorf("%s: fix gains only %.3fx, want >= %.3fx", tc.name, gain, tc.minGain)
+		}
+	}
+}
+
+func TestMinorFSWorkloadsGainLittle(t *testing.T) {
+	// The Figure 7 property: fixing these yields <1% (paper: <0.2%).
+	for _, name := range []string{"histogram", "reverse_index", "word_count"} {
+		broken := tinyRun(t, name, Params{Threads: 8, Scale: 0.05})
+		fixed := tinyRun(t, name, Params{Threads: 8, Scale: 0.05, Fixed: true})
+		gain := float64(broken.TotalCycles) / float64(fixed.TotalCycles)
+		if gain > 1.01 {
+			t.Errorf("%s: fix gains %.4fx, want negligible", name, gain)
+		}
+		if gain < 0.99 {
+			t.Errorf("%s: fix slows down by %.4fx", name, gain)
+		}
+	}
+}
+
+func TestFigure1RealityVsExpectation(t *testing.T) {
+	// Figure 1(b): with false sharing, 8 threads run far slower than the
+	// linear-speedup expectation.
+	single := tinyRun(t, "figure1", Params{Threads: 1, Scale: 0.05})
+	eight := tinyRun(t, "figure1", Params{Threads: 8, Scale: 0.05})
+	expectation := float64(single.TotalCycles) / 8
+	slowdown := float64(eight.TotalCycles) / expectation
+	if slowdown < 4 {
+		t.Errorf("8-thread reality only %.1fx over expectation, want >= 4x", slowdown)
+	}
+	// And the fixed variant must roughly meet the expectation.
+	fixed := tinyRun(t, "figure1", Params{Threads: 8, Scale: 0.05, Fixed: true})
+	ratio := float64(fixed.TotalCycles) / expectation
+	if ratio > 2 {
+		t.Errorf("fixed 8-thread run %.1fx over linear-speedup expectation", ratio)
+	}
+}
+
+func TestThreadCountScalesWork(t *testing.T) {
+	// Total work constant: more threads => shorter runtime for FS-free
+	// workloads.
+	two := tinyRun(t, "blackscholes", Params{Threads: 2, Scale: 0.05})
+	eight := tinyRun(t, "blackscholes", Params{Threads: 8, Scale: 0.05})
+	speedup := float64(two.TotalCycles) / float64(eight.TotalCycles)
+	// The serial input phase caps the speedup (Amdahl), as in the real app.
+	if speedup < 1.7 {
+		t.Errorf("8 vs 2 threads speedup %.2fx, want >= 1.7x", speedup)
+	}
+}
+
+func TestTotalThreadCounts(t *testing.T) {
+	// kmeans creates 14x and x264 64x its per-phase threads — the paper's
+	// 224 and 1024 at 16 threads (§4.1).
+	km, _ := ByName("kmeans")
+	if got := km.TotalThreads(16); got != 224 {
+		t.Errorf("kmeans TotalThreads(16) = %d, want 224", got)
+	}
+	xx, _ := ByName("x264")
+	if got := xx.TotalThreads(16); got != 1024 {
+		t.Errorf("x264 TotalThreads(16) = %d, want 1024", got)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults(16)
+	if p.Threads != 16 || p.Scale != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if got := (Params{Scale: 0.001}).scaled(100); got != 1 {
+		t.Errorf("scaled floor = %d, want 1", got)
+	}
+}
+
+func TestSplitRangeCoversAll(t *testing.T) {
+	for _, total := range []int{7, 16, 100, 101} {
+		for _, threads := range []int{1, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for i := 0; i < threads; i++ {
+				lo, hi := splitRange(total, threads, i)
+				if lo != prevHi {
+					t.Fatalf("splitRange(%d,%d,%d) gap: lo=%d prevHi=%d", total, threads, i, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != total {
+				t.Errorf("splitRange(%d,%d) covers %d", total, threads, covered)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName returned a workload for an unknown name")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
