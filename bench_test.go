@@ -6,7 +6,7 @@
 //
 // reproduces the paper's results in one sweep. The benchmarks run at a
 // reduced scale to stay fast; `go run ./cmd/fsbench` regenerates the
-// full-scale tables recorded in EXPERIMENTS.md.
+// full-scale tables and the BENCH_harness.json trajectory entry.
 package cheetah_test
 
 import (
@@ -17,8 +17,11 @@ import (
 )
 
 // benchConfig is the reduced-scale configuration for benchmarks.
+// Workers -1 selects a private full-width runner per call: benchmarks
+// must re-execute their cells each iteration rather than hit the
+// package-level memoizing runner.
 func benchConfig() harness.Config {
-	return harness.Config{Scale: 0.25, Threads: 16}
+	return harness.Config{Scale: 0.25, Threads: 16, Workers: -1}
 }
 
 // BenchmarkFigure1 regenerates the motivation microbenchmark: reality vs
@@ -57,7 +60,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	var improvement float64
 	for i := 0; i < b.N; i++ {
-		rep, _ := harness.Figure5("linear_regression", harness.Config{Scale: 1, Threads: 16})
+		rep, _ := harness.Figure5("linear_regression", harness.Config{Scale: 1, Threads: 16, Workers: -1})
 		if len(rep.Instances) == 0 {
 			b.Fatal("case-study instance not detected")
 		}
@@ -92,7 +95,7 @@ func BenchmarkTable1(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		worst = 0
-		for _, r := range harness.Table1(harness.Config{Scale: 1, Threads: 16}) {
+		for _, r := range harness.Table1(harness.Config{Scale: 1, Threads: 16, Workers: -1}) {
 			if !r.Detected {
 				b.Fatalf("%s threads=%d: not detected", r.App, r.Threads)
 			}
@@ -145,6 +148,32 @@ func BenchmarkAblationRule(b *testing.B) {
 		}
 	}
 	b.ReportMetric(ratio, "x-two-entry-overreport")
+}
+
+// BenchmarkRunAll regenerates the entire evaluation through the
+// concurrent experiment runner — the end-to-end number the bench
+// trajectory (BENCH_harness.json, via cmd/fsbench) tracks across
+// revisions. Cells shared between experiments are executed once; the
+// dedup ratio is reported alongside.
+func BenchmarkRunAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(0)
+		res := harness.RunAllWith(r, benchConfig())
+		if len(res.Metrics()) == 0 {
+			b.Fatal("sweep produced no metrics")
+		}
+		b.ReportMetric(float64(r.CellsRun()), "cells/op")
+	}
+}
+
+// BenchmarkRunAllSerial is the forced-serial baseline for BenchmarkRunAll:
+// the ratio of the two is the runner's parallel speedup on this machine.
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Workers = 1
+		harness.RunAll(cfg)
+	}
 }
 
 // BenchmarkEngineThroughput measures the simulator substrate itself:

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,40 +27,52 @@ import (
 )
 
 func main() {
-	threads := flag.Int("threads", 16, "worker threads per parallel phase")
-	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	period := flag.Uint64("period", 0, "sampling period in instructions (0 = calibrated default)")
-	words := flag.Bool("words", false, "print word-level access detail for each instance")
-	candidates := flag.Bool("candidates", false, "also print non-significant candidates")
-	fixed := flag.Bool("fixed", false, "run the padded (fixed) layout instead of the original")
-	list := flag.Bool("list", false, "list available workloads and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cheetah", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threads := fs.Int("threads", 16, "worker threads per parallel phase")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	period := fs.Uint64("period", 0, "sampling period in instructions (0 = calibrated default)")
+	words := fs.Bool("words", false, "print word-level access detail for each instance")
+	candidates := fs.Bool("candidates", false, "also print non-significant candidates")
+	fixed := fs.Bool("fixed", false, "run the padded (fixed) layout instead of the original")
+	list := fs.Bool("list", false, "list available workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, w := range workload.All() {
-			fs := ""
+			note := ""
 			switch w.FS {
 			case workload.SignificantFS:
-				fs = " [significant false sharing: " + w.FSSite + "]"
+				note = " [significant false sharing: " + w.FSSite + "]"
 			case workload.MinorFS:
-				fs = " [minor false sharing: " + w.FSSite + "]"
+				note = " [minor false sharing: " + w.FSSite + "]"
 			}
-			fmt.Printf("%-20s %s%s\n", w.Name, w.Suite, fs)
+			fmt.Fprintf(stdout, "%-20s %s%s\n", w.Name, w.Suite, note)
 		}
-		return
+		return 0
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cheetah [flags] <workload>  (or cheetah -list)")
-		flag.Usage()
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cheetah [flags] <workload>  (or cheetah -list)")
+		fs.Usage()
+		return 2
 	}
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 	w, ok := workload.ByName(name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "cheetah: unknown workload %q; available: %s\n",
+		fmt.Fprintf(stderr, "cheetah: unknown workload %q; available: %s\n",
 			name, strings.Join(workload.Names(), ", "))
-		os.Exit(2)
+		return 2
 	}
 
 	sys := cheetah.New(cheetah.Config{})
@@ -72,23 +86,24 @@ func main() {
 	}
 	report, res := sys.Profile(prog, cheetah.ProfileOptions{PMU: cfg})
 
-	fmt.Print(report.Format())
+	fmt.Fprint(stdout, report.Format())
 	if *words {
 		for i := range report.Instances {
-			fmt.Println()
-			fmt.Print(report.Instances[i].FormatWords())
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, report.Instances[i].FormatWords())
 		}
 	}
 	if *candidates && len(report.Candidates) > 0 {
-		fmt.Printf("\n%d further candidates (true sharing or below significance thresholds):\n",
+		fmt.Fprintf(stdout, "\n%d further candidates (true sharing or below significance thresholds):\n",
 			len(report.Candidates))
 		for _, c := range report.Candidates {
 			kind := "false sharing (insignificant)"
 			if !c.FalseSharing {
 				kind = "true sharing"
 			}
-			fmt.Printf("  %v..%v  %-30s invalidations %d\n", c.Object.Start, c.Object.End, kind, c.Invalidations)
+			fmt.Fprintf(stdout, "  %v..%v  %-30s invalidations %d\n", c.Object.Start, c.Object.End, kind, c.Invalidations)
 		}
 	}
-	fmt.Printf("\nruntime %d cycles across %d phases\n", res.TotalCycles, len(res.Phases))
+	fmt.Fprintf(stdout, "\nruntime %d cycles across %d phases\n", res.TotalCycles, len(res.Phases))
+	return 0
 }

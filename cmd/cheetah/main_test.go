@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"linear_regression", "streamcluster", "figure1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunProfilesWorkload(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-threads", "4", "-scale", "0.2", "linear_regression"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"runtime", "phases"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"no_such_workload"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown workload") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut.String())
+	}
+}
+
+func TestRunRejectsMissingArgument(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-threads") {
+		t.Errorf("usage text missing flags:\n%s", errOut.String())
+	}
+}

@@ -4,72 +4,107 @@
 // Usage:
 //
 //	fsbench -experiment fig1|fig4|fig5|fig7|table1|compare|ablation|all
-//	        [-scale 1.0] [-threads 16] [-app linear_regression]
+//	        [-scale 1.0] [-threads 16] [-workers 0] [-app linear_regression]
+//	        [-bench-out BENCH_harness.json]
 //
-// Each experiment prints the same rows or series the paper reports;
-// EXPERIMENTS.md records the paper-vs-measured comparison.
+// Each experiment prints the same rows or series the paper reports.
+// Experiment cells run concurrently on a -workers pool (0 = GOMAXPROCS, 1 = serial);
+// results are identical at any worker count. With -experiment all,
+// -bench-out additionally writes a machine-readable trajectory entry
+// (headline metrics, wall-clock, cells executed) so performance and
+// result drift can be tracked across revisions.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/harness"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	experiment := fs.String("experiment", "all",
 		"which experiment to run: fig1, fig4, fig5, fig7, table1, compare, ablation, all")
-	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	threads := flag.Int("threads", 16, "worker threads per parallel phase")
-	app := flag.String("app", "linear_regression", "application for fig5 (case study report)")
-	flag.Parse()
-
-	cfg := harness.Config{Scale: *scale, Threads: *threads}
-
-	run := func(name string, fn func()) {
-		switch *experiment {
-		case name, "all":
-			fn()
-			fmt.Println()
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	threads := fs.Int("threads", 16, "worker threads per parallel phase")
+	workers := fs.Int("workers", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	app := fs.String("app", "linear_regression", "application for fig5 (case study report)")
+	benchOut := fs.String("bench-out", "",
+		"path for the machine-readable bench trajectory entry (with -experiment all)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
 		}
+		return 2
 	}
 
-	any := false
-	for _, known := range []string{"fig1", "fig4", "fig5", "fig7", "table1", "compare", "ablation", "all"} {
-		if *experiment == known {
-			any = true
+	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers}
+
+	switch *experiment {
+	case "all":
+		r := harness.NewRunner(cfg.Workers)
+		start := time.Now()
+		res := harness.RunAllWith(r, cfg)
+		elapsed := time.Since(start)
+		fmt.Fprint(stdout, res.Format())
+		if *benchOut != "" {
+			resolved := cfg.Workers
+			if resolved <= 0 {
+				resolved = runtime.GOMAXPROCS(0)
+			}
+			entry := harness.BenchEntry{
+				Schema:      harness.BenchSchema,
+				Workers:     resolved,
+				CellsRun:    r.CellsRun(),
+				WallSeconds: elapsed.Seconds(),
+				Scale:       *scale,
+				Threads:     *threads,
+				Metrics:     res.Metrics(),
+			}
+			b, err := entry.MarshalIndent()
+			if err == nil {
+				err = os.WriteFile(*benchOut, b, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "fsbench: writing %s: %v\n", *benchOut, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "\nwrote bench trajectory entry to %s (%d cells, %.1fs)\n",
+				*benchOut, entry.CellsRun, entry.WallSeconds)
 		}
-	}
-	if !any {
-		fmt.Fprintf(os.Stderr, "fsbench: unknown experiment %q\n", *experiment)
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	run("fig1", func() {
-		fmt.Print(harness.FormatFigure1(harness.Figure1(cfg)))
-	})
-	run("fig4", func() {
-		fmt.Print(harness.FormatFigure4(harness.Figure4(cfg)))
-	})
-	run("fig5", func() {
+	case "fig1":
+		fmt.Fprint(stdout, harness.FormatFigure1(harness.Figure1(cfg)))
+	case "fig4":
+		fmt.Fprint(stdout, harness.FormatFigure4(harness.Figure4(cfg)))
+	case "fig5":
 		_, text := harness.Figure5(*app, cfg)
-		fmt.Printf("Figure 5: Cheetah report for %s\n\n%s", *app, text)
-	})
-	run("fig7", func() {
-		fmt.Print(harness.FormatFigure7(harness.Figure7(cfg)))
-	})
-	run("table1", func() {
-		fmt.Print(harness.FormatTable1(harness.Table1(cfg)))
-	})
-	run("compare", func() {
-		fmt.Print(harness.FormatCompare(harness.Compare(cfg)))
-	})
-	run("ablation", func() {
-		fmt.Print(harness.FormatPeriodAblation(harness.PeriodAblation(cfg)))
-		fmt.Println()
-		fmt.Print(harness.FormatRuleAblation(harness.RuleAblation(cfg)))
-	})
+		fmt.Fprintf(stdout, "Figure 5: Cheetah report for %s\n\n%s", *app, text)
+	case "fig7":
+		fmt.Fprint(stdout, harness.FormatFigure7(harness.Figure7(cfg)))
+	case "table1":
+		fmt.Fprint(stdout, harness.FormatTable1(harness.Table1(cfg)))
+	case "compare":
+		fmt.Fprint(stdout, harness.FormatCompare(harness.Compare(cfg)))
+	case "ablation":
+		fmt.Fprint(stdout, harness.FormatPeriodAblation(harness.PeriodAblation(cfg)))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, harness.FormatRuleAblation(harness.RuleAblation(cfg)))
+	default:
+		fmt.Fprintf(stderr, "fsbench: unknown experiment %q\n", *experiment)
+		fs.Usage()
+		return 2
+	}
+	return 0
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-experiment", "fig1", "-scale", "0.2", "-threads", "4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "reality/expectation") {
+		t.Errorf("fig1 output missing header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "fig99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut.String())
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-experiment") {
+		t.Errorf("usage text missing flags:\n%s", errOut.String())
+	}
+}
+
+func TestRunAllWritesBenchTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_harness.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-experiment", "all", "-scale", "0.1", "-threads", "4",
+		"-bench-out", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"Figure 1", "Figure 4", "Table 1", "Ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("all-experiments output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bench trajectory not written: %v", err)
+	}
+	var entry harness.BenchEntry
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		t.Fatalf("bench trajectory is not valid JSON: %v\n%s", err, raw)
+	}
+	if entry.Schema != harness.BenchSchema {
+		t.Errorf("schema = %q, want %q", entry.Schema, harness.BenchSchema)
+	}
+	if entry.CellsRun == 0 || entry.WallSeconds <= 0 || entry.Workers == 0 {
+		t.Errorf("entry missing run statistics: %+v", entry)
+	}
+	if len(entry.Metrics) == 0 {
+		t.Error("entry has no metrics")
+	}
+}

@@ -13,6 +13,12 @@
 // The latency channel is what the PMU simulator exposes to Cheetah
 // (paper Observation 2: "the latency of memory accesses with false sharing
 // are significantly higher than that of other accesses").
+//
+// Every experiment in the reproduction spends most of its cycles inside
+// Access, so the directory is a sharded open-addressed table (dir.go)
+// rather than a Go map, per-line state (sharer set, invalidation count,
+// contention count, pending-transfer queue) lives inline in the entry,
+// and the steady state of an access allocates nothing.
 package cache
 
 import (
@@ -137,14 +143,24 @@ func (s lineState) String() string {
 }
 
 // dirEntry tracks, for one cache line, which cores hold a copy and in what
-// state.
+// state, plus all other per-line simulator state. Entries live inline in
+// the directory table's slots (dir.go), parallel to the key array.
 type dirEntry struct {
 	state   lineState
 	owner   int32 // valid when state == modified
-	sharers bitset
+	sharers sharerSet
 	// availableAt is the earliest time the line's ownership can next be
 	// transferred; steals arriving earlier stall (Hold semantics).
 	availableAt uint64
+	// invals is the ground-truth count of invalidation events on the line.
+	invals uint64
+	// contention is the number of in-window contention-tracker events on
+	// the line (maintained by noteContention/evictContention).
+	contention int32
+	// pendHead indexes the first live element of pending; the queue pops
+	// by advancing it and resets to reuse the backing array, so the
+	// steady state allocates nothing.
+	pendHead int32
 	// pending holds in-flight transfers in completion-time order: a steal
 	// is granted at its effective time, and until then the current owner
 	// keeps servicing its own accesses from L1. This is what bounds the
@@ -183,17 +199,15 @@ type Stats struct {
 }
 
 // Sim is the coherence simulator. It is not safe for concurrent use; the
-// execution engine serializes accesses in virtual-time order.
+// execution engine serializes accesses in virtual-time order. Concurrent
+// experiments each run their own Sim.
 type Sim struct {
 	cfg Config
 	// l1 and l2 are per-core private caches; l3 is shared.
 	l1, l2 []*setAssoc
 	l3     *setAssoc
-	dir    map[uint64]*dirEntry
+	dir    *dirTable
 	stats  Stats
-	// invalidations is the ground-truth per-line invalidation count, used
-	// by tests and experiments to validate the detector.
-	invalidations map[uint64]uint64
 	// contention tracks cores active in recent coherence events for the
 	// interconnect-queueing latency term.
 	contention contentionTracker
@@ -203,24 +217,35 @@ type Sim struct {
 	// as on real machines where streaming loads and stores do not pay
 	// full memory latency.
 	lastMiss []uint64
+	// hintLine and hintEntry cache each core's last directory lookup:
+	// accesses are bursty per line (sixteen 4-byte words per streamed
+	// line), so most lookups can skip the table probe. hintGen guards
+	// against entry movement: a directory grow bumps dir.gen, voiding
+	// every hint.
+	hintLine  []uint64
+	hintEntry []*dirEntry
+	hintGen   uint64
 }
 
 // contentionTracker measures the machine-wide rate of coherence traffic:
-// it keeps recent coherence events (timestamp and cache line) and, for a
-// new event, reports how many in-window events concern *other* lines.
-// The latency term derived from it models interconnect queueing between
-// concurrent line transfers: same-line serialization is already captured
-// by the hold/pending mechanism, so a single ping-pong pair pays no
-// queueing, while a program whose threads ping-pong many distinct lines
-// sees every transfer slow down.
+// it keeps recent coherence events (timestamp and cache line) in a ring
+// buffer and, for a new event, reports how many in-window events concern
+// *other* lines. The latency term derived from it models interconnect
+// queueing between concurrent line transfers: same-line serialization is
+// already captured by the hold/pending mechanism, so a single ping-pong
+// pair pays no queueing, while a program whose threads ping-pong many
+// distinct lines sees every transfer slow down.
+//
+// The per-line in-window counts live in the directory entries themselves
+// (dirEntry.contention), so tracking an event costs two ring operations
+// and no map traffic.
 type contentionTracker struct {
 	window uint64
 	cap    int
-	// events is a FIFO of in-window coherence events.
+	// events is a power-of-two ring buffer of in-window events.
 	events []contentionEvent
 	head   int
-	// perLine counts in-window events by line.
-	perLine map[uint64]int
+	size   int
 }
 
 type contentionEvent struct {
@@ -232,45 +257,63 @@ func newContentionTracker(window uint64, cap int) contentionTracker {
 	if cap <= 0 {
 		cap = 256
 	}
-	return contentionTracker{window: window, cap: cap, perLine: make(map[uint64]int)}
+	return contentionTracker{window: window, cap: cap}
 }
 
-// evict drops events older than the window ending at now.
-func (c *contentionTracker) evict(now uint64) {
+// push appends an event, growing the ring when full.
+func (c *contentionTracker) push(ev contentionEvent) {
+	if c.size == len(c.events) {
+		n := len(c.events) * 2
+		if n == 0 {
+			n = 64
+		}
+		grown := make([]contentionEvent, n)
+		for i := 0; i < c.size; i++ {
+			grown[i] = c.events[(c.head+i)&(len(c.events)-1)]
+		}
+		c.events = grown
+		c.head = 0
+	}
+	c.events[(c.head+c.size)&(len(c.events)-1)] = ev
+	c.size++
+}
+
+// evictContention drops events older than the window ending at now,
+// decrementing the per-line counts they contributed.
+func (s *Sim) evictContention(now uint64) {
+	c := &s.contention
 	cutoff := uint64(0)
 	if now > c.window {
 		cutoff = now - c.window
 	}
-	for c.head < len(c.events) && c.events[c.head].time < cutoff {
-		ev := c.events[c.head]
-		if n := c.perLine[ev.line] - 1; n == 0 {
-			delete(c.perLine, ev.line)
-		} else {
-			c.perLine[ev.line] = n
+	for c.size > 0 {
+		ev := c.events[c.head&(len(c.events)-1)]
+		if ev.time >= cutoff {
+			break
 		}
-		c.head++
-	}
-	// Compact once the dead prefix dominates.
-	if c.head > 64 && c.head*2 > len(c.events) {
-		c.events = append(c.events[:0], c.events[c.head:]...)
-		c.head = 0
+		c.head = (c.head + 1) & (len(c.events) - 1)
+		c.size--
+		if e := s.dir.find(ev.line); e != nil {
+			e.contention--
+		}
 	}
 }
 
-// note records a coherence event on line at time now and returns the
-// extra latency due to in-flight transfers of other lines.
-func (c *contentionTracker) note(now uint64, line uint64, penalty uint32) uint32 {
+// noteContention records a coherence event on e's line at time now and
+// returns the extra latency due to in-flight transfers of other lines.
+func (s *Sim) noteContention(now uint64, line uint64, e *dirEntry) uint32 {
+	c := &s.contention
 	if c.window == 0 {
 		return 0
 	}
-	c.evict(now)
-	others := (len(c.events) - c.head) - c.perLine[line]
-	c.events = append(c.events, contentionEvent{time: now, line: line})
-	c.perLine[line]++
+	s.evictContention(now)
+	others := c.size - int(e.contention)
+	c.push(contentionEvent{time: now, line: line})
+	e.contention++
 	if others > c.cap {
 		others = c.cap
 	}
-	return penalty * uint32(others)
+	return s.cfg.Lat.ContentionPenalty * uint32(others)
 }
 
 // New creates a simulator for the given configuration.
@@ -279,22 +322,26 @@ func New(cfg Config) *Sim {
 		panic(fmt.Sprintf("cache: invalid core count %d", cfg.Cores))
 	}
 	s := &Sim{
-		cfg:           cfg,
-		l1:            make([]*setAssoc, cfg.Cores),
-		l2:            make([]*setAssoc, cfg.Cores),
-		l3:            newSetAssoc(cfg.L3Sets, cfg.L3Ways),
-		dir:           make(map[uint64]*dirEntry),
-		invalidations: make(map[uint64]uint64),
-		contention:    newContentionTracker(cfg.Lat.ContentionWindow, cfg.Lat.ContentionCap),
+		cfg:        cfg,
+		l1:         make([]*setAssoc, cfg.Cores),
+		l2:         make([]*setAssoc, cfg.Cores),
+		l3:         newSetAssoc(cfg.L3Sets, cfg.L3Ways),
+		dir:        newDirTable(cfg.Cores),
+		contention: newContentionTracker(cfg.Lat.ContentionWindow, cfg.Lat.ContentionCap),
 	}
-	for i := 0; i < cfg.Cores; i++ {
-		s.l1[i] = newSetAssoc(cfg.L1Sets, cfg.L1Ways)
-		s.l2[i] = newSetAssoc(cfg.L2Sets, cfg.L2Ways)
-	}
+	// Private caches are allocated on a core's first access: workloads
+	// rarely touch all cores of the 48-core machine, and zeroing every
+	// core's arrays would dominate the setup cost of the small simulators
+	// experiment cells build in bulk.
 	s.lastMiss = make([]uint64, cfg.Cores)
 	for i := range s.lastMiss {
 		s.lastMiss[i] = ^uint64(0)
 	}
+	s.hintLine = make([]uint64, cfg.Cores)
+	for i := range s.hintLine {
+		s.hintLine[i] = ^uint64(0)
+	}
+	s.hintEntry = make([]*dirEntry, cfg.Cores)
 	return s
 }
 
@@ -307,21 +354,24 @@ func (s *Sim) Stats() Stats { return s.stats }
 // LineInvalidations returns the ground-truth number of invalidation events
 // observed on the cache line containing addr.
 func (s *Sim) LineInvalidations(addr mem.Addr) uint64 {
-	return s.invalidations[addr.Line()]
+	if e := s.dir.find(addr.Line()); e != nil {
+		return e.invals
+	}
+	return 0
 }
 
-// TotalLineInvalidations returns the per-line invalidation table. The
-// returned map is live; callers must not mutate it.
-func (s *Sim) TotalLineInvalidations() map[uint64]uint64 { return s.invalidations }
-
-// entry returns the directory entry for a line, creating it on first use.
-func (s *Sim) entry(line uint64) *dirEntry {
-	e := s.dir[line]
-	if e == nil {
-		e = &dirEntry{state: invalid, sharers: newBitset(s.cfg.Cores)}
-		s.dir[line] = e
-	}
-	return e
+// TotalLineInvalidations returns the per-line invalidation table as a
+// fresh snapshot (lines with zero invalidations are omitted). Building
+// the snapshot walks the directory, so callers should hold on to the
+// result rather than call in a loop.
+func (s *Sim) TotalLineInvalidations() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	s.dir.forEach(func(line uint64, e *dirEntry) {
+		if e.invals > 0 {
+			out[line] = e.invals
+		}
+	})
+	return out
 }
 
 // Access simulates one memory access by the given core at virtual time
@@ -333,9 +383,30 @@ func (s *Sim) Access(core int, addr mem.Addr, write bool, now uint64) uint32 {
 	if core < 0 || core >= s.cfg.Cores {
 		panic(fmt.Sprintf("cache: core %d out of range [0,%d)", core, s.cfg.Cores))
 	}
+	if s.l1[core] == nil {
+		s.l1[core] = newSetAssoc(s.cfg.L1Sets, s.cfg.L1Ways)
+		s.l2[core] = newSetAssoc(s.cfg.L2Sets, s.cfg.L2Ways)
+	}
 	line := addr.Line()
-	e := s.entry(line)
-	s.commitPending(e, line, now)
+	var e *dirEntry
+	if s.hintGen == s.dir.gen && s.hintLine[core] == line {
+		e = s.hintEntry[core]
+	} else {
+		e = s.dir.entry(line)
+		if s.hintGen != s.dir.gen {
+			// A grow moved entries; every cached pointer is void.
+			for i := range s.hintEntry {
+				s.hintEntry[i] = nil
+				s.hintLine[i] = ^uint64(0)
+			}
+			s.hintGen = s.dir.gen
+		}
+		s.hintLine[core] = line
+		s.hintEntry[core] = e
+	}
+	if int(e.pendHead) < len(e.pending) {
+		s.commitPending(e, line, now)
+	}
 
 	var lat uint32
 	if write {
@@ -406,7 +477,7 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 		// false-sharing ping-pong step. The steal is granted only after
 		// the current owner's hold expires and earlier in-flight
 		// transfers complete.
-		s.recordInvalidation(line, 1)
+		s.recordInvalidation(e, 1)
 		s.stats.RemoteTransfers++
 		return s.enqueueTransfer(e, line, core, false, now)
 	case shared:
@@ -414,7 +485,7 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 		holds := e.sharers.get(core)
 		if others > 0 {
 			// Upgrade: invalidate every other sharer.
-			s.recordInvalidation(line, others)
+			s.recordInvalidation(e, others)
 			e.sharers.forEach(func(c int) {
 				if c != core {
 					s.evictRemote(c, line)
@@ -426,7 +497,7 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 			e.sharers.set(core)
 			s.fill(core, line)
 			lat := s.cfg.Lat.Upgrade + uint32(others-1)*s.cfg.Lat.PerSharer +
-				s.contention.note(now, line, s.cfg.Lat.ContentionPenalty)
+				s.noteContention(now, line, e)
 			e.availableAt = now + uint64(lat) + uint64(s.cfg.Lat.Hold)
 			return lat
 		}
@@ -452,15 +523,15 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 	}
 }
 
-// recordInvalidation logs n remote-copy invalidations of line as a single
-// coherence event for ground-truth purposes (one event per invalidating
-// write, matching the detector's counting rule).
-func (s *Sim) recordInvalidation(line uint64, n int) {
+// recordInvalidation logs n remote-copy invalidations of e's line as a
+// single coherence event for ground-truth purposes (one event per
+// invalidating write, matching the detector's counting rule).
+func (s *Sim) recordInvalidation(e *dirEntry, n int) {
 	if n <= 0 {
 		return
 	}
 	s.stats.Invalidations++
-	s.invalidations[line]++
+	e.invals++
 }
 
 // evictRemote removes a line from another core's private caches.
@@ -519,8 +590,13 @@ func (s *Sim) enqueueTransfer(e *dirEntry, line uint64, core int, read bool, now
 	if e.availableAt > start {
 		start = e.availableAt
 	}
-	end := start + uint64(s.cfg.Lat.Remote) + uint64(s.contention.note(now, line, s.cfg.Lat.ContentionPenalty))
+	end := start + uint64(s.cfg.Lat.Remote) + uint64(s.noteContention(now, line, e))
 	e.availableAt = end + uint64(s.cfg.Lat.Hold)
+	// Drained queue: rewind so the backing array is reused.
+	if n := int(e.pendHead); n > 0 && n == len(e.pending) {
+		e.pending = e.pending[:0]
+		e.pendHead = 0
+	}
 	e.pending = append(e.pending, pendingTransfer{core: int32(core), read: read, effectiveAt: end})
 	return uint32(end - now)
 }
@@ -528,9 +604,9 @@ func (s *Sim) enqueueTransfer(e *dirEntry, line uint64, core int, read bool, now
 // commitPending applies every in-flight transfer that has completed by
 // time now, in completion order.
 func (s *Sim) commitPending(e *dirEntry, line uint64, now uint64) {
-	for len(e.pending) > 0 && e.pending[0].effectiveAt <= now {
-		p := e.pending[0]
-		e.pending = e.pending[1:]
+	for int(e.pendHead) < len(e.pending) && e.pending[e.pendHead].effectiveAt <= now {
+		p := e.pending[e.pendHead]
+		e.pendHead++
 		dst := int(p.core)
 		if p.read {
 			// Downgrade: the previous owner keeps a clean shared copy,
@@ -556,7 +632,7 @@ func (s *Sim) commitPending(e *dirEntry, line uint64, now uint64) {
 			}
 		})
 		e.state = modified
-		e.owner = int32(p.core)
+		e.owner = p.core
 		e.sharers.clear()
 		e.sharers.set(dst)
 		s.fill(dst, line)
@@ -565,7 +641,7 @@ func (s *Sim) commitPending(e *dirEntry, line uint64, now uint64) {
 
 // directoryState exposes a line's MESI state for tests.
 func (s *Sim) directoryState(line uint64) (lineState, int, int) {
-	e := s.dir[line]
+	e := s.dir.find(line)
 	if e == nil {
 		return invalid, -1, 0
 	}

@@ -234,7 +234,7 @@ func TestSetAssocInsertIdempotent(t *testing.T) {
 }
 
 func TestBitsetBasics(t *testing.T) {
-	b := newBitset(130)
+	b := newSharerSet(130)
 	for _, i := range []int{0, 63, 64, 129} {
 		b.set(i)
 	}
@@ -273,7 +273,7 @@ func TestBitsetBasics(t *testing.T) {
 
 func TestBitsetProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
-		b := newBitset(256)
+		b := newSharerSet(256)
 		ref := map[int]bool{}
 		for _, r := range raw {
 			i := int(r) % 256

@@ -6,54 +6,75 @@ import (
 	"repro/internal/mem"
 )
 
+// contentionSim builds a simulator with the given contention model and
+// returns a note function over raw line numbers, driving the tracker the
+// way the coherence paths do.
+func contentionSim(window uint64, cap int, penalty uint32) (*Sim, func(now, line uint64) uint32) {
+	cfg := DefaultConfig(2)
+	cfg.Lat.ContentionWindow = window
+	cfg.Lat.ContentionCap = cap
+	cfg.Lat.ContentionPenalty = penalty
+	s := New(cfg)
+	return s, func(now, line uint64) uint32 {
+		return s.noteContention(now, line, s.dir.entry(line))
+	}
+}
+
 func TestContentionTrackerOtherLinesOnly(t *testing.T) {
-	c := newContentionTracker(100, 256)
-	if got := c.note(0, 1, 10); got != 0 {
+	_, note := contentionSim(100, 256, 10)
+	if got := note(0, 1); got != 0 {
 		t.Errorf("first event extra = %d, want 0", got)
 	}
 	// Same line again: the prior event is same-line, no queueing.
-	if got := c.note(50, 1, 10); got != 0 {
+	if got := note(50, 1); got != 0 {
 		t.Errorf("same-line extra = %d, want 0", got)
 	}
 	// A different line sees the two line-1 events in its window.
-	if got := c.note(60, 2, 10); got != 20 {
+	if got := note(60, 2); got != 20 {
 		t.Errorf("other-line extra = %d, want 20", got)
 	}
 	// At t=200 everything has expired.
-	if got := c.note(200, 3, 10); got != 0 {
+	if got := note(200, 3); got != 0 {
 		t.Errorf("post-expiry extra = %d, want 0", got)
 	}
 }
 
 func TestContentionTrackerCap(t *testing.T) {
-	c := newContentionTracker(1000, 3)
+	_, note := contentionSim(1000, 3, 7)
 	for i := uint64(0); i < 10; i++ {
-		c.note(i, i, 1)
+		note(i, i)
 	}
-	if got := c.note(10, 99, 7); got != 3*7 {
+	if got := note(10, 99); got != 3*7 {
 		t.Errorf("capped extra = %d, want %d", got, 3*7)
 	}
 }
 
 func TestContentionTrackerDisabled(t *testing.T) {
-	c := newContentionTracker(0, 256)
-	if got := c.note(5, 1, 100); got != 0 {
+	_, note := contentionSim(0, 256, 100)
+	if got := note(5, 1); got != 0 {
 		t.Errorf("disabled tracker extra = %d, want 0", got)
 	}
 }
 
 func TestContentionTrackerCompaction(t *testing.T) {
-	c := newContentionTracker(10, 256)
-	// Many events, each expiring before the next: the dead prefix must be
-	// compacted rather than grow unboundedly.
+	s, note := contentionSim(10, 256, 1)
+	// Many events, each expiring before the next: the ring must stay small
+	// and the per-line counts must be decremented on eviction rather than
+	// accumulate.
 	for i := uint64(0); i < 10000; i++ {
-		c.note(i*100, i, 1)
+		note(i*100, i)
 	}
-	if len(c.events) > 200 {
-		t.Errorf("tracker retained %d events, want compaction", len(c.events))
+	if len(s.contention.events) > 200 {
+		t.Errorf("tracker ring grew to %d slots, want eviction to bound it", len(s.contention.events))
 	}
-	if len(c.perLine) > 2 {
-		t.Errorf("perLine retained %d entries, want eviction", len(c.perLine))
+	stale := 0
+	s.dir.forEach(func(line uint64, e *dirEntry) {
+		if e.contention > 0 {
+			stale++
+		}
+	})
+	if stale > 2 {
+		t.Errorf("%d lines retain in-window contention counts, want eviction", stale)
 	}
 }
 

@@ -8,14 +8,18 @@ import "math/bits"
 type setAssoc struct {
 	sets int
 	ways int
-	// tags[set*ways+way] holds the line index or tagEmpty.
-	tags []uint64
+	// mask is sets-1 when sets is a power of two (the common case for the
+	// private caches), letting setFor skip the modulo; -1 otherwise.
+	mask int
+	// keys[set*ways+way] holds line+1, so the zero value of a freshly
+	// allocated (and therefore zeroed) array already means "empty way" —
+	// simulators are built per experiment cell, and skipping an explicit
+	// sentinel fill measurably cuts cell setup cost.
+	keys []uint64
 	// lru[set*ways+way] holds a recency stamp; larger is more recent.
 	lru   []uint64
 	clock uint64
 }
-
-const tagEmpty = ^uint64(0)
 
 func newSetAssoc(sets, ways int) *setAssoc {
 	if sets <= 0 || ways <= 0 {
@@ -24,23 +28,41 @@ func newSetAssoc(sets, ways int) *setAssoc {
 	c := &setAssoc{
 		sets: sets,
 		ways: ways,
-		tags: make([]uint64, sets*ways),
+		mask: -1,
+		keys: make([]uint64, sets*ways),
 		lru:  make([]uint64, sets*ways),
 	}
-	for i := range c.tags {
-		c.tags[i] = tagEmpty
+	if sets&(sets-1) == 0 {
+		c.mask = sets - 1
 	}
 	return c
 }
 
-func (c *setAssoc) setFor(line uint64) int { return int(line % uint64(c.sets)) }
+func (c *setAssoc) setFor(line uint64) int {
+	if c.mask >= 0 {
+		return int(line) & c.mask
+	}
+	return int(line % uint64(c.sets))
+}
 
 // touch reports whether line is present, refreshing its LRU stamp if so.
+// A hit found in a later way is swapped to the set's first way so bursty
+// re-touches match on the first comparison; replacement semantics are
+// unaffected, since recency lives in the stamps, not the positions.
 func (c *setAssoc) touch(line uint64) bool {
 	base := c.setFor(line) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
+	keys := c.keys[base : base+c.ways]
+	key := line + 1
+	for w := range keys {
+		if keys[w] == key {
 			c.clock++
+			if w != 0 {
+				lru := c.lru[base : base+c.ways]
+				keys[0], keys[w] = keys[w], keys[0]
+				lru[0], lru[w] = lru[w], lru[0]
+				c.lru[base] = c.clock
+				return true
+			}
 			c.lru[base+w] = c.clock
 			return true
 		}
@@ -52,19 +74,20 @@ func (c *setAssoc) touch(line uint64) bool {
 // line that is already present just refreshes it.
 func (c *setAssoc) insert(line uint64) {
 	base := c.setFor(line) * c.ways
+	key := line + 1
 	victim := base
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.tags[i] == line {
+		if c.keys[i] == key {
 			c.clock++
 			c.lru[i] = c.clock
 			return
 		}
-		if c.tags[i] == tagEmpty {
+		if c.keys[i] == 0 {
 			victim = i
 			// An empty way always wins over evicting a resident line.
 			c.clock++
-			c.tags[i] = line
+			c.keys[i] = key
 			c.lru[i] = c.clock
 			return
 		}
@@ -73,65 +96,19 @@ func (c *setAssoc) insert(line uint64) {
 		}
 	}
 	c.clock++
-	c.tags[victim] = line
+	c.keys[victim] = key
 	c.lru[victim] = c.clock
 }
 
 // remove drops line if present (coherence invalidation or write-back).
 func (c *setAssoc) remove(line uint64) {
 	base := c.setFor(line) * c.ways
+	key := line + 1
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
-			c.tags[base+w] = tagEmpty
+		if c.keys[base+w] == key {
+			c.keys[base+w] = 0
 			c.lru[base+w] = 0
 			return
-		}
-	}
-}
-
-// bitset is a fixed-capacity set of core indices.
-type bitset struct {
-	words []uint64
-}
-
-func newBitset(n int) bitset {
-	return bitset{words: make([]uint64, (n+63)/64)}
-}
-
-func (b bitset) set(i int)      { b.words[i>>6] |= 1 << uint(i&63) }
-func (b bitset) unset(i int)    { b.words[i>>6] &^= 1 << uint(i&63) }
-func (b bitset) get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
-
-func (b bitset) clear() {
-	for i := range b.words {
-		b.words[i] = 0
-	}
-}
-
-func (b bitset) count() int {
-	n := 0
-	for _, w := range b.words {
-		n += popcount(w)
-	}
-	return n
-}
-
-// countExcept returns the number of set bits other than i.
-func (b bitset) countExcept(i int) int {
-	n := b.count()
-	if b.get(i) {
-		n--
-	}
-	return n
-}
-
-// forEach calls fn for every set bit, in increasing order.
-func (b bitset) forEach(fn func(int)) {
-	for wi, w := range b.words {
-		for w != 0 {
-			bit := trailingZeros(w)
-			fn(wi*64 + bit)
-			w &= w - 1
 		}
 	}
 }

@@ -369,13 +369,14 @@ func (e *Engine) simulate(threads []*thread) {
 		}
 	}
 	for h.len() > 0 {
-		th := h.pop()
-		// Run this thread until it ceases to be the earliest, to amortize
-		// heap traffic over compute-heavy stretches.
-		limit := ^uint64(0)
-		if h.len() > 0 {
-			limit = h.peek().vtime
-		}
+		// Run the earliest thread in place until it ceases to be the
+		// earliest, to amortize heap traffic over compute-heavy stretches.
+		// The root stays in the heap while it runs: the second-earliest
+		// thread is always a root child, so one siftDown restores order —
+		// half the heap work of a pop/push pair, with the identical
+		// deterministic schedule (the (vtime, id) order is total).
+		th := h.peek()
+		limit := h.nextVtime()
 		alive := true
 		for th.vtime <= limit {
 			op := th.buf[th.pos]
@@ -389,8 +390,9 @@ func (e *Engine) simulate(threads []*thread) {
 			}
 		}
 		if alive {
-			h.push(th)
+			h.fix()
 		} else {
+			h.pop()
 			e.finishThread(th)
 		}
 	}

@@ -145,32 +145,66 @@ func (th *thread) refill() bool {
 	return len(buf) > 0 || th.refill()
 }
 
+// heapItem is one heap slot. The sort key (vtime, id) is stored inline so
+// comparisons during sifts do not chase thread pointers; vt is a snapshot
+// of th.vtime, refreshed by fix() for the only thread whose clock moves
+// (the running root).
+type heapItem struct {
+	vt uint64
+	id mem.ThreadID
+	th *thread
+}
+
 // threadHeap is a binary min-heap of threads ordered by (vtime, id), the
 // id tie-break making interleavings fully deterministic.
 type threadHeap struct {
-	items []*thread
+	items []heapItem
 }
 
 func newThreadHeap(capacity int) *threadHeap {
-	return &threadHeap{items: make([]*thread, 0, capacity)}
+	return &threadHeap{items: make([]heapItem, 0, capacity)}
 }
 
 func (h *threadHeap) len() int      { return len(h.items) }
-func (h *threadHeap) peek() *thread { return h.items[0] }
+func (h *threadHeap) peek() *thread { return h.items[0].th }
 
-func (h *threadHeap) less(a, b *thread) bool {
-	if a.vtime != b.vtime {
-		return a.vtime < b.vtime
+// nextVtime returns the virtual time of the second-earliest thread, or
+// the maximum time when the root is alone. In a binary min-heap ordered
+// primarily by vtime, the minimum non-root vtime is at a root child.
+func (h *threadHeap) nextVtime() uint64 {
+	switch len(h.items) {
+	case 1:
+		return ^uint64(0)
+	case 2:
+		return h.items[1].vt
+	default:
+		v := h.items[1].vt
+		if w := h.items[2].vt; w < v {
+			v = w
+		}
+		return v
+	}
+}
+
+// fix restores heap order after the root thread's vtime has increased.
+func (h *threadHeap) fix() {
+	h.items[0].vt = h.items[0].th.vtime
+	h.siftDown(0)
+}
+
+func (a heapItem) less(b heapItem) bool {
+	if a.vt != b.vt {
+		return a.vt < b.vt
 	}
 	return a.id < b.id
 }
 
 func (h *threadHeap) push(th *thread) {
-	h.items = append(h.items, th)
+	h.items = append(h.items, heapItem{vt: th.vtime, id: th.id, th: th})
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.items[i], h.items[parent]) {
+		if !h.items[i].less(h.items[parent]) {
 			break
 		}
 		h.items[i], h.items[parent] = h.items[parent], h.items[i]
@@ -179,7 +213,7 @@ func (h *threadHeap) push(th *thread) {
 }
 
 func (h *threadHeap) pop() *thread {
-	top := h.items[0]
+	top := h.items[0].th
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
 	h.items = h.items[:last]
@@ -194,10 +228,10 @@ func (h *threadHeap) siftDown(i int) {
 	for {
 		left, right := 2*i+1, 2*i+2
 		smallest := i
-		if left < n && h.less(h.items[left], h.items[smallest]) {
+		if left < n && h.items[left].less(h.items[smallest]) {
 			smallest = left
 		}
-		if right < n && h.less(h.items[right], h.items[smallest]) {
+		if right < n && h.items[right].less(h.items[smallest]) {
 			smallest = right
 		}
 		if smallest == i {

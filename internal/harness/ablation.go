@@ -28,12 +28,15 @@ type PeriodRow struct {
 
 // PeriodAblation sweeps the sampling period on linear_regression, showing
 // detection degrading and overhead falling as samples get sparser.
-func PeriodAblation(c Config) []PeriodRow {
+func PeriodAblation(c Config) []PeriodRow { return runnerFor(c).periodAblation(c) }
+
+func (r *Runner) periodAblation(c Config) []PeriodRow {
 	c = c.withDefaults()
 	w, _ := workload.ByName("linear_regression")
-	native := runNative("linear_regression", c, false).TotalCycles
-	var rows []PeriodRow
-	for _, period := range []uint64{1024, 4096, 16384, 65536, 262144, 1048576} {
+	periods := []uint64{1024, 4096, 16384, 65536, 262144, 1048576}
+	native := r.native("linear_regression", c, false)
+	profs := make([]*cell, len(periods))
+	for i, period := range periods {
 		cc := c
 		cc.PMU = pmu.Config{
 			Period:        period,
@@ -41,13 +44,18 @@ func PeriodAblation(c Config) []PeriodRow {
 			HandlerCycles: 4500,
 			SetupCycles:   6000,
 		}
-		rep, profiled := runProfiled("linear_regression", cc, false)
+		profs[i] = r.profiled("linear_regression", cc, false)
+	}
+	base := native.wait().res.TotalCycles
+	rows := make([]PeriodRow, 0, len(periods))
+	for i, period := range periods {
+		prof := profs[i].wait()
 		row := PeriodRow{
 			Period:   period,
-			Samples:  rep.Samples,
-			Overhead: float64(profiled.TotalCycles)/float64(native) - 1,
+			Samples:  prof.rep.Samples,
+			Overhead: float64(prof.res.TotalCycles)/float64(base) - 1,
 		}
-		if in := findInstance(rep, w.FSSite); in != nil {
+		if in := findInstance(prof.rep, w.FSSite); in != nil {
 			row.Detected = true
 			row.Predict = in.Assessment.Improvement
 		}
@@ -96,30 +104,41 @@ type RuleRow struct {
 // counting rules and compares them with the coherence simulator's ground
 // truth, quantifying the accuracy the two-entry table trades for its
 // fixed footprint.
-func RuleAblation(c Config) []RuleRow {
+func RuleAblation(c Config) []RuleRow { return runnerFor(c).ruleAblation(c) }
+
+func (r *Runner) ruleAblation(c Config) []RuleRow {
 	c = c.withDefaults()
-	var rows []RuleRow
-	for _, app := range []string{"figure1", "linear_regression", "streamcluster"} {
-		w, _ := workload.ByName(app)
-		sys := cheetah.New(cheetah.Config{Cores: c.Cores})
-		prog := w.Build(sys, workload.Params{Threads: c.Threads, Scale: c.Scale})
+	apps := []string{"figure1", "linear_regression", "streamcluster"}
+	// Traced runs carry their probes with them, so they are futures rather
+	// than memoized cells.
+	futs := make([]*future[RuleRow], len(apps))
+	for i, app := range apps {
+		futs[i] = goFuture(r, func() RuleRow {
+			w, _ := workload.ByName(app)
+			sys := cheetah.New(cheetah.Config{Cores: c.Cores})
+			prog := w.Build(sys, workload.Params{Threads: c.Threads, Scale: c.Scale})
 
-		two := newTwoEntryCounter(sys)
-		own := baseline.NewOwnership()
-		_, sim := sys.RunTraced(prog, two, own)
+			two := newTwoEntryCounter(sys)
+			own := baseline.NewOwnership()
+			_, sim := sys.RunTraced(prog, two, own)
 
-		var truth uint64
-		for _, n := range sim.TotalLineInvalidations() {
-			truth += n
-		}
-		rows = append(rows, RuleRow{
-			App:            app,
-			GroundTruth:    truth,
-			TwoEntry:       two.invalidations,
-			Ownership:      own.Invalidations,
-			TwoEntryBytes:  baseline.TwoEntryBytesPerLine(),
-			OwnershipBytes: baseline.OwnershipBytesPerLine(c.Threads),
+			var truth uint64
+			for _, n := range sim.TotalLineInvalidations() {
+				truth += n
+			}
+			return RuleRow{
+				App:            app,
+				GroundTruth:    truth,
+				TwoEntry:       two.invalidations,
+				Ownership:      own.Invalidations,
+				TwoEntryBytes:  baseline.TwoEntryBytesPerLine(),
+				OwnershipBytes: baseline.OwnershipBytesPerLine(c.Threads),
+			}
 		})
+	}
+	rows := make([]RuleRow, len(apps))
+	for i := range futs {
+		rows[i] = futs[i].wait()
 	}
 	return rows
 }

@@ -30,29 +30,42 @@ var compareApps = []string{
 
 // Compare runs Cheetah, the Predator-style instrumenter and the
 // Sheriff-style page-diff detector over the comparison applications.
-func Compare(c Config) []CompareRow {
-	c = c.withDefaults()
-	var rows []CompareRow
-	for _, app := range compareApps {
-		w, _ := workload.ByName(app)
-		native := runNative(app, c, false).TotalCycles
+func Compare(c Config) []CompareRow { return runnerFor(c).compare(c) }
 
-		rep, profiled := runProfiled(app, c, false)
-		pred, predRes := predatorFindings(app, c, false)
-		sher, sherRes := sheriffFindings(app, c, false)
+func (r *Runner) compare(c Config) []CompareRow {
+	c = c.withDefaults()
+	type group struct {
+		native, prof, pred, sher *cell
+	}
+	cells := make([]group, len(compareApps))
+	for i, app := range compareApps {
+		cells[i] = group{
+			native: r.native(app, c, false),
+			prof:   r.profiled(app, c, false),
+			pred:   r.predator(app, c, false),
+			sher:   r.sheriff(app, c, false),
+		}
+	}
+	rows := make([]CompareRow, 0, len(compareApps))
+	for i, app := range compareApps {
+		w, _ := workload.ByName(app)
+		native := cells[i].native.wait().res.TotalCycles
+		prof := cells[i].prof.wait()
+		pred := cells[i].pred.wait()
+		sher := cells[i].sher.wait()
 
 		row := CompareRow{
 			App:              app,
 			FS:               w.FS,
 			Site:             w.FSSite,
-			CheetahOverhead:  float64(profiled.TotalCycles) / float64(native),
-			PredatorOverhead: float64(predRes.TotalCycles) / float64(native),
-			SheriffOverhead:  float64(sherRes.TotalCycles) / float64(native),
+			CheetahOverhead:  float64(prof.res.TotalCycles) / float64(native),
+			PredatorOverhead: float64(pred.res.TotalCycles) / float64(native),
+			SheriffOverhead:  float64(sher.res.TotalCycles) / float64(native),
 		}
 		if w.FS != workload.NoFS {
-			row.Cheetah = reportsSite(rep, w.FSSite)
-			row.Predator = findingsContain(pred, w.FSSite)
-			row.Sheriff = findingsContain(sher, w.FSSite)
+			row.Cheetah = reportsSite(prof.rep, w.FSSite)
+			row.Predator = findingsContain(pred.findings, w.FSSite)
+			row.Sheriff = findingsContain(sher.findings, w.FSSite)
 		}
 		rows = append(rows, row)
 	}

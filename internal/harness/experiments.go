@@ -27,17 +27,32 @@ type Fig1Row struct {
 func (r Fig1Row) Slowdown() float64 { return float64(r.Reality) / r.Expectation }
 
 // Figure1 reproduces the introduction's motivation experiment.
-func Figure1(c Config) []Fig1Row {
+func Figure1(c Config) []Fig1Row { return runnerFor(c).figure1(c) }
+
+func (r *Runner) figure1(c Config) []Fig1Row {
 	c = c.withDefaults()
-	single := runNative("figure1", Config{Scale: c.Scale, Threads: 1, Cores: c.Cores}, false)
-	rows := make([]Fig1Row, 0, 4)
-	for _, threads := range []int{1, 2, 4, 8} {
-		cc := Config{Scale: c.Scale, Threads: threads, Cores: c.Cores}
+	axis := []int{1, 2, 4, 8}
+	cfgAt := func(threads int) Config {
+		return Config{Scale: c.Scale, Threads: threads, Cores: c.Cores}
+	}
+	// Submit every cell before waiting on any, so they fill the pool.
+	single := r.native("figure1", cfgAt(1), false)
+	type pair struct{ reality, fixed *cell }
+	cells := make([]pair, len(axis))
+	for i, threads := range axis {
+		cells[i] = pair{
+			reality: r.native("figure1", cfgAt(threads), false),
+			fixed:   r.native("figure1", cfgAt(threads), true),
+		}
+	}
+	base := single.wait().res.TotalCycles
+	rows := make([]Fig1Row, 0, len(axis))
+	for i, threads := range axis {
 		rows = append(rows, Fig1Row{
 			Threads:     threads,
-			Expectation: float64(single.TotalCycles) / float64(threads),
-			Reality:     runNative("figure1", cc, false).TotalCycles,
-			Fixed:       runNative("figure1", cc, true).TotalCycles,
+			Expectation: float64(base) / float64(threads),
+			Reality:     cells[i].reality.wait().res.TotalCycles,
+			Fixed:       cells[i].fixed.wait().res.TotalCycles,
 		})
 	}
 	return rows
@@ -80,22 +95,35 @@ func (r Fig4Row) Overhead() float64 {
 // the paper's 64K sampling period. Overhead is measured, not asserted:
 // the PMU charges per-tag handler cycles and per-thread setup cycles to
 // the monitored threads.
-func Figure4(c Config) []Fig4Row {
+func Figure4(c Config) []Fig4Row { return runnerFor(c).figure4(c) }
+
+func (r *Runner) figure4(c Config) []Fig4Row {
 	c = c.withDefaults()
 	c.PMU = OverheadPMU()
-	var rows []Fig4Row
+	type pair struct {
+		w                *workload.Workload
+		native, profiled *cell
+	}
+	var cells []pair
 	for _, w := range workload.All() {
 		if w.Suite == "micro" {
 			continue
 		}
-		native := runNative(w.Name, c, false)
-		rep, profiled := runProfiled(w.Name, c, false)
+		cells = append(cells, pair{
+			w:        w,
+			native:   r.native(w.Name, c, false),
+			profiled: r.profiled(w.Name, c, false),
+		})
+	}
+	rows := make([]Fig4Row, 0, len(cells))
+	for _, p := range cells {
+		prof := p.profiled.wait()
 		rows = append(rows, Fig4Row{
-			App:      w.Name,
-			Native:   native.TotalCycles,
-			Profiled: profiled.TotalCycles,
-			Threads:  w.TotalThreads(c.Threads),
-			Samples:  rep.Samples,
+			App:      p.w.Name,
+			Native:   p.native.wait().res.TotalCycles,
+			Profiled: prof.res.TotalCycles,
+			Threads:  p.w.TotalThreads(c.Threads),
+			Samples:  prof.rep.Samples,
 		})
 	}
 	return rows
@@ -140,8 +168,12 @@ func FormatFigure4(rows []Fig4Row) string {
 // Figure5 runs the named case-study application under Cheetah and returns
 // its report (the paper shows linear_regression's).
 func Figure5(app string, c Config) (*core.Report, string) {
+	return runnerFor(c).figure5(app, c)
+}
+
+func (r *Runner) figure5(app string, c Config) (*core.Report, string) {
 	c = c.withDefaults()
-	rep, _ := runProfiled(app, c, false)
+	rep := r.profiled(app, c, false).wait().rep
 	text := rep.Format()
 	if len(rep.Instances) > 0 {
 		text += "\n" + rep.Instances[0].FormatWords()
@@ -169,19 +201,32 @@ func (r Fig7Row) Improvement() float64 {
 // Figure7 reproduces the §4.2.3 comparison: the false sharing instances
 // Cheetah misses (relative to Predator) have negligible performance
 // impact.
-func Figure7(c Config) []Fig7Row {
+func Figure7(c Config) []Fig7Row { return runnerFor(c).figure7(c) }
+
+func (r *Runner) figure7(c Config) []Fig7Row {
 	c = c.withDefaults()
-	var rows []Fig7Row
-	for _, app := range []string{"histogram", "reverse_index", "word_count"} {
+	apps := []string{"histogram", "reverse_index", "word_count"}
+	type group struct {
+		prof, pred, broken, fixed *cell
+	}
+	cells := make([]group, len(apps))
+	for i, app := range apps {
+		cells[i] = group{
+			prof:   r.profiled(app, c, false),
+			pred:   r.predator(app, c, false),
+			broken: r.native(app, c, false),
+			fixed:  r.native(app, c, true),
+		}
+	}
+	rows := make([]Fig7Row, 0, len(apps))
+	for i, app := range apps {
 		w, _ := workload.ByName(app)
-		rep, _ := runProfiled(app, c, false)
-		pred, _ := predatorFindings(app, c, false)
 		rows = append(rows, Fig7Row{
 			App:             app,
-			WithFS:          runNative(app, c, false).TotalCycles,
-			NoFS:            runNative(app, c, true).TotalCycles,
-			CheetahReports:  reportsSite(rep, w.FSSite),
-			PredatorReports: findingsContain(pred, w.FSSite),
+			WithFS:          cells[i].broken.wait().res.TotalCycles,
+			NoFS:            cells[i].fixed.wait().res.TotalCycles,
+			CheetahReports:  reportsSite(cells[i].prof.wait().rep, w.FSSite),
+			PredatorReports: findingsContain(cells[i].pred.wait().findings, w.FSSite),
 		})
 	}
 	return rows
@@ -233,27 +278,40 @@ func (r Table1Row) AbsDiff() float64 { return math.Abs(r.Diff()) }
 
 // Table1 reproduces the assessment-precision study on linear_regression
 // and streamcluster at 16, 8, 4 and 2 threads.
-func Table1(c Config) []Table1Row {
+func Table1(c Config) []Table1Row { return runnerFor(c).table1(c) }
+
+func (r *Runner) table1(c Config) []Table1Row {
 	c = c.withDefaults()
-	var rows []Table1Row
+	type group struct {
+		app                 string
+		threads             int
+		broken, fixed, prof *cell
+	}
+	var cells []group
 	for _, app := range []string{"linear_regression", "streamcluster"} {
-		w, _ := workload.ByName(app)
 		for _, threads := range []int{16, 8, 4, 2} {
 			cc := Config{Scale: c.Scale, Threads: threads, Cores: c.Cores, PMU: c.PMU}
-			broken := runNative(app, cc, false)
-			fixed := runNative(app, cc, true)
-			rep, _ := runProfiled(app, cc, false)
-			row := Table1Row{
-				App:     app,
-				Threads: threads,
-				Real:    float64(broken.TotalCycles) / float64(fixed.TotalCycles),
-			}
-			if in := findInstance(rep, w.FSSite); in != nil {
-				row.Detected = true
-				row.Predict = in.Assessment.Improvement
-			}
-			rows = append(rows, row)
+			cells = append(cells, group{
+				app: app, threads: threads,
+				broken: r.native(app, cc, false),
+				fixed:  r.native(app, cc, true),
+				prof:   r.profiled(app, cc, false),
+			})
 		}
+	}
+	rows := make([]Table1Row, 0, len(cells))
+	for _, g := range cells {
+		w, _ := workload.ByName(g.app)
+		row := Table1Row{
+			App:     g.app,
+			Threads: g.threads,
+			Real:    float64(g.broken.wait().res.TotalCycles) / float64(g.fixed.wait().res.TotalCycles),
+		}
+		if in := findInstance(g.prof.wait().rep, w.FSSite); in != nil {
+			row.Detected = true
+			row.Predict = in.Assessment.Improvement
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }

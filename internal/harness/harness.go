@@ -15,9 +15,6 @@ import (
 	"strings"
 
 	cheetah "repro"
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/pmu"
 	"repro/internal/workload"
 )
@@ -33,6 +30,15 @@ type Config struct {
 	// PMU overrides the sampling configuration for profiled runs; zero
 	// value uses DetectionPMU.
 	PMU pmu.Config
+	// Workers bounds how many experiment cells run concurrently: 0 means
+	// GOMAXPROCS on a shared runner that memoizes cells across all
+	// package-level experiment calls; any other value uses a private
+	// runner (negative = GOMAXPROCS width), re-executing cells — what
+	// benchmarks and the determinism tests need. 1 forces serial
+	// execution. Results are identical at any worker count — the
+	// simulator is deterministic and cells share no state — so Workers
+	// trades only wall-clock time and caching.
+	Workers int
 }
 
 // withDefaults fills zero fields with the paper's evaluation setup.
@@ -93,19 +99,6 @@ func build(name string, c Config, fixed bool) (*cheetah.System, cheetah.Program)
 	return sys, prog
 }
 
-// runNative measures the unprofiled runtime.
-func runNative(name string, c Config, fixed bool) exec.Result {
-	sys, prog := build(name, c, fixed)
-	return sys.Run(prog)
-}
-
-// runProfiled runs the workload under Cheetah and returns the report and
-// the overhead-inclusive result.
-func runProfiled(name string, c Config, fixed bool) (*core.Report, exec.Result) {
-	sys, prog := build(name, c, fixed)
-	return sys.Profile(prog, cheetah.ProfileOptions{PMU: c.PMU})
-}
-
 // pct formats a ratio as a percentage string.
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
 
@@ -144,20 +137,4 @@ func renderTable(header []string, rows [][]string) string {
 		writeRow(r)
 	}
 	return b.String()
-}
-
-// predatorFindings runs the Predator baseline over a workload.
-func predatorFindings(name string, c Config, fixed bool) ([]baseline.Finding, exec.Result) {
-	sys, prog := build(name, c, fixed)
-	det := baseline.NewPredator(baseline.DefaultPredatorConfig(), sys.Heap(), sys.Globals())
-	res := sys.RunWith(prog, det)
-	return det.Findings(), res
-}
-
-// sheriffFindings runs the Sheriff baseline over a workload.
-func sheriffFindings(name string, c Config, fixed bool) ([]baseline.Finding, exec.Result) {
-	sys, prog := build(name, c, fixed)
-	det := baseline.NewSheriff(baseline.DefaultSheriffConfig(), sys.Heap(), sys.Globals())
-	res := sys.RunWith(prog, det)
-	return det.Findings(), res
 }

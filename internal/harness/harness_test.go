@@ -10,6 +10,7 @@ import (
 func small() Config { return Config{Scale: 0.4, Threads: 8} }
 
 func TestFigure1ShowsSlowdown(t *testing.T) {
+	t.Parallel()
 	rows := Figure1(small())
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows, want 4", len(rows))
@@ -38,6 +39,7 @@ func TestFigure1ShowsSlowdown(t *testing.T) {
 }
 
 func TestTable1PrecisionAtReducedScale(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
@@ -82,6 +84,7 @@ func TestTable1PrecisionAtReducedScale(t *testing.T) {
 }
 
 func TestFigure4OverheadShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("17-application sweep")
 	}
@@ -127,6 +130,7 @@ func TestFigure4OverheadShape(t *testing.T) {
 }
 
 func TestFigure5Report(t *testing.T) {
+	t.Parallel()
 	rep, text := Figure5("linear_regression", Config{Scale: 1, Threads: 16})
 	if len(rep.Instances) == 0 {
 		t.Fatal("no instance in the case-study report")
@@ -143,6 +147,7 @@ func TestFigure5Report(t *testing.T) {
 }
 
 func TestFigure7MissedInstancesAreInsignificant(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
@@ -169,6 +174,7 @@ func TestFigure7MissedInstancesAreInsignificant(t *testing.T) {
 }
 
 func TestCompareToolMatrix(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("multi-tool sweep")
 	}
@@ -201,6 +207,7 @@ func TestCompareToolMatrix(t *testing.T) {
 }
 
 func TestPeriodAblationTradeoff(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("period sweep")
 	}
@@ -227,6 +234,7 @@ func TestPeriodAblationTradeoff(t *testing.T) {
 }
 
 func TestRuleAblationAgainstGroundTruth(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full-instrumentation sweep")
 	}

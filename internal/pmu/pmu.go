@@ -101,7 +101,9 @@ type PMU struct {
 	exec.BaseProbe
 	cfg     Config
 	handler Handler
-	threads map[mem.ThreadID]*threadCounter
+	// threads is indexed by ThreadID: the engine assigns ids densely from
+	// zero, and the per-access lookup is too hot for a map.
+	threads []*threadCounter
 	stats   Stats
 }
 
@@ -117,7 +119,7 @@ func New(cfg Config, handler Handler) *PMU {
 	if cfg.Period == 0 {
 		cfg.Period = DefaultPeriod
 	}
-	return &PMU{cfg: cfg, handler: handler, threads: make(map[mem.ThreadID]*threadCounter)}
+	return &PMU{cfg: cfg, handler: handler}
 }
 
 // Stats returns a copy of the PMU's counters.
@@ -125,7 +127,7 @@ func (p *PMU) Stats() Stats { return p.stats }
 
 // ProgramStart resets per-run state, implementing exec.Probe.
 func (p *PMU) ProgramStart(name string, cores int) {
-	p.threads = make(map[mem.ThreadID]*threadCounter)
+	p.threads = p.threads[:0]
 	p.stats = Stats{}
 }
 
@@ -136,7 +138,7 @@ func (p *PMU) ThreadStart(th exec.ThreadInfo) uint64 {
 		// Pooled thread re-entering a phase: its PMU registers are
 		// already programmed, so no setup cost — but the engine restarts
 		// the per-phase counters, so the tag point is re-armed.
-		if tc := p.threads[th.ID]; tc != nil {
+		if tc := p.counter(th.ID); tc != nil {
 			tc.rng = splitmix(tc.rng)
 			tc.nextTag = p.base(th) + 1 + tc.rng%p.cfg.Period
 		}
@@ -147,6 +149,9 @@ func (p *PMU) ThreadStart(th exec.ThreadInfo) uint64 {
 	// Stagger the first tag point across threads so samples spread evenly
 	// over the execution (paper Observation 1).
 	tc.nextTag = p.base(th) + 1 + splitmix(tc.rng)%p.cfg.Period
+	for int(th.ID) >= len(p.threads) {
+		p.threads = append(p.threads, nil)
+	}
 	p.threads[th.ID] = tc
 	return p.cfg.SetupCycles
 }
@@ -166,7 +171,7 @@ func (p *PMU) base(th exec.ThreadInfo) uint64 {
 // (instructions retired or cycles elapsed, per Mode) and delivers a
 // sample if this access is tagged.
 func (p *PMU) Access(a mem.Access, instrs uint64) uint64 {
-	tc := p.threads[a.Thread]
+	tc := p.counter(a.Thread)
 	if tc == nil {
 		// Thread not monitored (probe attached mid-run); skip.
 		return 0
@@ -203,6 +208,15 @@ func (p *PMU) Access(a mem.Access, instrs uint64) uint64 {
 		tc.nextTag += p.interval(tc)
 	}
 	return charge
+}
+
+// counter returns the sampling state for a thread, or nil when the thread
+// is not monitored.
+func (p *PMU) counter(id mem.ThreadID) *threadCounter {
+	if int(id) >= len(p.threads) {
+		return nil
+	}
+	return p.threads[id]
 }
 
 // interval returns the next sampling interval with deterministic jitter.

@@ -109,12 +109,18 @@ func TestMinorFSWorkloadsBelowSignificance(t *testing.T) {
 	// The Figure 7 apps' minor instances must not be reported as
 	// significant even with dense sampling: their predicted improvement
 	// stays below the threshold.
+	scale := 0.3
+	if testing.Short() {
+		// Absence assertions hold a fortiori at smaller scales (fewer
+		// invalidations can only push instances further below threshold).
+		scale = 0.15
+	}
 	for _, name := range []string{"histogram", "reverse_index", "word_count"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			w, _ := ByName(name)
-			rep := denseProfile(t, name, 8, 0.3)
+			rep := denseProfile(t, name, 8, scale)
 			if reportsFSSite(rep, w.FSSite) {
 				t.Errorf("%s: minor FS at %s reported as significant", name, w.FSSite)
 			}
@@ -124,13 +130,17 @@ func TestMinorFSWorkloadsBelowSignificance(t *testing.T) {
 
 func TestFixedVariantsNotReported(t *testing.T) {
 	// After padding, nothing significant remains.
+	scale := 0.3
+	if testing.Short() {
+		scale = 0.15 // absence assertions hold a fortiori at smaller scales
+	}
 	for _, name := range []string{"linear_regression", "streamcluster", "figure1"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			w, _ := ByName(name)
 			sys := cheetah.New(cheetah.Config{})
-			prog := w.Build(sys, Params{Threads: 8, Scale: 0.3, Fixed: true})
+			prog := w.Build(sys, Params{Threads: 8, Scale: scale, Fixed: true})
 			rep, _ := sys.Profile(prog, cheetah.ProfileOptions{
 				PMU: pmu.Config{Period: 64, Jitter: 24, HandlerCycles: 0, SetupCycles: 0},
 			})
