@@ -4,12 +4,21 @@
 // Usage:
 //
 //	cheetah [-threads 16] [-scale 1.0] [-period 64] [-words] [-candidates] <workload>
+//	cheetah -record trace.out [-record-sampled] [-record-binary] <workload>
+//	cheetah -replay trace.out
 //	cheetah -list
 //
 // Workloads are the built-in Phoenix/PARSEC analogs, e.g.:
 //
 //	cheetah linear_regression
 //	cheetah -threads 8 -words streamcluster
+//
+// -record writes a memory-access trace of the profiled run; -replay
+// reconstructs a program from a trace and profiles it on a machine with
+// the recorded core count. Replaying a full (non-sampled) trace under
+// the same flags prints a report byte-identical to the recorded run's.
+// A trace also replays anywhere a workload name is accepted, as
+// `trace:<path>`.
 package main
 
 import (
@@ -21,8 +30,11 @@ import (
 	"strings"
 
 	cheetah "repro"
+	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/pmu"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -41,6 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	candidates := fs.Bool("candidates", false, "also print non-significant candidates")
 	fixed := fs.Bool("fixed", false, "run the padded (fixed) layout instead of the original")
 	list := fs.Bool("list", false, "list available workloads and exit")
+	record := fs.String("record", "", "write a memory-access trace of the profiled run to this file")
+	recordSampled := fs.Bool("record-sampled", false, "record only PMU-sampled accesses (compact; replay is approximate)")
+	recordBinary := fs.Bool("record-binary", false, "write the trace in the compact binary framing instead of text")
+	replay := fs.String("replay", "", "replay a recorded trace instead of running a workload")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -59,7 +75,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "%-20s %s%s\n", w.Name, w.Suite, note)
 		}
+		fmt.Fprintf(stdout, "%-20s %s\n", "trace:<path>", "trace  [replays a recorded memory-access trace]")
 		return 0
+	}
+
+	var cfg pmu.Config
+	if *period != 0 {
+		cfg = pmu.Config{Period: *period, Jitter: *period / 4, HandlerCycles: 4, SetupCycles: 4700}
+	} else {
+		cfg = harness.DetectionPMU()
+	}
+
+	rec := recordOptions{path: *record, sampled: *recordSampled, binary: *recordBinary}
+
+	if *replay != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: cheetah -replay <trace> takes no workload argument")
+			return 2
+		}
+		return runReplay(*replay, cfg, rec, *words, *candidates, stdout, stderr)
 	}
 
 	if fs.NArg() != 1 {
@@ -68,6 +102,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	name := fs.Arg(0)
+	if workload.IsTraceName(name) {
+		// Route trace pseudo-workloads through the replay path: same
+		// semantics as -replay (recorded core count, friendly errors).
+		// -record still applies, re-recording the replayed run — which
+		// also converts between framings.
+		return runReplay(strings.TrimPrefix(name, workload.TracePrefix), cfg, rec, *words, *candidates, stdout, stderr)
+	}
 	w, ok := workload.ByName(name)
 	if !ok {
 		fmt.Fprintf(stderr, "cheetah: unknown workload %q; available: %s\n",
@@ -78,22 +119,107 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sys := cheetah.New(cheetah.Config{})
 	prog := w.Build(sys, workload.Params{Threads: *threads, Scale: *scale, Fixed: *fixed})
 
-	var cfg pmu.Config
-	if *period != 0 {
-		cfg = pmu.Config{Period: *period, Jitter: *period / 4, HandlerCycles: 4, SetupCycles: 4700}
-	} else {
-		cfg = harness.DetectionPMU()
+	report, res, err := profileMaybeRecorded(sys, prog, cfg, rec, stderr)
+	if err != nil {
+		return 1
 	}
-	report, res := sys.Profile(prog, cheetah.ProfileOptions{PMU: cfg})
+	printReport(stdout, report, res, *words, *candidates)
+	return 0
+}
 
+// recordOptions bundles the -record* flags.
+type recordOptions struct {
+	path    string
+	sampled bool
+	binary  bool
+}
+
+// profileMaybeRecorded profiles prog, recording a trace when requested.
+// Errors are reported to stderr.
+func profileMaybeRecorded(sys *cheetah.System, prog cheetah.Program, cfg pmu.Config, rec recordOptions, stderr io.Writer) (*cheetah.Report, cheetah.Result, error) {
+	if rec.path == "" {
+		report, res := sys.Profile(prog, cheetah.ProfileOptions{PMU: cfg})
+		return report, res, nil
+	}
+	report, res, err := profileRecorded(sys, prog, cfg, rec.path, rec.sampled, rec.binary)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: recording %s: %v\n", rec.path, err)
+		return nil, cheetah.Result{}, err
+	}
+	fmt.Fprintf(stderr, "cheetah: wrote trace to %s\n", rec.path)
+	return report, res, nil
+}
+
+// profileRecorded profiles prog while streaming its accesses to a trace
+// file. The recorder probes charge zero cycles, so the report matches an
+// unrecorded profile of the same program.
+func profileRecorded(sys *cheetah.System, prog cheetah.Program, cfg pmu.Config, path string, sampled, binary bool) (*cheetah.Report, cheetah.Result, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, cheetah.Result{}, err
+	}
+	var enc trace.Encoder
+	if binary {
+		enc = trace.NewBinaryEncoder(f)
+	} else {
+		enc = trace.NewTextEncoder(f)
+	}
+	var probes []exec.Probe
+	traceErr := func() error { return nil }
+	if sampled {
+		sr := trace.NewSampledRecorder(cfg, enc, sys.Heap(), sys.Globals())
+		probes = sr.Probes()
+		traceErr = sr.Err
+	} else {
+		rec := trace.NewRecorder(enc, sys.Heap(), sys.Globals())
+		probes = []exec.Probe{rec}
+		traceErr = rec.Err
+	}
+	prof := sys.NewProfiler(cheetah.ProfileOptions{PMU: cfg})
+	res := sys.RunWith(prog, append(prof.Probes(), probes...)...)
+	if err := traceErr(); err != nil {
+		f.Close()
+		return nil, cheetah.Result{}, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, cheetah.Result{}, err
+	}
+	return prof.Report(), res, nil
+}
+
+// runReplay reconstructs a program from a trace file and profiles it on
+// a machine with the recorded core count, optionally re-recording it
+// (which converts between framings and full/sampled fidelity).
+func runReplay(path string, cfg pmu.Config, rec recordOptions, words, candidates bool, stdout, stderr io.Writer) int {
+	rp, err := trace.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: reading trace: %v\n", err)
+		return 1
+	}
+	sys := cheetah.New(cheetah.Config{Cores: rp.Cores})
+	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+		fmt.Fprintf(stderr, "cheetah: preparing trace: %v\n", err)
+		return 1
+	}
+	report, res, err := profileMaybeRecorded(sys, rp.Program(), cfg, rec, stderr)
+	if err != nil {
+		return 1
+	}
+	printReport(stdout, report, res, words, candidates)
+	return 0
+}
+
+// printReport renders the report sections shared by the profile, record
+// and replay paths.
+func printReport(stdout io.Writer, report *core.Report, res cheetah.Result, words, candidates bool) {
 	fmt.Fprint(stdout, report.Format())
-	if *words {
+	if words {
 		for i := range report.Instances {
 			fmt.Fprintln(stdout)
 			fmt.Fprint(stdout, report.Instances[i].FormatWords())
 		}
 	}
-	if *candidates && len(report.Candidates) > 0 {
+	if candidates && len(report.Candidates) > 0 {
 		fmt.Fprintf(stdout, "\n%d further candidates (true sharing or below significance thresholds):\n",
 			len(report.Candidates))
 		for _, c := range report.Candidates {
@@ -105,5 +231,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "\nruntime %d cycles across %d phases\n", res.TotalCycles, len(res.Phases))
-	return 0
 }

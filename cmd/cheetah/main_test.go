@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -10,7 +12,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
 	}
-	for _, want := range []string{"linear_regression", "streamcluster", "figure1"} {
+	for _, want := range []string{"linear_regression", "streamcluster", "figure1", "trace:<path>"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q:\n%s", want, out.String())
 		}
@@ -59,7 +61,105 @@ func TestRunHelpExitsZero(t *testing.T) {
 	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
 		t.Fatalf("-h exit code %d, want 0", code)
 	}
-	if !strings.Contains(errOut.String(), "-threads") {
-		t.Errorf("usage text missing flags:\n%s", errOut.String())
+	for _, want := range []string{"-threads", "-record", "-replay"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("usage text missing %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+// TestRunRecordReplayRoundTrip drives the full CLI surface: -record
+// writes a trace while printing the report, -replay (and the
+// trace:<path> pseudo-workload spelling) reproduce that report byte for
+// byte.
+func TestRunRecordReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.trace")
+	var recOut, recErr strings.Builder
+	code := run([]string{"-record", path, "-threads", "4", "-scale", "0.05", "figure1"}, &recOut, &recErr)
+	if code != 0 {
+		t.Fatalf("record exit code %d, stderr:\n%s", code, recErr.String())
+	}
+	if !strings.Contains(recErr.String(), "wrote trace") {
+		t.Errorf("stderr missing trace confirmation:\n%s", recErr.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+
+	var repOut, repErr strings.Builder
+	if code := run([]string{"-replay", path}, &repOut, &repErr); code != 0 {
+		t.Fatalf("replay exit code %d, stderr:\n%s", code, repErr.String())
+	}
+	if repOut.String() != recOut.String() {
+		t.Errorf("-replay output differs from recorded run\n--- recorded ---\n%s\n--- replayed ---\n%s",
+			recOut.String(), repOut.String())
+	}
+
+	var wlOut, wlErr strings.Builder
+	if code := run([]string{"trace:" + path}, &wlOut, &wlErr); code != 0 {
+		t.Fatalf("trace:<path> exit code %d, stderr:\n%s", code, wlErr.String())
+	}
+	if wlOut.String() != recOut.String() {
+		t.Error("trace:<path> pseudo-workload output differs from recorded run")
+	}
+}
+
+// TestRunRecordSampledBinary exercises the sampled + binary recording
+// mode and its replay.
+func TestRunRecordSampledBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.bin.trace")
+	var out, errOut strings.Builder
+	code := run([]string{"-record", path, "-record-sampled", "-record-binary",
+		"-threads", "4", "-scale", "0.05", "figure1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("record exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	var repOut, repErr strings.Builder
+	if code := run([]string{"-replay", path}, &repOut, &repErr); code != 0 {
+		t.Fatalf("replay exit code %d, stderr:\n%s", code, repErr.String())
+	}
+	if !strings.Contains(repOut.String(), "runtime") {
+		t.Errorf("sampled replay missing runtime line:\n%s", repOut.String())
+	}
+}
+
+// TestRunReRecordConvertsFraming: -record combined with a trace
+// workload re-records the replayed run — here converting the text trace
+// to binary — and both print the same report.
+func TestRunReRecordConvertsFraming(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "a.trace")
+	var out1, err1 strings.Builder
+	if code := run([]string{"-record", text, "-threads", "4", "-scale", "0.05", "figure1"}, &out1, &err1); code != 0 {
+		t.Fatalf("record exit code %d, stderr:\n%s", code, err1.String())
+	}
+	bin := filepath.Join(dir, "a.bin.trace")
+	var out2, err2 strings.Builder
+	if code := run([]string{"-record", bin, "-record-binary", "trace:" + text}, &out2, &err2); code != 0 {
+		t.Fatalf("re-record exit code %d, stderr:\n%s", code, err2.String())
+	}
+	if fi, err := os.Stat(bin); err != nil || fi.Size() == 0 {
+		t.Fatalf("converted trace not written: %v", err)
+	}
+	var out3, err3 strings.Builder
+	if code := run([]string{"-replay", bin}, &out3, &err3); code != 0 {
+		t.Fatalf("replay of converted trace: exit code %d, stderr:\n%s", code, err3.String())
+	}
+	if out1.String() != out2.String() || out2.String() != out3.String() {
+		t.Error("record, re-record and converted-replay reports differ")
+	}
+}
+
+func TestRunReplayRejectsMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-replay", "/no/such/file.trace"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestRunReplayExcludesWorkloadArgument(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-replay", "x.trace", "figure1"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
 	}
 }

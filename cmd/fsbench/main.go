@@ -12,7 +12,13 @@
 // results are identical at any worker count. With -experiment all,
 // -bench-out additionally writes a machine-readable trajectory entry
 // (headline metrics, wall-clock, cells executed) so performance and
-// result drift can be tracked across revisions.
+// result drift can be tracked across revisions; the file is written
+// atomically (temp file + rename), so an interrupted run cannot
+// truncate it.
+//
+// Recorded memory-access traces sweep like any workload: pass
+// `trace:<path>` wherever an application name is accepted, e.g.
+// `fsbench -experiment fig5 -app trace:run.trace`.
 package main
 
 import (
@@ -21,10 +27,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -48,6 +58,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+
+	// Trace pseudo-workloads are validated up front — the full pipeline,
+	// not just decoding: workload Build cannot return errors (it panics,
+	// inside a harness worker), so a bad path, corrupt file or
+	// unrestorable layout is diagnosed here instead.
+	if workload.IsTraceName(*app) {
+		if err := trace.Validate(strings.TrimPrefix(*app, workload.TracePrefix)); err != nil {
+			fmt.Fprintf(stderr, "fsbench: %v\n", err)
+			return 1
+		}
 	}
 
 	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers}
@@ -75,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			b, err := entry.MarshalIndent()
 			if err == nil {
-				err = os.WriteFile(*benchOut, b, 0o644)
+				err = writeFileAtomic(*benchOut, b)
 			}
 			if err != nil {
 				fmt.Fprintf(stderr, "fsbench: writing %s: %v\n", *benchOut, err)
@@ -107,4 +128,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so an interrupted run can never leave a
+// truncated trajectory file behind.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -41,6 +41,85 @@ func TestRunHelpExitsZero(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadTraceApp: a missing or corrupt trace:<path> app must
+// produce a one-line diagnostic and exit 1, not a worker-goroutine
+// panic.
+func TestRunRejectsBadTraceApp(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-experiment", "fig5", "-app", "trace:/no/such.trace"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("missing trace: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no such file") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{"-experiment", "fig5", "-app", "trace:" + bad}, &out, &errOut); code != 1 {
+		t.Fatalf("corrupt trace: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unrecognized framing") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut.String())
+	}
+
+	// Decodes cleanly but cannot be restored: still a diagnostic, not a
+	// worker panic.
+	overlap := filepath.Join(t.TempDir(), "overlap.trace")
+	content := "#cheetah-trace v1\n#program 4 dup\n" +
+		"#object 0x40000000 16 16 0 1 1 -\n#object 0x40000000 16 16 0 2 1 -\n" +
+		"#phase 0 p w\n1 w 0x40000000 4 1 0 0\n"
+	if err := os.WriteFile(overlap, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{"-experiment", "fig5", "-app", "trace:" + overlap}, &out, &errOut); code != 1 {
+		t.Fatalf("unrestorable trace: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "occupied") {
+		t.Errorf("stderr missing restore diagnosis:\n%s", errOut.String())
+	}
+}
+
+// TestWriteFileAtomic: the trajectory write must go through a temp file
+// plus rename so a crash mid-write can never truncate an existing file,
+// must replace existing content, and must leave no temp files behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_harness.json")
+	if err := writeFileAtomic(path, []byte("first\n")); err != nil {
+		t.Fatalf("initial write: %v", err)
+	}
+	if err := writeFileAtomic(path, []byte("second\n")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second\n" {
+		t.Errorf("content = %q, want %q", got, "second\n")
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v (err %v), want 0644", fi.Mode(), err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want only the trajectory file: %v", len(entries), entries)
+	}
+	// Writing into a missing directory must fail without creating
+	// anything.
+	if err := writeFileAtomic(filepath.Join(dir, "no", "such", "dir.json"), []byte("x")); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+}
+
 func TestRunAllWritesBenchTrajectory(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")

@@ -203,7 +203,7 @@ func (p *Profiler) ProgramEnd(total uint64) {
 // region (the driver passes only heap and global accesses, §1 Figure 2),
 // feeds serial-phase latency into the no-false-sharing baseline, and
 // applies detailed detection only inside parallel phases.
-func (p *Profiler) Sample(a mem.Access) {
+func (p *Profiler) Sample(a mem.Access, instrs uint64) {
 	region := p.regionOf(a.Addr)
 	if region != mem.RegionHeap && region != mem.RegionGlobal {
 		p.dropped++

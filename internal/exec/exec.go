@@ -49,6 +49,11 @@ type ThreadInfo struct {
 	// Start and End are the thread's lifetime in cycles. End is zero in
 	// ThreadStart callbacks.
 	Start, End uint64
+	// Instrs is the thread's retired instruction count. It is zero in
+	// ThreadStart callbacks and final in ThreadEnd callbacks; trace
+	// recording uses it to reconstruct compute that follows the thread's
+	// last memory access.
+	Instrs uint64
 	// Reused marks a pooled thread re-entering a later phase; probes that
 	// charge per-thread setup costs (PMU register programming) skip
 	// reused threads, since the real cost is paid once per pthread.
@@ -430,7 +435,7 @@ func (e *Engine) apply(th *thread, op op) {
 
 // finishThread records a completed thread and notifies probes.
 func (e *Engine) finishThread(th *thread) {
-	info := ThreadInfo{ID: th.id, Core: th.core, Phase: th.phase, Start: th.start, End: th.vtime}
+	info := ThreadInfo{ID: th.id, Core: th.core, Phase: th.phase, Start: th.start, End: th.vtime, Instrs: th.instrs}
 	for _, pr := range e.probes {
 		pr.ThreadEnd(info)
 	}

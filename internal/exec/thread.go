@@ -50,6 +50,14 @@ func (t *T) Load8(addr mem.Addr) { t.emit(op{kind: opLoad, size: 8, addr: addr})
 // Store8 issues an 8-byte store.
 func (t *T) Store8(addr mem.Addr) { t.emit(op{kind: opStore, size: 8, addr: addr}) }
 
+// LoadN issues a load of size bytes. Sub-word sizes model the byte and
+// halfword accesses imported traces carry; the size is preserved on the
+// resulting mem.Access (sharing analysis remains word-granular).
+func (t *T) LoadN(addr mem.Addr, size uint8) { t.emit(op{kind: opLoad, size: size, addr: addr}) }
+
+// StoreN issues a store of size bytes.
+func (t *T) StoreN(addr mem.Addr, size uint8) { t.emit(op{kind: opStore, size: size, addr: addr}) }
+
 // Compute advances the thread by n arithmetic instructions (one cycle
 // each) without touching memory.
 func (t *T) Compute(n int) {

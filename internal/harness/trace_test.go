@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	cheetah "repro"
+	"repro/internal/exec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestTraceWorkloadRunsAsCell: a recorded trace sweeps through the
+// experiment runner as a `trace:<path>` pseudo-workload, and — because
+// the cell's core count and PMU configuration match the recording — its
+// profiled cell reproduces the recorded run's report byte for byte.
+func TestTraceWorkloadRunsAsCell(t *testing.T) {
+	scale := 0.1
+	if testing.Short() {
+		scale = 0.04
+	}
+	c := Config{Scale: scale, Threads: 4, Cores: 8, Workers: 2, PMU: DetectionPMU()}.withDefaults()
+
+	// Record linear_regression under the profiler with the cell's exact
+	// configuration.
+	w, _ := workload.ByName("linear_regression")
+	sys := cheetah.New(cheetah.Config{Cores: c.Cores})
+	prog := w.Build(sys, workload.Params{Threads: c.Threads, Scale: c.Scale})
+	path := filepath.Join(t.TempDir(), "lr.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(trace.NewTextEncoder(f), sys.Heap(), sys.Globals())
+	prof := sys.NewProfiler(cheetah.ProfileOptions{PMU: c.PMU})
+	sys.RunWith(prog, append(prof.Probes(), exec.Probe(rec))...)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recording: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := prof.Report().Format()
+
+	// Sweep the trace through a private runner like any other cell.
+	r := NewRunner(c.Workers)
+	cell := r.profiled("trace:"+path, c, false)
+	out := cell.wait()
+	if out.rep == nil {
+		t.Fatal("trace cell produced no report")
+	}
+	if got := out.rep.Format(); got != want {
+		t.Errorf("trace cell report differs from recorded run\n--- recorded ---\n%s\n--- cell ---\n%s", want, got)
+	}
+	if r.CellsRun() != 1 {
+		t.Errorf("CellsRun = %d, want 1", r.CellsRun())
+	}
+}

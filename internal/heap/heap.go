@@ -20,6 +20,7 @@ package heap
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 )
@@ -320,6 +321,114 @@ func (h *Heap) lookup(addr mem.Addr) (*Object, *superblock) {
 		return nil, nil
 	}
 	return obj, sb
+}
+
+// Objects returns a copy of every allocation the heap knows about — live
+// and freed-but-still-resolvable — in ascending address order. Trace
+// recording snapshots this at program start so a replayed trace can
+// resolve the same addresses to the same allocation sites.
+func (h *Heap) Objects() []Object {
+	seen := make(map[*superblock]bool, len(h.supers))
+	var out []Object
+	for _, sb := range h.supers {
+		if seen[sb] {
+			continue
+		}
+		seen[sb] = true
+		for _, obj := range sb.objects {
+			if obj != nil {
+				out = append(out, *obj)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Restore installs a previously recorded object at its original address,
+// rebuilding the superblock bookkeeping around it, so that Lookup resolves
+// exactly as it did in the recorded run. Objects must not collide with
+// existing allocations; later Mallocs carve fresh superblocks past every
+// restored span. Unlike Malloc, Restore validates its input and returns an
+// error instead of panicking: trace files are external input.
+func (h *Heap) Restore(o Object) error {
+	if o.ClassSize < MinClass || o.ClassSize&(o.ClassSize-1) != 0 {
+		return fmt.Errorf("heap: restore %v: class size %d is not a power of two >= %d", o.Addr, o.ClassSize, MinClass)
+	}
+	if o.Size > o.ClassSize {
+		return fmt.Errorf("heap: restore %v: size %d exceeds class size %d", o.Addr, o.Size, o.ClassSize)
+	}
+	if !h.Contains(o.Addr) || o.End() > h.Limit() {
+		return fmt.Errorf("heap: restore %v..%v: outside heap region %v..%v", o.Addr, o.End(), h.Base(), h.Limit())
+	}
+	span := uint64(superblockSize)
+	if o.ClassSize > superblockSize {
+		if uint64(o.Addr)%superblockSize != 0 {
+			return fmt.Errorf("heap: restore %v: large object not superblock-aligned", o.Addr)
+		}
+		span = (o.ClassSize + superblockSize - 1) / superblockSize * superblockSize
+	}
+	idx := h.superIndex(o.Addr)
+	base := h.cfg.Base.Add(int(idx * superblockSize))
+	sb := h.supers[idx]
+	switch {
+	case sb == nil:
+		class, unit := classFor(o.ClassSize)
+		if unit != o.ClassSize {
+			class = 0xFF
+		}
+		if o.ClassSize > superblockSize {
+			class = 0xFF
+			base = o.Addr
+		}
+		sb = &superblock{
+			base:      base,
+			class:     class,
+			classSize: o.ClassSize,
+			thread:    o.Thread,
+			next:      base,
+			objects:   make([]*Object, span/o.ClassSize),
+		}
+		for i := uint64(0); i < span/superblockSize; i++ {
+			at := idx + i
+			if h.supers[at] != nil {
+				return fmt.Errorf("heap: restore %v: span collides with existing superblock", o.Addr)
+			}
+			h.supers[at] = sb
+		}
+	case sb.classSize != o.ClassSize:
+		return fmt.Errorf("heap: restore %v: class size %d conflicts with superblock class %d", o.Addr, o.ClassSize, sb.classSize)
+	}
+	offset := uint64(o.Addr - sb.base)
+	if offset%o.ClassSize != 0 {
+		return fmt.Errorf("heap: restore %v: not aligned to class size %d within superblock", o.Addr, o.ClassSize)
+	}
+	slot := offset / o.ClassSize
+	if slot >= uint64(len(sb.objects)) {
+		return fmt.Errorf("heap: restore %v: slot %d out of range", o.Addr, slot)
+	}
+	if sb.objects[slot] != nil {
+		return fmt.Errorf("heap: restore %v: slot already occupied by object at %v", o.Addr, sb.objects[slot].Addr)
+	}
+	obj := o
+	if len(obj.Stack) > MaxStackDepth {
+		obj.Stack = obj.Stack[:MaxStackDepth]
+	}
+	sb.objects[slot] = &obj
+	if end := o.End(); end > sb.next {
+		sb.next = end
+	}
+	if spanEnd := sb.base.Add(int(span)); spanEnd > h.nextSuper {
+		h.nextSuper = spanEnd
+	}
+	if o.Seq > h.seq {
+		h.seq = o.Seq
+	}
+	h.allocs++
+	if o.Live {
+		h.liveBytes += o.ClassSize
+	}
+	return nil
 }
 
 // Stats reports allocator usage.

@@ -30,15 +30,18 @@ const DefaultPeriod = 64 * 1024
 // Handler consumes delivered samples. Implementations run inline with the
 // simulated thread, like the paper's signal handler.
 type Handler interface {
-	// Sample delivers one sampled memory access.
-	Sample(a mem.Access)
+	// Sample delivers one sampled memory access along with the sampled
+	// thread's retired instruction count at the access — the simulated
+	// instruction pointer real IBS/PEBS hardware reports next to the
+	// address.
+	Sample(a mem.Access, instrs uint64)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(a mem.Access)
+type HandlerFunc func(a mem.Access, instrs uint64)
 
 // Sample implements Handler.
-func (f HandlerFunc) Sample(a mem.Access) { f(a) }
+func (f HandlerFunc) Sample(a mem.Access, instrs uint64) { f(a, instrs) }
 
 // CountMode selects what the sampling counter counts, mirroring AMD IBS
 // op sampling's IbsOpCntCtl: cycle counting (the hardware default) tags
@@ -176,6 +179,7 @@ func (p *PMU) Access(a mem.Access, instrs uint64) uint64 {
 		// Thread not monitored (probe attached mid-run); skip.
 		return 0
 	}
+	retired := instrs
 	if p.cfg.Mode == CountCycles {
 		// a.Time is the thread's cycle clock at issue; the access itself
 		// spans Latency cycles, during which pending tags also fire.
@@ -201,7 +205,7 @@ func (p *PMU) Access(a mem.Access, instrs uint64) uint64 {
 		}
 		if tagged {
 			p.stats.Delivered++
-			p.handler.Sample(a)
+			p.handler.Sample(a, retired)
 		} else {
 			p.stats.Untagged++
 		}

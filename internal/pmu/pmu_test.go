@@ -13,7 +13,7 @@ type collect struct {
 	samples []mem.Access
 }
 
-func (c *collect) Sample(a mem.Access) { c.samples = append(c.samples, a) }
+func (c *collect) Sample(a mem.Access, instrs uint64) { c.samples = append(c.samples, a) }
 
 // runLoop executes a single-thread loop of nIter iterations, each with one
 // store and computeN compute instructions, under a PMU with the given

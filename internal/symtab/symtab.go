@@ -108,6 +108,36 @@ func (t *Table) DefineUnaligned(name string, size uint64) mem.Addr {
 	return addr
 }
 
+// Restore installs a previously recorded symbol at its exact original
+// address, so a replayed trace resolves global accesses to the same
+// variable names. Unlike Define it performs no layout of its own and
+// returns an error (rather than panicking) on overlap or out-of-segment
+// addresses: trace files are external input.
+func (t *Table) Restore(s Symbol) error {
+	if s.Size == 0 {
+		s.Size = 1
+	}
+	// The size bound is computed subtraction-first: s.End() (Addr+Size)
+	// can wrap uint64 for hostile sizes and sneak past an End>Limit
+	// comparison.
+	if !t.Contains(s.Addr) || s.Size > uint64(t.Limit()-s.Addr) {
+		return fmt.Errorf("symtab: restore %q at %v (%d bytes): outside globals segment %v..%v",
+			s.Name, s.Addr, s.Size, t.Base(), t.Limit())
+	}
+	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].End() > s.Addr })
+	if i < len(t.syms) && t.syms[i].Addr < s.End() {
+		return fmt.Errorf("symtab: restore %q at %v..%v: overlaps existing symbol %q at %v",
+			s.Name, s.Addr, s.End(), t.syms[i].Name, t.syms[i].Addr)
+	}
+	t.syms = append(t.syms, Symbol{})
+	copy(t.syms[i+1:], t.syms[i:])
+	t.syms[i] = s
+	if s.End() > t.next {
+		t.next = s.End()
+	}
+	return nil
+}
+
 // Resolve returns the symbol containing addr.
 func (t *Table) Resolve(addr mem.Addr) (Symbol, bool) {
 	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].End() > addr })

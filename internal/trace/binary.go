@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// binaryMagic opens every binary trace. The leading NUL distinguishes
+// binary from text framing ('#') in one byte.
+var binaryMagic = []byte{0x00, 'C', 'H', 'T', 'R', 'B', '0' + Version, '\n'}
+
+// BinaryEncoder writes the compact varint framing.
+type BinaryEncoder struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewBinaryEncoder creates a binary encoder over w. The magic is written
+// immediately; any error surfaces from Encode or Close.
+func NewBinaryEncoder(w io.Writer) *BinaryEncoder {
+	e := &BinaryEncoder{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+	_, e.err = e.w.Write(binaryMagic)
+	return e
+}
+
+// Encode implements Encoder.
+func (e *BinaryEncoder) Encode(ev Event) error {
+	if e.err != nil {
+		return e.err
+	}
+	b := append(e.buf[:0], byte(ev.Kind))
+	switch ev.Kind {
+	case KindProgram:
+		b = binary.AppendUvarint(b, uint64(ev.Cores))
+		b = appendString(b, ev.Name)
+	case KindSymbol:
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		b = binary.AppendUvarint(b, ev.Size)
+		b = appendString(b, ev.Name)
+	case KindObject:
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		b = binary.AppendUvarint(b, ev.Size)
+		b = binary.AppendUvarint(b, ev.Class)
+		b = binary.AppendUvarint(b, uint64(ev.TID))
+		b = binary.AppendUvarint(b, ev.Seq)
+		b = append(b, byte(b2i(ev.Live)))
+		b = binary.AppendUvarint(b, uint64(len(ev.Stack)))
+		for _, f := range ev.Stack {
+			b = appendString(b, f.File)
+			b = binary.AppendUvarint(b, uint64(f.Line))
+			b = appendString(b, f.Func)
+		}
+	case KindPhase:
+		b = binary.AppendUvarint(b, uint64(ev.Phase))
+		b = append(b, byte(b2i(ev.Parallel)))
+		b = appendString(b, ev.Name)
+	case KindThreadEnd:
+		b = binary.AppendUvarint(b, uint64(ev.TID))
+		b = binary.AppendUvarint(b, uint64(ev.Phase))
+		b = binary.AppendUvarint(b, ev.Instrs)
+	case KindAccess:
+		b = binary.AppendUvarint(b, uint64(ev.TID))
+		b = append(b, byte(b2i(ev.Write)))
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		b = binary.AppendUvarint(b, ev.Size)
+		b = binary.AppendUvarint(b, ev.IP)
+		b = binary.AppendUvarint(b, uint64(ev.Lat))
+		b = binary.AppendUvarint(b, uint64(ev.Phase))
+	default:
+		return fmt.Errorf("trace: encode: unknown event kind %d", ev.Kind)
+	}
+	e.buf = b[:0]
+	_, e.err = e.w.Write(b)
+	return e.err
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Close implements Encoder, flushing buffered output.
+func (e *BinaryEncoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.w.Flush()
+	return e.err
+}
+
+// binaryDecoder streams the varint framing back into events.
+type binaryDecoder struct {
+	br *bufio.Reader
+}
+
+// newBinaryDecoder validates the magic and returns a streaming decoder.
+func newBinaryDecoder(br *bufio.Reader) (func() (Event, error), error) {
+	head := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: truncated binary magic: %w", err)
+	}
+	for i, c := range binaryMagic {
+		if head[i] != c {
+			return nil, fmt.Errorf("trace: bad binary magic %q", head)
+		}
+	}
+	d := &binaryDecoder{br: br}
+	return d.next, nil
+}
+
+func (d *binaryDecoder) next() (Event, error) {
+	kind, err := d.br.ReadByte()
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	ev := Event{Kind: Kind(kind)}
+	switch ev.Kind {
+	case KindProgram:
+		cores, err := d.uvarint("cores", 1<<16-1)
+		if err != nil {
+			return Event{}, err
+		}
+		if cores == 0 {
+			return Event{}, fmt.Errorf("trace: zero core count")
+		}
+		ev.Cores = int(cores)
+		if ev.Name, err = d.string("program name"); err != nil {
+			return Event{}, err
+		}
+	case KindSymbol:
+		if err := d.fields(
+			field{"addr", 1 << 62, func(v uint64) { ev.Addr = mem.Addr(v) }},
+			field{"size", 1 << 40, func(v uint64) { ev.Size = v }},
+		); err != nil {
+			return Event{}, err
+		}
+		var err error
+		if ev.Name, err = d.string("symbol name"); err != nil {
+			return Event{}, err
+		}
+	case KindObject:
+		if err := d.fields(
+			field{"addr", 1 << 62, func(v uint64) { ev.Addr = mem.Addr(v) }},
+			field{"size", 1 << 40, func(v uint64) { ev.Size = v }},
+			field{"class", 1 << 40, func(v uint64) { ev.Class = v }},
+			field{"thread", MaxThreadID, func(v uint64) { ev.TID = mem.ThreadID(v) }},
+			field{"seq", 1 << 62, func(v uint64) { ev.Seq = v }},
+		); err != nil {
+			return Event{}, err
+		}
+		live, err := d.br.ReadByte()
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated object: %w", err)
+		}
+		ev.Live = live != 0
+		nframes, err := d.uvarint("frame count", MaxFrames)
+		if err != nil {
+			return Event{}, err
+		}
+		if nframes > 0 {
+			ev.Stack = make(heap.CallStack, 0, nframes)
+		}
+		for i := uint64(0); i < nframes; i++ {
+			var f heap.Frame
+			if f.File, err = d.string("frame file"); err != nil {
+				return Event{}, err
+			}
+			line, err := d.uvarint("frame line", 1<<31)
+			if err != nil {
+				return Event{}, err
+			}
+			f.Line = int(line)
+			if f.Func, err = d.string("frame func"); err != nil {
+				return Event{}, err
+			}
+			ev.Stack = append(ev.Stack, f)
+		}
+	case KindPhase:
+		idx, err := d.uvarint("phase index", MaxPhaseIndex)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Phase = int(idx)
+		par, err := d.br.ReadByte()
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated phase: %w", err)
+		}
+		ev.Parallel = par != 0
+		if ev.Name, err = d.string("phase name"); err != nil {
+			return Event{}, err
+		}
+	case KindThreadEnd:
+		if err := d.fields(
+			field{"thread id", MaxThreadID, func(v uint64) { ev.TID = mem.ThreadID(v) }},
+			field{"phase index", MaxPhaseIndex, func(v uint64) { ev.Phase = int(v) }},
+			field{"instrs", MaxInstrs, func(v uint64) { ev.Instrs = v }},
+		); err != nil {
+			return Event{}, err
+		}
+	case KindAccess:
+		tid, err := d.uvarint("thread id", MaxThreadID)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.TID = mem.ThreadID(tid)
+		write, err := d.br.ReadByte()
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated access: %w", err)
+		}
+		ev.Write = write != 0
+		if err := d.fields(
+			field{"addr", 1 << 62, func(v uint64) { ev.Addr = mem.Addr(v) }},
+			field{"size", 1<<16 - 1, func(v uint64) { ev.Size = v }},
+			field{"ip", MaxInstrs, func(v uint64) { ev.IP = v }},
+			field{"lat", 1<<32 - 1, func(v uint64) { ev.Lat = uint32(v) }},
+			field{"phase index", MaxPhaseIndex, func(v uint64) { ev.Phase = int(v) }},
+		); err != nil {
+			return Event{}, err
+		}
+	default:
+		return Event{}, fmt.Errorf("trace: unknown event kind %d", kind)
+	}
+	return ev, nil
+}
+
+// field is one bounded uvarint field of a binary record.
+type field struct {
+	name string
+	max  uint64
+	set  func(uint64)
+}
+
+func (d *binaryDecoder) fields(fs ...field) error {
+	for _, f := range fs {
+		v, err := d.uvarint(f.name, f.max)
+		if err != nil {
+			return err
+		}
+		f.set(v)
+	}
+	return nil
+}
+
+func (d *binaryDecoder) uvarint(what string, max uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: truncated %s: %w", what, err)
+	}
+	if v > max {
+		return 0, fmt.Errorf("trace: %s %d exceeds limit %d", what, v, max)
+	}
+	return v, nil
+}
+
+func (d *binaryDecoder) string(what string) (string, error) {
+	n, err := d.uvarint(what+" length", MaxStringLen)
+	if err != nil {
+		return "", err
+	}
+	// Read incrementally rather than allocating n upfront: the length is
+	// attacker-controlled and the stream may be shorter.
+	buf := make([]byte, 0, min(n, 4096))
+	for uint64(len(buf)) < n {
+		c, err := d.br.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("trace: truncated %s: %w", what, err)
+		}
+		buf = append(buf, c)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,285 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	cheetah "repro"
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// densePMU is the dense sampling configuration the detection tests use.
+func densePMU() pmu.Config {
+	return pmu.Config{Period: 64, Jitter: 24, HandlerCycles: 4, SetupCycles: 0}
+}
+
+// canonicalReport renders everything the detection report contains —
+// instance formatting, word-level classification, EQ(1)-EQ(4) assessment
+// numbers, and the candidate list — as one string for byte-for-byte
+// comparison.
+func canonicalReport(rep *cheetah.Report) string {
+	var b strings.Builder
+	b.WriteString(rep.Format())
+	for i := range rep.Instances {
+		b.WriteString(rep.Instances[i].FormatWords())
+	}
+	fmt.Fprintf(&b, "candidates %d\n", len(rep.Candidates))
+	for _, c := range rep.Candidates {
+		fmt.Fprintf(&b, "  %v..%v fs=%v inv=%d acc=%d cyc=%d swf=%f improve=%f\n",
+			c.Object.Start, c.Object.End, c.FalseSharing, c.Invalidations,
+			c.Accesses, c.Cycles, c.SharedWordFraction, c.Assessment.Improvement)
+	}
+	return b.String()
+}
+
+// recordProfile profiles the workload with a full recorder attached and
+// returns the report, the run result and the trace bytes.
+func recordProfile(t *testing.T, name string, threads int, scale float64, cores int, binary bool) (*cheetah.Report, cheetah.Result, []byte) {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: cores})
+	prog := w.Build(sys, workload.Params{Threads: threads, Scale: scale})
+	var buf bytes.Buffer
+	var enc trace.Encoder
+	if binary {
+		enc = trace.NewBinaryEncoder(&buf)
+	} else {
+		enc = trace.NewTextEncoder(&buf)
+	}
+	rec := trace.NewRecorder(enc, sys.Heap(), sys.Globals())
+	prof := sys.NewProfiler(cheetah.ProfileOptions{PMU: densePMU()})
+	res := sys.RunWith(prog, append(prof.Probes(), rec)...)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recording: %v", err)
+	}
+	return prof.Report(), res, buf.Bytes()
+}
+
+// replayProfile replays a trace on a fresh system and profiles it.
+func replayProfile(t *testing.T, data []byte) (*cheetah.Report, cheetah.Result) {
+	t.Helper()
+	rp, err := trace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: rp.Cores})
+	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+		t.Fatalf("preparing trace: %v", err)
+	}
+	rep, res := sys.Profile(rp.Program(), cheetah.ProfileOptions{PMU: densePMU()})
+	return rep, res
+}
+
+// TestRoundTripByteIdentical is the subsystem's headline invariant:
+// record any workload, replay the trace, and the detection report is
+// byte-identical to profiling the original program — across workloads
+// with globals (figure1), heap objects (linear_regression), a persistent
+// thread pool (streamcluster), and minor false sharing (histogram), in
+// both framings.
+func TestRoundTripByteIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		scale  float64
+		binary bool
+		// wantFS asserts the recorded run itself detected something, so
+		// identity is established on a non-trivial report.
+		wantFS bool
+	}{
+		{name: "figure1", scale: 0.1, binary: false, wantFS: true},
+		{name: "linear_regression", scale: 0.2, binary: true, wantFS: true},
+		{name: "streamcluster", scale: 0.1, binary: false, wantFS: false},
+		{name: "histogram", scale: 0.1, binary: true, wantFS: false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			scale := tc.scale
+			if testing.Short() {
+				scale /= 2
+			}
+			rep1, res1, data := recordProfile(t, tc.name, 4, scale, 8, tc.binary)
+			if tc.wantFS && !testing.Short() && len(rep1.Instances) == 0 {
+				t.Errorf("recorded run reported no instances; identity check is trivial")
+			}
+			rep2, res2 := replayProfile(t, data)
+			if res1.TotalCycles != res2.TotalCycles {
+				t.Errorf("runtime: recorded %d cycles, replayed %d", res1.TotalCycles, res2.TotalCycles)
+			}
+			if len(res1.Threads) != len(res2.Threads) {
+				t.Errorf("thread records: recorded %d, replayed %d", len(res1.Threads), len(res2.Threads))
+			}
+			want, got := canonicalReport(rep1), canonicalReport(rep2)
+			if want != got {
+				t.Errorf("replayed report differs from recorded run\n--- recorded ---\n%s\n--- replayed ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestRoundTripWithUnallocatedHeapAccesses: a program that touches
+// heap-region addresses no object covers (the profiler accepts them by
+// region and reports them as unknown objects) must still round-trip
+// byte-identically — the replayer may not remap in-segment addresses.
+func TestRoundTripWithUnallocatedHeapAccesses(t *testing.T) {
+	build := func(sys *cheetah.System) cheetah.Program {
+		obj := sys.Heap().Malloc(0, 16, nil)
+		bodies := make([]cheetah.Body, 3)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(tt *cheetah.T) {
+				for j := 0; j < 3000; j++ {
+					// Word i of the allocated object, plus a stray
+					// store far past it: same superblock, no object.
+					tt.Store(obj.Add(i * 4))
+					tt.Store(obj.Add(4096 + i*4))
+					tt.Compute(2)
+				}
+			}
+		}
+		return cheetah.Program{Name: "stray", Phases: []cheetah.Phase{
+			cheetah.ParallelPhase("work", bodies...),
+		}}
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	prog := build(sys)
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(trace.NewTextEncoder(&buf), sys.Heap(), sys.Globals())
+	prof := sys.NewProfiler(cheetah.ProfileOptions{PMU: densePMU()})
+	res1 := sys.RunWith(prog, append(prof.Probes(), rec)...)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recording: %v", err)
+	}
+	rep1 := prof.Report()
+	if rep1.Samples == 0 {
+		t.Fatal("no samples in recorded run")
+	}
+	rep2, res2 := replayProfile(t, buf.Bytes())
+	if res1.TotalCycles != res2.TotalCycles {
+		t.Errorf("runtime: recorded %d cycles, replayed %d", res1.TotalCycles, res2.TotalCycles)
+	}
+	if want, got := canonicalReport(rep1), canonicalReport(rep2); want != got {
+		t.Errorf("replayed report differs\n--- recorded ---\n%s\n--- replayed ---\n%s", want, got)
+	}
+}
+
+// TestRoundTripWithMidRunAllocation: objects allocated during execution
+// (from a serial-phase body, the engine's single-threaded window) must
+// appear in the trace's layout snapshot — it is taken at program end —
+// so the replayed report still names their allocation sites.
+func TestRoundTripWithMidRunAllocation(t *testing.T) {
+	build := func(sys *cheetah.System) cheetah.Program {
+		var obj mem.Addr
+		setup := cheetah.SerialPhase("setup", func(tt *cheetah.T) {
+			obj = sys.Heap().Malloc(0, 16,
+				heap.Stack(heap.Frame{File: "midrun.c", Line: 77}))
+			for i := 0; i < 8; i++ {
+				tt.Store(obj.Add(i % 4 * 4))
+				tt.Compute(2)
+			}
+		})
+		bodies := make([]cheetah.Body, 3)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(tt *cheetah.T) {
+				for j := 0; j < 4000; j++ {
+					tt.Store(obj.Add(i * 4))
+					tt.Compute(1)
+				}
+			}
+		}
+		return cheetah.Program{Name: "midrun", Phases: []cheetah.Phase{
+			setup, cheetah.ParallelPhase("work", bodies...),
+		}}
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	prog := build(sys)
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(trace.NewTextEncoder(&buf), sys.Heap(), sys.Globals())
+	prof := sys.NewProfiler(cheetah.ProfileOptions{PMU: densePMU()})
+	sys.RunWith(prog, append(prof.Probes(), rec)...)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recording: %v", err)
+	}
+	rep1 := prof.Report()
+	if !strings.Contains(buf.String(), "midrun.c:77") {
+		t.Fatal("mid-run allocation missing from trace layout snapshot")
+	}
+	rep2, _ := replayProfile(t, buf.Bytes())
+	if want, got := canonicalReport(rep1), canonicalReport(rep2); want != got {
+		t.Errorf("replayed report differs\n--- recorded ---\n%s\n--- replayed ---\n%s", want, got)
+	}
+	if len(rep1.Instances) == 0 {
+		t.Error("mid-run-allocated object not reported; identity check is trivial")
+	}
+}
+
+// TestRecorderDoesNotPerturbProfile: a profile with a recorder attached
+// must equal a plain profile — the recorder charges zero cycles.
+func TestRecorderDoesNotPerturbProfile(t *testing.T) {
+	w, _ := workload.ByName("figure1")
+	sys1 := cheetah.New(cheetah.Config{Cores: 8})
+	prog1 := w.Build(sys1, workload.Params{Threads: 4, Scale: 0.05})
+	plain, _ := sys1.Profile(prog1, cheetah.ProfileOptions{PMU: densePMU()})
+
+	rep, _, _ := recordProfile(t, "figure1", 4, 0.05, 8, false)
+	if canonicalReport(plain) != canonicalReport(rep) {
+		t.Error("attaching the recorder changed the detection report")
+	}
+}
+
+// TestSampledTraceReplays: sampled traces are much smaller and still
+// replay to a runnable program that profiles without error.
+func TestSampledTraceReplays(t *testing.T) {
+	w, _ := workload.ByName("figure1")
+	sys := cheetah.New(cheetah.Config{Cores: 8})
+	prog := w.Build(sys, workload.Params{Threads: 4, Scale: 0.05})
+	var full, sampled bytes.Buffer
+	rec := trace.NewRecorder(trace.NewTextEncoder(&full), sys.Heap(), sys.Globals())
+	sr := trace.NewSampledRecorder(densePMU(), trace.NewTextEncoder(&sampled), sys.Heap(), sys.Globals())
+	sys.RunWith(prog, append([]exec.Probe{rec}, sr.Probes()...)...)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("full recorder: %v", err)
+	}
+	if err := sr.Err(); err != nil {
+		t.Fatalf("sampled recorder: %v", err)
+	}
+	if sampled.Len() >= full.Len() {
+		t.Errorf("sampled trace (%d bytes) not smaller than full trace (%d bytes)", sampled.Len(), full.Len())
+	}
+	rep, res := replayProfile(t, sampled.Bytes())
+	if res.TotalCycles == 0 {
+		t.Error("sampled replay did not run")
+	}
+	if rep.Samples == 0 {
+		t.Error("sampled replay produced no samples under dense profiling")
+	}
+}
+
+// TestSampledRecorderDoesNotPerturbRun: the sampled recorder's private
+// PMU must charge nothing to the observed execution.
+func TestSampledRecorderDoesNotPerturbRun(t *testing.T) {
+	w, _ := workload.ByName("figure1")
+	sys1 := cheetah.New(cheetah.Config{Cores: 8})
+	res1 := sys1.Run(w.Build(sys1, workload.Params{Threads: 4, Scale: 0.05}))
+
+	sys2 := cheetah.New(cheetah.Config{Cores: 8})
+	prog2 := w.Build(sys2, workload.Params{Threads: 4, Scale: 0.05})
+	var buf bytes.Buffer
+	sr := trace.NewSampledRecorder(pmu.Config{Period: 64, Jitter: 24, HandlerCycles: 999, SetupCycles: 999},
+		trace.NewTextEncoder(&buf), sys2.Heap(), sys2.Globals())
+	res2 := sys2.RunWith(prog2, sr.Probes()...)
+	if res1.TotalCycles != res2.TotalCycles {
+		t.Errorf("sampled recorder perturbed the run: %d vs %d cycles", res1.TotalCycles, res2.TotalCycles)
+	}
+}

@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// textHeader is the first line of every text trace.
+const textHeader = "#cheetah-trace v1"
+
+// TextEncoder writes the line-oriented framing: `#`-prefixed metadata
+// directives plus `tid op addr size ip lat phase` data rows.
+type TextEncoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewTextEncoder creates a text encoder over w. The header line is
+// written immediately; any error surfaces from Encode or Close.
+func NewTextEncoder(w io.Writer) *TextEncoder {
+	e := &TextEncoder{w: bufio.NewWriterSize(w, 1<<16)}
+	_, e.err = e.w.WriteString(textHeader + "\n")
+	return e
+}
+
+// Encode implements Encoder.
+func (e *TextEncoder) Encode(ev Event) error {
+	if e.err != nil {
+		return e.err
+	}
+	switch ev.Kind {
+	case KindProgram:
+		e.err = e.writeNamed("#program %d %s\n", ev.Cores, ev.Name)
+	case KindSymbol:
+		e.err = e.writeNamed("#symbol %v %d %s\n", ev.Addr, ev.Size, ev.Name)
+	case KindObject:
+		_, e.err = fmt.Fprintf(e.w, "#object %v %d %d %d %d %d %s\n",
+			ev.Addr, ev.Size, ev.Class, ev.TID, ev.Seq, b2i(ev.Live), formatStack(ev.Stack))
+	case KindPhase:
+		mode := "s"
+		if ev.Parallel {
+			mode = "p"
+		}
+		e.err = e.writeNamed("#phase %d "+mode+" %s\n", ev.Phase, ev.Name)
+	case KindThreadEnd:
+		_, e.err = fmt.Fprintf(e.w, "#threadend %d %d %d\n", ev.TID, ev.Phase, ev.Instrs)
+	case KindAccess:
+		op := byte('r')
+		if ev.Write {
+			op = 'w'
+		}
+		_, e.err = fmt.Fprintf(e.w, "%d %c %v %d %d %d %d\n",
+			ev.TID, op, ev.Addr, ev.Size, ev.IP, ev.Lat, ev.Phase)
+	default:
+		return fmt.Errorf("trace: encode: unknown event kind %d", ev.Kind)
+	}
+	return e.err
+}
+
+// writeNamed formats a directive whose final %s operand is a free-text
+// name occupying the rest of the line; names must therefore be
+// newline-free.
+func (e *TextEncoder) writeNamed(format string, args ...any) error {
+	if name, ok := args[len(args)-1].(string); ok && strings.ContainsAny(name, "\n\r") {
+		return fmt.Errorf("trace: encode: name %q contains a line break", name)
+	}
+	_, err := fmt.Fprintf(e.w, format, args...)
+	return err
+}
+
+// Close implements Encoder, flushing buffered output.
+func (e *TextEncoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.w.Flush()
+	return e.err
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// formatStack renders a call stack as comma-joined `file:line:func`
+// frames with %-escaping, or "-" for an empty stack.
+func formatStack(s heap.CallStack) string {
+	if len(s) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = escapeField(f.File) + ":" + strconv.Itoa(f.Line) + ":" + escapeField(f.Func)
+	}
+	return strings.Join(parts, ",")
+}
+
+// escapeField %-escapes the characters the frame syntax reserves.
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "%:, \t\n\r") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '%', ':', ',', ' ', '\t', '\n', '\r':
+			fmt.Fprintf(&b, "%%%02X", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeField reverses escapeField, rejecting malformed escapes.
+func unescapeField(s string) (string, error) {
+	if !strings.Contains(s, "%") {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+3 > len(s) {
+			return "", fmt.Errorf("truncated %% escape in %q", s)
+		}
+		v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+		if err != nil {
+			return "", fmt.Errorf("bad %% escape in %q", s)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+// parseStack reverses formatStack.
+func parseStack(s string) (heap.CallStack, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxFrames {
+		return nil, fmt.Errorf("stack has %d frames (max %d)", len(parts), MaxFrames)
+	}
+	stack := make(heap.CallStack, 0, len(parts))
+	for _, p := range parts {
+		fields := strings.Split(p, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("frame %q is not file:line:func", p)
+		}
+		file, err := unescapeField(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		line, err := strconv.Atoi(fields[1])
+		if err != nil || line < 0 {
+			return nil, fmt.Errorf("frame %q has bad line number", p)
+		}
+		fn, err := unescapeField(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		stack = append(stack, heap.Frame{File: file, Line: line, Func: fn})
+	}
+	return stack, nil
+}
+
+// newTextDecoder validates the header and returns a streaming line
+// decoder.
+func newTextDecoder(br *bufio.Reader) (func() (Event, error), error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxStringLen)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: missing header: %w", scanErr(sc))
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != textHeader {
+		return nil, fmt.Errorf("trace: bad header %q (want %q)", got, textHeader)
+	}
+	lineno := 1
+	return func() (Event, error) {
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			ev, err := parseTextLine(line)
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: line %d: %w", lineno, err)
+			}
+			return ev, nil
+		}
+		if err := scanErr(sc); err != nil {
+			return Event{}, fmt.Errorf("trace: line %d: %w", lineno+1, err)
+		}
+		return Event{}, io.EOF
+	}, nil
+}
+
+func scanErr(sc *bufio.Scanner) error { return sc.Err() }
+
+// parseTextLine parses one non-blank line.
+func parseTextLine(line string) (Event, error) {
+	if line[0] == '#' {
+		return parseDirective(line)
+	}
+	f := strings.Fields(line)
+	if len(f) != 7 {
+		return Event{}, fmt.Errorf("data row has %d fields, want 7 (tid op addr size ip lat phase)", len(f))
+	}
+	tid, err := parseTID(f[0])
+	if err != nil {
+		return Event{}, err
+	}
+	var write bool
+	switch f[1] {
+	case "r", "R":
+		write = false
+	case "w", "W":
+		write = true
+	default:
+		return Event{}, fmt.Errorf("op %q is neither r nor w", f[1])
+	}
+	addr, err := strconv.ParseUint(f[2], 0, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad addr %q", f[2])
+	}
+	size, err := strconv.ParseUint(f[3], 10, 16)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad size %q", f[3])
+	}
+	ip, err := parseInstrs(f[4], "ip")
+	if err != nil {
+		return Event{}, err
+	}
+	lat, err := strconv.ParseUint(f[5], 10, 32)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad lat %q", f[5])
+	}
+	phase, err := parsePhase(f[6])
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{
+		Kind: KindAccess, TID: tid, Write: write, Addr: mem.Addr(addr),
+		Size: size, IP: ip, Lat: uint32(lat), Phase: phase,
+	}, nil
+}
+
+// parseDirective parses a `#`-prefixed metadata line.
+func parseDirective(line string) (Event, error) {
+	word, rest, _ := strings.Cut(line, " ")
+	switch word {
+	case "#program":
+		coresStr, name, _ := strings.Cut(rest, " ")
+		cores, err := strconv.ParseUint(coresStr, 10, 16)
+		if err != nil || cores == 0 {
+			return Event{}, fmt.Errorf("bad core count %q", coresStr)
+		}
+		return Event{Kind: KindProgram, Cores: int(cores), Name: strings.TrimSpace(name)}, nil
+	case "#symbol":
+		f := strings.SplitN(rest, " ", 3)
+		if len(f) < 3 {
+			return Event{}, fmt.Errorf("#symbol needs addr size name")
+		}
+		addr, err := strconv.ParseUint(f[0], 0, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad symbol addr %q", f[0])
+		}
+		size, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad symbol size %q", f[1])
+		}
+		return Event{Kind: KindSymbol, Addr: mem.Addr(addr), Size: size, Name: strings.TrimSpace(f[2])}, nil
+	case "#object":
+		f := strings.Fields(rest)
+		if len(f) != 7 {
+			return Event{}, fmt.Errorf("#object needs addr size class thread seq live stack")
+		}
+		addr, err := strconv.ParseUint(f[0], 0, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad object addr %q", f[0])
+		}
+		size, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad object size %q", f[1])
+		}
+		class, err := strconv.ParseUint(f[2], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad object class %q", f[2])
+		}
+		tid, err := parseTID(f[3])
+		if err != nil {
+			return Event{}, err
+		}
+		seq, err := strconv.ParseUint(f[4], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad object seq %q", f[4])
+		}
+		if f[5] != "0" && f[5] != "1" {
+			return Event{}, fmt.Errorf("bad object live flag %q", f[5])
+		}
+		stack, err := parseStack(f[6])
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{
+			Kind: KindObject, Addr: mem.Addr(addr), Size: size, Class: class,
+			TID: tid, Seq: seq, Live: f[5] == "1", Stack: stack,
+		}, nil
+	case "#phase":
+		f := strings.SplitN(rest, " ", 3)
+		if len(f) < 2 {
+			return Event{}, fmt.Errorf("#phase needs index mode [name]")
+		}
+		idx, err := parsePhase(f[0])
+		if err != nil {
+			return Event{}, err
+		}
+		var parallel bool
+		switch f[1] {
+		case "s":
+			parallel = false
+		case "p":
+			parallel = true
+		default:
+			return Event{}, fmt.Errorf("phase mode %q is neither s nor p", f[1])
+		}
+		name := ""
+		if len(f) == 3 {
+			name = strings.TrimSpace(f[2])
+		}
+		return Event{Kind: KindPhase, Phase: idx, Parallel: parallel, Name: name}, nil
+	case "#threadend":
+		f := strings.Fields(rest)
+		if len(f) != 3 {
+			return Event{}, fmt.Errorf("#threadend needs tid phase instrs")
+		}
+		tid, err := parseTID(f[0])
+		if err != nil {
+			return Event{}, err
+		}
+		phase, err := parsePhase(f[1])
+		if err != nil {
+			return Event{}, err
+		}
+		instrs, err := parseInstrs(f[2], "instruction count")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindThreadEnd, TID: tid, Phase: phase, Instrs: instrs}, nil
+	default:
+		return Event{}, fmt.Errorf("unknown directive %q", word)
+	}
+}
+
+func parseTID(s string) (mem.ThreadID, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil || v > MaxThreadID {
+		return 0, fmt.Errorf("bad thread id %q", s)
+	}
+	return mem.ThreadID(v), nil
+}
+
+func parseInstrs(s, what string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || v > MaxInstrs {
+		return 0, fmt.Errorf("bad %s %q (max %d)", what, s, uint64(MaxInstrs))
+	}
+	return v, nil
+}
+
+func parsePhase(s string) (int, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil || v > MaxPhaseIndex {
+		return 0, fmt.Errorf("bad phase index %q", s)
+	}
+	return int(v), nil
+}

@@ -1,0 +1,492 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	cheetah "repro"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+)
+
+// sampleEvents covers every event kind with awkward payloads (spaces,
+// escapes, empty stacks, large values).
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindProgram, Name: "linear regression v2", Cores: 48},
+		{Kind: KindSymbol, Name: "main_array", Addr: 0x10000040, Size: 4096},
+		{Kind: KindObject, Addr: 0x40000000, Size: 640, Class: 1024, TID: 3, Seq: 7, Live: true,
+			Stack: heap.CallStack{
+				{File: "linear_regression-pthread.c", Line: 139, Func: "main"},
+				{File: "dir with space/file,odd:name.c", Line: 7, Func: "fn%1"},
+			}},
+		{Kind: KindObject, Addr: 0x40010000, Size: 16, Class: 16, TID: 0, Seq: 8, Live: false},
+		{Kind: KindPhase, Phase: 0, Parallel: false, Name: "init"},
+		{Kind: KindPhase, Phase: 1, Parallel: true, Name: "map workers"},
+		{Kind: KindAccess, TID: 0, Write: true, Addr: 0x10000040, Size: 4, IP: 1, Lat: 3, Phase: 0},
+		{Kind: KindAccess, TID: 5, Write: false, Addr: 0x40000004, Size: 8, IP: 123456789, Lat: 180, Phase: 1},
+		{Kind: KindThreadEnd, TID: 0, Phase: 0, Instrs: 42},
+		{Kind: KindThreadEnd, TID: 5, Phase: 1, Instrs: 999999999},
+	}
+}
+
+func encodeAll(t *testing.T, enc Encoder, evs []Event) {
+	t.Helper()
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatalf("encode %+v: %v", ev, err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func decodeAll(t *testing.T, r io.Reader) []Event {
+	t.Helper()
+	d := NewDecoder(r)
+	var out []Event
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode after %d events: %v", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, framing := range []string{"text", "binary"} {
+		t.Run(framing, func(t *testing.T) {
+			var buf bytes.Buffer
+			var enc Encoder
+			if framing == "text" {
+				enc = NewTextEncoder(&buf)
+			} else {
+				enc = NewBinaryEncoder(&buf)
+			}
+			want := sampleEvents()
+			encodeAll(t, enc, want)
+			got := decodeAll(t, bytes.NewReader(buf.Bytes()))
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d events, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("event %d:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTextDataRowsAreToolFriendly(t *testing.T) {
+	// The data rows must be plain space-separated `tid op addr size ip
+	// lat phase` so awk-style tools can consume them, with metadata on
+	// `#` lines.
+	var buf bytes.Buffer
+	enc := NewTextEncoder(&buf)
+	encodeAll(t, enc, sampleEvents())
+	var data, meta int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			meta++
+			continue
+		}
+		data++
+		if n := len(strings.Fields(line)); n != 7 {
+			t.Errorf("data row %q has %d fields, want 7", line, n)
+		}
+	}
+	if data != 2 || meta < 7 {
+		t.Errorf("got %d data rows and %d meta rows", data, meta)
+	}
+}
+
+func TestDecoderRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad first byte":    "hello\n",
+		"bad header":        "#cheetah-trace v99\n",
+		"short data row":    "#cheetah-trace v1\n1 r 0x10\n",
+		"bad op":            "#cheetah-trace v1\n1 x 0x10 4 1 0 0\n",
+		"bad tid":           "#cheetah-trace v1\nbig r 0x10 4 1 0 0\n",
+		"huge phase":        "#cheetah-trace v1\n1 r 0x10 4 1 0 999999999\n",
+		"unknown directive": "#cheetah-trace v1\n#wat 1 2 3\n",
+		"bad frame":         "#cheetah-trace v1\n#object 0x40000000 16 16 0 1 1 nocolonhere\n",
+		"bad escape":        "#cheetah-trace v1\n#object 0x40000000 16 16 0 1 1 a%zz:1:f\n",
+		"truncated binary":  string([]byte{0x00, 'C', 'H', 'T', 'R', 'B', '1', '\n', byte(KindAccess), 0x05}),
+		"bad magic":         string([]byte{0x00, 'X', 'X', 'X', 'X', 'X', 'X', '\n'}),
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			d := NewDecoder(strings.NewReader(in))
+			for i := 0; i < 1000; i++ {
+				_, err := d.Next()
+				if err == io.EOF {
+					t.Fatalf("decoder accepted malformed input")
+				}
+				if err != nil {
+					return // rejected, as required
+				}
+			}
+			t.Fatal("decoder neither errored nor terminated")
+		})
+	}
+}
+
+func TestReadRequiresProgramRecord(t *testing.T) {
+	_, err := Read(strings.NewReader("#cheetah-trace v1\n0 r 0x10000040 4 1 0 0\n"))
+	if err == nil || !strings.Contains(err.Error(), "#program") {
+		t.Errorf("Read without #program: err = %v, want missing-program error", err)
+	}
+}
+
+func TestReadRejectsMultiThreadSerialPhase(t *testing.T) {
+	in := "#cheetah-trace v1\n" +
+		"#program 4 demo\n" +
+		"#phase 0 s init\n" +
+		"0 r 0x10000040 4 1 0 0\n" +
+		"3 r 0x10000044 4 1 0 0\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("Read accepted a serial phase with a non-main thread")
+	}
+}
+
+// TestForeignTraceSynthesis: a minimal imported trace — no metadata
+// preamble beyond #program, raw 0x7f... addresses, zero ips — must
+// replay: contiguous address runs become synthesized heap objects with
+// `trace:N` call sites, and the profiler resolves samples to them.
+func TestForeignTraceSynthesis(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("#cheetah-trace v1\n#program 8 imported\n")
+	// Two threads ping-ponging writes on one foreign cache line, plus a
+	// second line far away: two synthesized objects.
+	for i := 0; i < 400; i++ {
+		tid := 1 + i%2
+		addr := 0x7ffe00001000 + (i%2)*4
+		fmtLine(&b, tid, "w", addr, i/2+1)
+	}
+	for i := 0; i < 50; i++ {
+		fmtLine(&b, 3, "r", 0x7ffe00100000+(i%16)*4, i+1)
+	}
+	rp, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: rp.Cores})
+	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	rep, res := sys.Profile(rp.Program(), cheetah.ProfileOptions{
+		PMU: pmu.Config{Period: 8, Jitter: 2},
+	})
+	if res.TotalCycles == 0 {
+		t.Fatal("replayed foreign trace did not run")
+	}
+	if rep.Samples == 0 {
+		t.Fatal("no samples accepted: synthesized objects not resolvable")
+	}
+	found := false
+	for _, in := range append(append([]cheetah.Instance{}, rep.Instances...), rep.Candidates...) {
+		for _, f := range in.Object.Stack {
+			if f.File == "trace" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no reported object carries a synthesized trace:N call site")
+	}
+}
+
+func fmtLine(b *strings.Builder, tid int, op string, addr, ip int) {
+	b.WriteString(
+		// tid op addr size ip lat phase — lat 0: replay recomputes it.
+		func() string {
+			return strings.Join([]string{
+				itoa(tid), op, "0x" + hex(addr), "4", itoa(ip), "0", "1",
+			}, " ") + "\n"
+		}())
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+func hex(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	const digits = "0123456789abcdef"
+	var d []byte
+	for n > 0 {
+		d = append([]byte{digits[n%16]}, d...)
+		n /= 16
+	}
+	return string(d)
+}
+
+// TestReplayPreservesSubWordSizes: byte and halfword accesses from
+// imported traces keep their recorded width on the replayed accesses
+// (size 0 maps to a word), and widths above 255 are rejected.
+func TestReplayPreservesSubWordSizes(t *testing.T) {
+	in := "#cheetah-trace v1\n" +
+		"#program 4 bytes\n" +
+		"#phase 0 p work\n" +
+		"1 w 0x10000040 1 1 0 0\n" +
+		"2 r 0x10000041 2 1 0 0\n" +
+		"1 w 0x10000044 0 2 0 0\n"
+	rp, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(NewTextEncoder(&buf), sys.Heap(), sys.Globals())
+	sys.RunWith(rp.Program(), rec)
+	got := buf.String()
+	for _, want := range []string{"1 w 0x10000040 1 ", "2 r 0x10000041 2 ", "1 w 0x10000044 4 "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("re-recorded trace missing %q:\n%s", want, got)
+		}
+	}
+
+	if _, err := Read(strings.NewReader("#cheetah-trace v1\n#program 4 x\n1 w 0x10 256 1 0 0\n")); err == nil {
+		t.Error("Read accepted a 256-byte access")
+	}
+}
+
+// TestDecodersBoundInstructionCounts: ip and thread-end instruction
+// totals convert into simulated compute on replay, so values past
+// MaxInstrs must be rejected by both framings — otherwise a hostile
+// trace passes Validate and then replays effectively forever.
+func TestDecodersBoundInstructionCounts(t *testing.T) {
+	hugeIP := "#cheetah-trace v1\n#program 4 x\n1 w 0x40000000 4 4611686018427387904 0 0\n"
+	if _, err := Read(strings.NewReader(hugeIP)); err == nil {
+		t.Error("text decoder accepted ip 2^62")
+	}
+	hugeEnd := "#cheetah-trace v1\n#program 4 x\n#threadend 1 0 18446744073709551615\n"
+	if _, err := Read(strings.NewReader(hugeEnd)); err == nil {
+		t.Error("text decoder accepted thread-end instrs 2^64-1")
+	}
+	b := append([]byte{}, binaryMagic...)
+	b = append(b, byte(KindAccess))
+	b = appendUvarintForTest(b, 1)          // tid
+	b = append(b, 1)                        // write
+	b = appendUvarintForTest(b, 0x40000000) // addr
+	b = appendUvarintForTest(b, 4)          // size
+	b = appendUvarintForTest(b, 1<<62)      // ip
+	d := NewDecoder(bytes.NewReader(b))
+	if _, err := d.Next(); err == nil {
+		t.Error("binary decoder accepted ip 2^62")
+	}
+}
+
+// TestSymtabRestoreRejectsWrappingSize: a symbol whose Addr+Size wraps
+// uint64 must be rejected, not inserted with End < Addr (which would
+// corrupt the table's sorted invariant and break Resolve).
+func TestSymtabRestoreRejectsWrappingSize(t *testing.T) {
+	in := "#cheetah-trace v1\n#program 4 wrap\n" +
+		"#symbol 0x10000000 18446744073709551600 x\n" +
+		"#phase 0 p w\n1 w 0x10000000 4 1 0 0\n"
+	rp, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	if err := rp.Prepare(sys.Heap(), sys.Globals()); err == nil {
+		t.Error("Prepare accepted a symbol with wrapping size")
+	}
+	if _, ok := sys.Globals().Resolve(0x10000000); ok {
+		t.Error("wrapping symbol was inserted into the table")
+	}
+}
+
+// TestBinaryDecoderBoundsAreInclusiveMaxima: field values one past the
+// representable range must error, not silently truncate.
+func TestBinaryDecoderBoundsAreInclusiveMaxima(t *testing.T) {
+	record := func(lat uint64) []byte {
+		b := append([]byte{}, binaryMagic...)
+		b = append(b, byte(KindAccess))
+		b = appendUvarintForTest(b, 1)    // tid
+		b = append(b, 1)                  // write
+		b = appendUvarintForTest(b, 0x40) // addr
+		b = appendUvarintForTest(b, 4)    // size
+		b = appendUvarintForTest(b, 1)    // ip
+		b = appendUvarintForTest(b, lat)  // lat
+		return appendUvarintForTest(b, 0) // phase
+	}
+	d := NewDecoder(bytes.NewReader(record(1 << 32)))
+	if _, err := d.Next(); err == nil {
+		t.Error("decoder accepted lat 2^32 (would truncate to 0)")
+	}
+	d = NewDecoder(bytes.NewReader(record(1<<32 - 1)))
+	ev, err := d.Next()
+	if err != nil {
+		t.Fatalf("decoder rejected max lat: %v", err)
+	}
+	if ev.Lat != 1<<32-1 {
+		t.Errorf("lat = %d, want %d", ev.Lat, uint32(1<<32-1))
+	}
+}
+
+func appendUvarintForTest(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestPrepareConvertsLayoutPanicsToErrors: a trace whose restored
+// layout exhausts the heap makes the synthesis Malloc panic internally;
+// Prepare must surface that as an error — trace files are external
+// input.
+func TestPrepareConvertsLayoutPanicsToErrors(t *testing.T) {
+	// Restore an object at the top of the 1 GB default heap (pushing the
+	// bump pointer to the limit), then access a foreign address so
+	// synthesis must allocate — and cannot.
+	in := "#cheetah-trace v1\n" +
+		"#program 4 exhaust\n" +
+		"#object 0x7fff0000 16 16 0 1 1 -\n" +
+		"#phase 0 p work\n" +
+		"1 w 0x900000000 4 1 0 0\n"
+	rp, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	err = rp.Prepare(sys.Heap(), sys.Globals())
+	if err == nil || !strings.Contains(err.Error(), "out of memory") {
+		t.Errorf("Prepare on exhausted heap: err = %v, want out-of-memory error", err)
+	}
+}
+
+// TestValidateRunsWholePipeline: Validate must reject traces that
+// decode cleanly but cannot be restored (duplicate objects), and accept
+// good files.
+func TestValidateRunsWholePipeline(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "overlap.trace")
+	overlap := "#cheetah-trace v1\n" +
+		"#program 4 dup\n" +
+		"#object 0x40000000 16 16 0 1 1 -\n" +
+		"#object 0x40000000 16 16 0 2 1 -\n" +
+		"#phase 0 p work\n" +
+		"1 w 0x40000000 4 1 0 0\n"
+	if err := os.WriteFile(bad, []byte(overlap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "occupied") {
+		t.Errorf("Validate(overlapping objects) = %v, want slot-occupied error", err)
+	}
+	good := filepath.Join(dir, "good.trace")
+	if err := os.WriteFile(good, []byte("#cheetah-trace v1\n#program 4 ok\n#phase 0 p w\n1 w 0x40000000 4 1 0 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(good); err != nil {
+		t.Errorf("Validate(good trace) = %v", err)
+	}
+	if err := Validate(filepath.Join(dir, "missing.trace")); err == nil {
+		t.Error("Validate(missing file) = nil")
+	}
+}
+
+// TestReplayPreservesPhaseGaps: empty phases in the middle of a program
+// keep later phases at their recorded indices.
+func TestReplayPreservesPhaseGaps(t *testing.T) {
+	in := "#cheetah-trace v1\n" +
+		"#program 4 gappy\n" +
+		"#phase 0 s init\n" +
+		"0 w 0x10000040 4 1 0 0\n" +
+		"#threadend 0 0 1\n" +
+		"#phase 3 p late\n" +
+		"1 w 0x10000040 4 1 0 3\n" +
+		"2 w 0x10000044 4 1 0 3\n" +
+		"#threadend 1 3 1\n" +
+		"#threadend 2 3 1\n"
+	rp, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: rp.Cores})
+	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	prog := rp.Program()
+	if len(prog.Phases) != 4 {
+		t.Fatalf("program has %d phases, want 4 (two empty)", len(prog.Phases))
+	}
+	res := sys.Run(prog)
+	if len(res.Phases) != 2 {
+		t.Fatalf("engine ran %d phases, want 2", len(res.Phases))
+	}
+	if res.Phases[1].Index != 3 {
+		t.Errorf("late phase ran at index %d, want recorded index 3", res.Phases[1].Index)
+	}
+}
+
+// TestMemoryLayoutRestoreRoundTrip: heap objects and symbols recorded
+// from one system reappear exactly in a fresh one.
+func TestMemoryLayoutRestoreRoundTrip(t *testing.T) {
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	sym := sys.Globals().Define("counters", 256)
+	big := sys.Heap().Malloc(2, 100_000, heap.Stack(heap.Frame{File: "big.c", Line: 1}))
+	small := sys.Heap().Malloc(1, 24, heap.Stack(heap.Frame{File: "small.c", Line: 2, Func: "alloc"}))
+	freed := sys.Heap().Malloc(1, 24, heap.Stack(heap.Frame{File: "small.c", Line: 3}))
+	sys.Heap().Free(freed)
+
+	var buf bytes.Buffer
+	enc := NewTextEncoder(&buf)
+	rec := NewRecorder(enc, sys.Heap(), sys.Globals())
+	rec.ProgramStart("layout", 4)
+	rec.ProgramEnd(0)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recording layout: %v", err)
+	}
+
+	rp, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	sys2 := cheetah.New(cheetah.Config{Cores: 4})
+	if err := rp.Prepare(sys2.Heap(), sys2.Globals()); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	for _, addr := range []mem.Addr{big, small, freed} {
+		o1, ok1 := sys.Heap().Lookup(addr)
+		o2, ok2 := sys2.Heap().Lookup(addr)
+		if !ok1 || !ok2 {
+			t.Fatalf("object at %v: lookup ok %v/%v", addr, ok1, ok2)
+		}
+		if !reflect.DeepEqual(o1, o2) {
+			t.Errorf("object at %v differs:\n got %+v\nwant %+v", addr, o2, o1)
+		}
+	}
+	s1, ok1 := sys.Globals().Resolve(sym)
+	s2, ok2 := sys2.Globals().Resolve(sym)
+	if !ok1 || !ok2 || s1 != s2 {
+		t.Errorf("symbol at %v differs: %+v/%v vs %+v/%v", sym, s1, ok1, s2, ok2)
+	}
+}

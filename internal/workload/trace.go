@@ -1,0 +1,48 @@
+// Trace pseudo-workloads: any recorded memory-access trace replays
+// through the harness like a built-in benchmark.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	cheetah "repro"
+	"repro/internal/trace"
+)
+
+// TracePrefix marks trace pseudo-workload names: `trace:<path>` resolves
+// to a workload that replays the trace file at <path>. ByName synthesizes
+// these on demand, so the harness and both commands can sweep replayed
+// traces like any registered cell.
+const TracePrefix = "trace:"
+
+// IsTraceName reports whether name denotes a trace pseudo-workload.
+func IsTraceName(name string) bool { return strings.HasPrefix(name, TracePrefix) }
+
+// traceWorkload synthesizes the pseudo-workload for one trace file. The
+// replayed program's structure (threads, phases, work) comes entirely
+// from the trace, so Params.Threads, Scale and Fixed are ignored; the
+// detection report matches the recorded run's byte for byte when the
+// system's core count and the PMU configuration match the recording
+// (full traces only). Build panics on unreadable or malformed trace
+// files — the same contract as registered workloads, whose Build cannot
+// fail; callers wanting a diagnostic run trace.Validate first.
+func traceWorkload(name string) *Workload {
+	path := strings.TrimPrefix(name, TracePrefix)
+	return &Workload{
+		Name:           name,
+		Suite:          "trace",
+		DefaultThreads: 16,
+		TotalThreads:   func(perPhase int) int { return perPhase },
+		Build: func(sys *cheetah.System, p Params) cheetah.Program {
+			rp, err := trace.ReadFile(path)
+			if err != nil {
+				panic(fmt.Sprintf("workload: opening trace: %v", err))
+			}
+			if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+				panic(fmt.Sprintf("workload: preparing trace %s: %v", path, err))
+			}
+			return rp.Program()
+		},
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cheetah "repro"
+)
+
+func TestByNameSynthesizesTraceWorkloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mini.trace")
+	text := "#cheetah-trace v1\n" +
+		"#program 4 mini\n" +
+		"#phase 0 p work\n" +
+		"1 w 0x10000040 4 1 0 0\n" +
+		"2 w 0x10000044 4 1 0 0\n" +
+		"#threadend 1 0 1\n" +
+		"#threadend 2 0 1\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	name := TracePrefix + path
+	if !IsTraceName(name) || IsTraceName("figure1") {
+		t.Error("IsTraceName misclassifies names")
+	}
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("ByName(%q) not found", name)
+	}
+	if w.Name != name || w.Suite != "trace" {
+		t.Errorf("synthesized workload = %q suite %q", w.Name, w.Suite)
+	}
+	sys := cheetah.New(cheetah.Config{Cores: 4})
+	prog := w.Build(sys, Params{Threads: 16, Scale: 3}) // params ignored by replay
+	if prog.Name != "mini" || len(prog.Phases) != 1 {
+		t.Errorf("replayed program %q with %d phases, want mini/1", prog.Name, len(prog.Phases))
+	}
+	res := sys.Run(prog)
+	if len(res.Threads) != 2 {
+		t.Errorf("replayed %d threads, want 2", len(res.Threads))
+	}
+}
+
+func TestTraceWorkloadBuildPanicsOnMissingFile(t *testing.T) {
+	w, ok := ByName(TracePrefix + "/no/such/file.trace")
+	if !ok {
+		t.Fatal("trace pseudo-workload not synthesized")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Build on a missing trace did not panic")
+		} else if !strings.Contains(r.(string), "opening trace") {
+			t.Errorf("panic %v does not name the trace", r)
+		}
+	}()
+	w.Build(cheetah.New(cheetah.Config{Cores: 4}), Params{})
+}
+
+func TestRegisteredNamesExcludeTracePseudoWorkloads(t *testing.T) {
+	for _, n := range Names() {
+		if IsTraceName(n) {
+			t.Errorf("registry lists pseudo-workload %q", n)
+		}
+	}
+}

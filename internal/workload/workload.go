@@ -109,8 +109,12 @@ func register(w *Workload) {
 	registry[w.Name] = w
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload. Names of the form `trace:<path>`
+// resolve to a pseudo-workload replaying the trace file at <path>.
 func ByName(name string) (*Workload, bool) {
+	if IsTraceName(name) {
+		return traceWorkload(name), true
+	}
 	w, ok := registry[name]
 	return w, ok
 }
