@@ -6,15 +6,25 @@
 //	fsbench -experiment fig1|fig4|fig5|fig7|table1|compare|ablation|all
 //	        [-scale 1.0] [-threads 16] [-workers 0] [-app linear_regression]
 //	        [-bench-out BENCH_harness.json]
+//	        [-workers-procs 0] [-cache-dir DIR] [-listen ADDR]
+//	fsbench -worker [-connect ADDR]
 //
 // Each experiment prints the same rows or series the paper reports.
 // Experiment cells run concurrently on a -workers pool (0 = GOMAXPROCS, 1 = serial);
 // results are identical at any worker count. With -experiment all,
 // -bench-out additionally writes a machine-readable trajectory entry
-// (headline metrics, wall-clock, cells executed) so performance and
-// result drift can be tracked across revisions; the file is written
-// atomically (temp file + rename), so an interrupted run cannot
-// truncate it.
+// (headline metrics, wall-clock, cells executed, git commit, timestamp)
+// so performance and result drift can be tracked across revisions; the
+// file is written atomically (temp file + rename), so an interrupted
+// run cannot truncate it.
+//
+// Beyond the in-process pool, -experiment all shards across OS
+// processes: -workers-procs N spawns N worker subprocesses (this binary
+// re-executed with -worker), -listen ADDR additionally accepts remote
+// workers started with `fsbench -worker -connect ADDR` on other
+// machines, and -cache-dir keeps finished cells on disk so re-sweeps
+// and crashed-sweep resumes skip completed work. The merged sharded
+// report is byte-identical to the serial run — CI cmps the two.
 //
 // Recorded memory-access traces sweep like any workload: pass
 // `trace:<path>` wherever an application name is accepted, e.g.
@@ -26,13 +36,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -53,11 +67,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	app := fs.String("app", "linear_regression", "application for fig5 (case study report)")
 	benchOut := fs.String("bench-out", "",
 		"path for the machine-readable bench trajectory entry (with -experiment all)")
+	worker := fs.Bool("worker", false,
+		"run as a sweep worker serving cells on stdin/stdout (or via -connect)")
+	connect := fs.String("connect", "",
+		"with -worker: dial a coordinator at host:port instead of using stdin/stdout")
+	workersProcs := fs.Int("workers-procs", 0,
+		"shard -experiment all across this many worker subprocesses (0 = in-process)")
+	listenAddr := fs.String("listen", "",
+		"with -experiment all: accept remote TCP sweep workers on this address")
+	cacheDir := fs.String("cache-dir", "",
+		"on-disk result cache for sharded sweeps; cached cells are never re-run")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	// Worker mode: serve cells until the coordinator closes the stream.
+	// Nothing else may write to stdout — it is the wire.
+	if *worker {
+		var err error
+		if *connect != "" {
+			err = sweep.ServeTCP(*connect)
+		} else {
+			err = sweep.Serve(os.Stdin, stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: worker: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	// Trace pseudo-workloads are validated up front — the full pipeline,
@@ -72,23 +112,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers}
+	sharded := *workersProcs > 0 || *listenAddr != ""
+	if sharded && *experiment != "all" {
+		fmt.Fprintf(stderr, "fsbench: -workers-procs/-listen shard the full sweep; use -experiment all\n")
+		return 2
+	}
+	if *cacheDir != "" && !sharded {
+		fmt.Fprintf(stderr, "fsbench: -cache-dir requires a sharded sweep (-workers-procs or -listen)\n")
+		return 2
+	}
 
 	switch *experiment {
 	case "all":
-		r := harness.NewRunner(cfg.Workers)
+		var (
+			res      *harness.Results
+			cellsRun int
+			workersN int
+		)
 		start := time.Now()
-		res := harness.RunAllWith(r, cfg)
+		if sharded {
+			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, &res, stderr)
+			if code != 0 {
+				return code
+			}
+			cellsRun, workersN = stats.Executed, stats.Workers
+			fmt.Fprintf(stderr, "fsbench: sweep of %d cells: %d cached, %d executed on %d workers, %d retries\n",
+				stats.Cells, stats.Cached, stats.Executed, stats.Workers, stats.Retries)
+		} else {
+			r := harness.NewRunner(cfg.Workers)
+			res = harness.RunAllWith(r, cfg)
+			cellsRun = r.CellsRun()
+			workersN = cfg.Workers
+			if workersN <= 0 {
+				workersN = runtime.GOMAXPROCS(0)
+			}
+		}
 		elapsed := time.Since(start)
 		fmt.Fprint(stdout, res.Format())
 		if *benchOut != "" {
-			resolved := cfg.Workers
-			if resolved <= 0 {
-				resolved = runtime.GOMAXPROCS(0)
-			}
 			entry := harness.BenchEntry{
 				Schema:      harness.BenchSchema,
-				Workers:     resolved,
-				CellsRun:    r.CellsRun(),
+				GitCommit:   gitCommit(),
+				Timestamp:   time.Now().UTC().Format(time.RFC3339),
+				Workers:     workersN,
+				CellsRun:    cellsRun,
 				WallSeconds: elapsed.Seconds(),
 				Scale:       *scale,
 				Threads:     *threads,
@@ -128,6 +195,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// runSharded runs the full sweep through the multi-process coordinator:
+// procs spawned subprocess workers (this binary with -worker), plus any
+// remote workers that dial listenAddr, with an optional on-disk result
+// cache. The merged *harness.Results lands in *res.
+func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
+	sc := sweep.Config{Harness: cfg, Procs: procs, Log: stderr}
+	if procs > 0 {
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: resolving own binary for workers: %v\n", err)
+			return sweep.Stats{}, 1
+		}
+		sc.Spawn = func(int) (io.ReadWriteCloser, error) {
+			return sweep.SpawnWorkerProc(self, []string{"-worker"}, nil, stderr)
+		}
+	}
+	if listenAddr != "" {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: listening on %s: %v\n", listenAddr, err)
+			return sweep.Stats{}, 1
+		}
+		fmt.Fprintf(stderr, "fsbench: accepting sweep workers on %s\n", ln.Addr())
+		sc.Listener = ln
+	}
+	if cacheDir != "" {
+		cache, err := sweep.OpenCache(cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: %v\n", err)
+			return sweep.Stats{}, 1
+		}
+		sc.Cache = cache
+	}
+	out, stats, err := sweep.Run(sc)
+	if err != nil {
+		fmt.Fprintf(stderr, "fsbench: %v\n", err)
+		return stats, 1
+	}
+	*res = out
+	return stats, 0
+}
+
+// gitCommit resolves the source revision for the bench trajectory:
+// preferably the revision the binary was built from (embedded VCS build
+// info), falling back to the working directory's git HEAD (the
+// `go run ./cmd/fsbench` case, where no VCS info is stamped), and
+// "unknown" outside any checkout.
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // writeFileAtomic writes data to path via a temp file in the same

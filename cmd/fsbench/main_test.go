@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -152,5 +155,92 @@ func TestRunAllWritesBenchTrajectory(t *testing.T) {
 	}
 	if len(entry.Metrics) == 0 {
 		t.Error("entry has no metrics")
+	}
+	if entry.GitCommit == "" {
+		t.Error("entry has no git commit stamp")
+	}
+	if entry.Timestamp == "" {
+		t.Error("entry has no timestamp")
+	} else if _, err := time.Parse(time.RFC3339, entry.Timestamp); err != nil {
+		t.Errorf("timestamp %q is not RFC3339: %v", entry.Timestamp, err)
+	}
+}
+
+// TestGitCommitStamp: inside this repo the stamp must be a hex commit
+// hash, and it must agree with git itself.
+func TestGitCommitStamp(t *testing.T) {
+	got := gitCommit()
+	if got == "unknown" {
+		t.Skip("not in a git checkout")
+	}
+	if len(got) != 40 {
+		t.Errorf("gitCommit() = %q, want a 40-hex-digit hash", got)
+	}
+	for _, r := range got {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			t.Errorf("gitCommit() = %q contains non-hex %q", got, r)
+			break
+		}
+	}
+}
+
+// TestShardedFlagValidation: sharding flags only make sense for the
+// full sweep, and the cache only with sharding; both misuses must be
+// diagnosed, not silently ignored.
+func TestShardedFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "fig1", "-workers-procs", "2"}, &out, &errOut); code != 2 {
+		t.Errorf("-workers-procs with fig1: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-experiment all") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-experiment", "all", "-cache-dir", t.TempDir()}, &out, &errOut); code != 2 {
+		t.Errorf("-cache-dir without sharding: exit %d, want 2", code)
+	}
+}
+
+// TestWorkerModeOnClosedStdin: `fsbench -worker` under `go test` reads
+// EOF from stdin immediately; it must emit its hello frame and exit 0 —
+// the behavior a coordinator relies on when it closes a worker's pipe.
+func TestWorkerModeOnClosedStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-worker"}, &out, &errOut); code != 0 {
+		t.Fatalf("worker exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), sweep.ProtoVersion) {
+		t.Errorf("worker stdout missing hello frame:\n%q", out.String())
+	}
+}
+
+// TestShardedSweepCLI: the full CLI path — coordinator spawning real
+// fsbench -worker subprocesses — must print byte-identical output to
+// the serial CLI path. The packages under internal/ already test this
+// exhaustively; this guards the flag wiring.
+func TestShardedSweepCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a full sharded sweep")
+	}
+	if _, err := os.Stat(os.Args[0]); err != nil {
+		t.Skip("test binary path unavailable")
+	}
+	// The worker subprocess must be fsbench itself, not the test
+	// binary; build it once into a temp dir.
+	exe := filepath.Join(t.TempDir(), "fsbench")
+	if out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building fsbench: %v\n%s", err, out)
+	}
+	args := []string{"-experiment", "all", "-scale", "0.04", "-threads", "4"}
+	serial, err := exec.Command(exe, append(args, "-workers", "1")...).Output()
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	sharded, err := exec.Command(exe, append(args, "-workers-procs", "2")...).Output()
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if string(serial) != string(sharded) {
+		t.Errorf("sharded CLI output diverges from serial:\nserial:\n%s\nsharded:\n%s", serial, sharded)
 	}
 }

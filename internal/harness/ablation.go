@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	cheetah "repro"
-	"repro/internal/baseline"
 	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/pmu"
@@ -109,36 +108,13 @@ func RuleAblation(c Config) []RuleRow { return runnerFor(c).ruleAblation(c) }
 func (r *Runner) ruleAblation(c Config) []RuleRow {
 	c = c.withDefaults()
 	apps := []string{"figure1", "linear_regression", "streamcluster"}
-	// Traced runs carry their probes with them, so they are futures rather
-	// than memoized cells.
-	futs := make([]*future[RuleRow], len(apps))
+	cells := make([]*cell, len(apps))
 	for i, app := range apps {
-		futs[i] = goFuture(r, func() RuleRow {
-			w, _ := workload.ByName(app)
-			sys := cheetah.New(cheetah.Config{Cores: c.Cores})
-			prog := w.Build(sys, workload.Params{Threads: c.Threads, Scale: c.Scale})
-
-			two := newTwoEntryCounter(sys)
-			own := baseline.NewOwnership()
-			_, sim := sys.RunTraced(prog, two, own)
-
-			var truth uint64
-			for _, n := range sim.TotalLineInvalidations() {
-				truth += n
-			}
-			return RuleRow{
-				App:            app,
-				GroundTruth:    truth,
-				TwoEntry:       two.invalidations,
-				Ownership:      own.Invalidations,
-				TwoEntryBytes:  baseline.TwoEntryBytesPerLine(),
-				OwnershipBytes: baseline.OwnershipBytesPerLine(c.Threads),
-			}
-		})
+		cells[i] = r.rule(app, c)
 	}
 	rows := make([]RuleRow, len(apps))
-	for i := range futs {
-		rows[i] = futs[i].wait()
+	for i := range cells {
+		rows[i] = cells[i].wait().rule
 	}
 	return rows
 }

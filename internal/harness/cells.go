@@ -1,0 +1,357 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/pmu"
+	"repro/internal/workload"
+)
+
+// This file is the harness's sharding surface: everything a
+// multi-process sweep coordinator (internal/sweep) needs to plan, farm
+// out and merge an evaluation. A Cell is the portable form of a cellKey,
+// a CellResult the portable form of a cellOut; EnumerateCells plans a
+// sweep without simulating anything, RunCell executes one cell in a
+// worker process, and Runner.Preload injects finished results so
+// RunAllWith reassembles the exact rows and reports the in-process
+// runner would have produced — byte-identical, because every payload
+// field is plain data that survives a JSON round trip exactly.
+
+// Cell kind names, the wire form of cellKind.
+const (
+	KindNative   = "native"
+	KindProfiled = "profiled"
+	KindPredator = "predator"
+	KindSheriff  = "sheriff"
+	KindRule     = "rule"
+)
+
+// Cell identifies one experiment cell in portable form. It carries every
+// input the simulated outcome depends on, so equal Cells are
+// interchangeable across processes and machines.
+type Cell struct {
+	Kind     string     `json:"kind"`
+	Workload string     `json:"workload"`
+	Threads  int        `json:"threads"`
+	Cores    int        `json:"cores"`
+	Scale    float64    `json:"scale"`
+	Fixed    bool       `json:"fixed,omitempty"`
+	PMU      pmu.Config `json:"pmu"`
+}
+
+// Bounds on Cell fields. Decoded cells come from worker streams and
+// cache files — external input — so every field is range-checked rather
+// than trusted.
+const (
+	maxCellThreads = 1 << 16
+	maxCellCores   = 1 << 16
+	maxCellScale   = 1 << 20
+	maxCellName    = 4096
+	maxPMUField    = 1 << 48
+)
+
+// Validate range-checks every field. It accepts exactly the cells
+// EnumerateCells can produce (for any valid Config) and rejects
+// everything a corrupt cache file or malicious worker stream could
+// smuggle in.
+func (c Cell) Validate() error {
+	switch c.Kind {
+	case KindNative, KindProfiled, KindPredator, KindSheriff, KindRule:
+	default:
+		return fmt.Errorf("harness: unknown cell kind %q", c.Kind)
+	}
+	if c.Workload == "" || len(c.Workload) > maxCellName {
+		return fmt.Errorf("harness: cell workload name length %d out of range", len(c.Workload))
+	}
+	if c.Threads < 1 || c.Threads > maxCellThreads {
+		return fmt.Errorf("harness: cell threads %d out of range", c.Threads)
+	}
+	if c.Cores < 1 || c.Cores > maxCellCores {
+		return fmt.Errorf("harness: cell cores %d out of range", c.Cores)
+	}
+	if !(c.Scale > 0) || c.Scale > maxCellScale || math.IsInf(c.Scale, 0) {
+		return fmt.Errorf("harness: cell scale %v out of range", c.Scale)
+	}
+	if c.PMU.Mode > pmu.CountCycles {
+		return fmt.Errorf("harness: cell PMU mode %d out of range", c.PMU.Mode)
+	}
+	for _, f := range []struct {
+		name string
+		v    uint64
+	}{
+		{"period", c.PMU.Period},
+		{"jitter", c.PMU.Jitter},
+		{"handler cycles", c.PMU.HandlerCycles},
+		{"setup cycles", c.PMU.SetupCycles},
+	} {
+		if f.v > maxPMUField {
+			return fmt.Errorf("harness: cell PMU %s %d out of range", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// ID returns the cell's canonical string form: an injective encoding of
+// every field, stable across processes. Sweep coordinators sort by it
+// and content-address cache entries with its hash.
+func (c Cell) ID() string {
+	return c.Kind + "|" + c.Workload +
+		"|t" + strconv.Itoa(c.Threads) +
+		"|c" + strconv.Itoa(c.Cores) +
+		"|s" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
+		"|f" + strconv.FormatBool(c.Fixed) +
+		"|pmu" + strconv.FormatUint(c.PMU.Period, 10) +
+		"," + strconv.Itoa(int(c.PMU.Mode)) +
+		"," + strconv.FormatUint(c.PMU.Jitter, 10) +
+		"," + strconv.FormatUint(c.PMU.HandlerCycles, 10) +
+		"," + strconv.FormatUint(c.PMU.SetupCycles, 10)
+}
+
+// key converts to the runner's internal form. Valid by construction for
+// cells from EnumerateCells; callers holding decoded cells must Validate
+// first.
+func (c Cell) key() cellKey {
+	k := cellKey{
+		workload: c.Workload,
+		threads:  c.Threads,
+		cores:    c.Cores,
+		scale:    c.Scale,
+		fixed:    c.Fixed,
+		pmu:      c.PMU,
+	}
+	switch c.Kind {
+	case KindProfiled:
+		k.kind = cellProfiled
+	case KindPredator:
+		k.kind = cellPredator
+	case KindSheriff:
+		k.kind = cellSheriff
+	case KindRule:
+		k.kind = cellRule
+	default:
+		k.kind = cellNative
+	}
+	return k
+}
+
+// cellOf converts an internal key to its portable form.
+func cellOf(k cellKey) Cell {
+	c := Cell{
+		Workload: k.workload,
+		Threads:  k.threads,
+		Cores:    k.cores,
+		Scale:    k.scale,
+		Fixed:    k.fixed,
+		PMU:      k.pmu,
+	}
+	switch k.kind {
+	case cellProfiled:
+		c.Kind = KindProfiled
+	case cellPredator:
+		c.Kind = KindPredator
+	case cellSheriff:
+		c.Kind = KindSheriff
+	case cellRule:
+		c.Kind = KindRule
+	default:
+		c.Kind = KindNative
+	}
+	return c
+}
+
+// CellResult is a finished cell's payload in portable form. Exactly one
+// result group is populated per kind: Result for native runs, Result +
+// Report for profiled, Result + Findings for the baselines, Rule for
+// rule-ablation cells.
+type CellResult struct {
+	Result   exec.Result        `json:"result"`
+	Report   *core.Report       `json:"report,omitempty"`
+	Findings []baseline.Finding `json:"findings,omitempty"`
+	Rule     *RuleRow           `json:"rule,omitempty"`
+}
+
+// Bounds on CellResult payloads: generous multiples of anything a real
+// run produces, but small enough that a hostile cache file or worker
+// stream cannot make the merge side amplify its input.
+const (
+	maxResultRecords   = 1 << 21
+	maxReportInstances = 1 << 20
+	maxInstanceLines   = 1 << 20
+	maxLineWords       = 1 << 10
+	maxWordAccesses    = 1 << 17
+	maxStackFrames     = 64
+	maxResultString    = 1 << 16
+)
+
+// Validate bounds every field of a decoded result. Like Cell.Validate it
+// is the trust boundary for external input; it checks structural limits,
+// not simulation semantics.
+func (r *CellResult) Validate() error {
+	if len(r.Result.Phases) > maxResultRecords || len(r.Result.Threads) > maxResultRecords {
+		return fmt.Errorf("harness: result has %d phases / %d threads, limit %d",
+			len(r.Result.Phases), len(r.Result.Threads), maxResultRecords)
+	}
+	for _, p := range r.Result.Phases {
+		if len(p.Name) > maxResultString {
+			return fmt.Errorf("harness: phase name length %d out of range", len(p.Name))
+		}
+	}
+	if r.Report != nil {
+		if err := validateReport(r.Report); err != nil {
+			return err
+		}
+	}
+	if len(r.Findings) > maxReportInstances {
+		return fmt.Errorf("harness: %d findings, limit %d", len(r.Findings), maxReportInstances)
+	}
+	for _, f := range r.Findings {
+		if len(f.Site) > maxResultString {
+			return fmt.Errorf("harness: finding site length %d out of range", len(f.Site))
+		}
+	}
+	if r.Rule != nil && len(r.Rule.App) > maxCellName {
+		return fmt.Errorf("harness: rule app name length %d out of range", len(r.Rule.App))
+	}
+	return nil
+}
+
+func validateReport(rep *core.Report) error {
+	if len(rep.App) > maxResultString {
+		return fmt.Errorf("harness: report app name length %d out of range", len(rep.App))
+	}
+	if rep.Cores < 0 || rep.Cores > maxCellCores {
+		return fmt.Errorf("harness: report cores %d out of range", rep.Cores)
+	}
+	if len(rep.Instances)+len(rep.Candidates) > maxReportInstances {
+		return fmt.Errorf("harness: report has %d instances, limit %d",
+			len(rep.Instances)+len(rep.Candidates), maxReportInstances)
+	}
+	for _, group := range [][]core.Instance{rep.Instances, rep.Candidates} {
+		for i := range group {
+			if err := validateInstance(&group[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateInstance(in *core.Instance) error {
+	if len(in.Object.Name) > maxResultString {
+		return fmt.Errorf("harness: object name length %d out of range", len(in.Object.Name))
+	}
+	if len(in.Object.Stack) > maxStackFrames {
+		return fmt.Errorf("harness: %d stack frames, limit %d", len(in.Object.Stack), maxStackFrames)
+	}
+	for _, f := range in.Object.Stack {
+		if len(f.File) > maxResultString || len(f.Func) > maxResultString {
+			return fmt.Errorf("harness: stack frame string out of range")
+		}
+	}
+	if len(in.Assessment.Threads) > maxResultRecords {
+		return fmt.Errorf("harness: %d thread assessments, limit %d",
+			len(in.Assessment.Threads), maxResultRecords)
+	}
+	if len(in.Lines) > maxInstanceLines {
+		return fmt.Errorf("harness: %d line reports, limit %d", len(in.Lines), maxInstanceLines)
+	}
+	for _, l := range in.Lines {
+		if len(l.Words) > maxLineWords {
+			return fmt.Errorf("harness: %d word reports, limit %d", len(l.Words), maxLineWords)
+		}
+		for _, w := range l.Words {
+			if len(w.Accesses) > maxWordAccesses {
+				return fmt.Errorf("harness: %d word accesses, limit %d", len(w.Accesses), maxWordAccesses)
+			}
+		}
+	}
+	return nil
+}
+
+// EnumerateCells plans a RunAll sweep: the complete, deduplicated set of
+// cells the sweep would execute under c, in a deterministic order
+// (sorted by ID), without simulating anything. It drives the real
+// experiment code against a runner whose execution hook is a stub, so
+// the plan can never drift from what RunAllWith actually submits.
+func EnumerateCells(c Config) []Cell {
+	r := &Runner{
+		sem: make(chan struct{}, runtime.GOMAXPROCS(0)),
+		// The stub satisfies the experiments' row assembly (non-zero
+		// runtime, non-nil report) while doing no work; the resulting
+		// rows are discarded.
+		run: func(cellKey) cellOut {
+			return cellOut{res: exec.Result{TotalCycles: 1}, rep: &core.Report{}}
+		},
+		cells: make(map[cellKey]*cell),
+	}
+	RunAllWith(r, c)
+	r.mu.Lock()
+	cells := make([]Cell, 0, len(r.cells))
+	for k := range r.cells {
+		cells = append(cells, cellOf(k))
+	}
+	r.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool { return cells[i].ID() < cells[j].ID() })
+	return cells
+}
+
+// RunCell executes one cell to completion in this process — the worker
+// side of a sharded sweep. Unknown workloads and workload construction
+// panics (a trace: cell whose file is missing on this machine) are
+// reported as errors, not crashes, so one bad cell cannot take down a
+// worker serving others.
+func RunCell(c Cell) (res CellResult, err error) {
+	if err := c.Validate(); err != nil {
+		return CellResult{}, err
+	}
+	if _, ok := workload.ByName(c.Workload); !ok {
+		return CellResult{}, fmt.Errorf("harness: unknown workload %q", c.Workload)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: cell %s panicked: %v", c.ID(), p)
+		}
+	}()
+	out := runCell(c.key())
+	res = CellResult{Result: out.res, Report: out.rep, Findings: out.findings}
+	if c.Kind == KindRule {
+		rule := out.rule
+		res.Rule = &rule
+	}
+	return res, nil
+}
+
+// Preload hands the runner an already-finished cell (from a cache or a
+// worker process). Experiments that subsequently request the cell get
+// the preloaded payload instead of executing; cells nobody preloads
+// still run locally, so a partial preload degrades to local execution
+// rather than failing.
+func (r *Runner) Preload(c Cell, res CellResult) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	out := cellOut{res: res.Result, rep: res.Report, findings: res.Findings}
+	if res.Rule != nil {
+		out.rule = *res.Rule
+	}
+	k := c.key()
+	done := make(chan struct{})
+	close(done)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.cells[k]; ok {
+		return fmt.Errorf("harness: cell %s already present", c.ID())
+	}
+	r.cells[k] = &cell{key: k, done: done, out: out}
+	return nil
+}

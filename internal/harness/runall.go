@@ -139,6 +139,12 @@ func (rs *Results) Metrics() map[string]float64 {
 type BenchEntry struct {
 	// Schema versions the record layout.
 	Schema string `json:"schema"`
+	// GitCommit is the source revision the sweep ran at ("unknown"
+	// outside a git checkout), keying each trajectory point to a PR.
+	GitCommit string `json:"git_commit"`
+	// Timestamp is the sweep's completion time in RFC3339 UTC, so the
+	// trajectory is plottable on a real time axis.
+	Timestamp string `json:"timestamp"`
 	// Workers is the pool bound the sweep ran with.
 	Workers int `json:"workers"`
 	// CellsRun counts distinct executed cells (shared cells count once).
@@ -152,8 +158,9 @@ type BenchEntry struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// BenchSchema is the current BenchEntry schema identifier.
-const BenchSchema = "cheetah-bench/v1"
+// BenchSchema is the current BenchEntry schema identifier; v2 added the
+// git_commit and timestamp stamps.
+const BenchSchema = "cheetah-bench/v2"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

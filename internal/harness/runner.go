@@ -41,6 +41,9 @@ const (
 	cellPredator
 	// cellSheriff runs under the Sheriff-style page-diff detector.
 	cellSheriff
+	// cellRule is a fully-instrumented traced run feeding the rule
+	// ablation: both counting rules plus the coherence ground truth.
+	cellRule
 )
 
 // cellKey identifies one experiment cell. It is the memoization key, so
@@ -65,6 +68,7 @@ type cellOut struct {
 	res      exec.Result
 	rep      *core.Report
 	findings []baseline.Finding
+	rule     RuleRow
 }
 
 // cell is a memoized in-flight or finished job.
@@ -83,6 +87,10 @@ func (c *cell) wait() cellOut {
 // Runner schedules experiment cells over a bounded worker pool.
 type Runner struct {
 	sem chan struct{}
+	// run executes one cell. It is runCell on ordinary runners; the
+	// enumerating runner behind EnumerateCells swaps in a stub so a sweep
+	// can be planned without simulating anything.
+	run func(cellKey) cellOut
 
 	mu    sync.Mutex
 	cells map[cellKey]*cell
@@ -96,6 +104,7 @@ func NewRunner(workers int) *Runner {
 	}
 	return &Runner{
 		sem:   make(chan struct{}, workers),
+		run:   runCell,
 		cells: make(map[cellKey]*cell),
 	}
 }
@@ -137,7 +146,7 @@ func (r *Runner) submit(k cellKey) *cell {
 		go func() {
 			r.sem <- struct{}{}
 			defer func() { <-r.sem }()
-			c.out = runCell(c.key)
+			c.out = r.run(c.key)
 			close(c.done)
 		}()
 	}
@@ -165,6 +174,22 @@ func runCell(k cellKey) cellOut {
 		det := baseline.NewSheriff(baseline.DefaultSheriffConfig(), sys.Heap(), sys.Globals())
 		res := sys.RunWith(prog, det)
 		return cellOut{res: res, findings: det.Findings()}
+	case cellRule:
+		two := newTwoEntryCounter(sys)
+		own := baseline.NewOwnership()
+		_, sim := sys.RunTraced(prog, two, own)
+		var truth uint64
+		for _, n := range sim.TotalLineInvalidations() {
+			truth += n
+		}
+		return cellOut{rule: RuleRow{
+			App:            k.workload,
+			GroundTruth:    truth,
+			TwoEntry:       two.invalidations,
+			Ownership:      own.Invalidations,
+			TwoEntryBytes:  baseline.TwoEntryBytesPerLine(),
+			OwnershipBytes: baseline.OwnershipBytesPerLine(k.threads),
+		}}
 	default:
 		return cellOut{res: sys.Run(prog)}
 	}
@@ -203,28 +228,12 @@ func (r *Runner) sheriff(name string, c Config, fixed bool) *cell {
 	})
 }
 
-// future is an arbitrary job on the runner's pool, for experiment steps
-// that are not plain cells (the rule ablation's traced runs). Futures are
-// not memoized.
-type future[T any] struct {
-	done chan struct{}
-	v    T
-}
-
-// goFuture schedules fn on r's pool.
-func goFuture[T any](r *Runner, fn func() T) *future[T] {
-	f := &future[T]{done: make(chan struct{})}
-	go func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		f.v = fn()
-		close(f.done)
-	}()
-	return f
-}
-
-// wait blocks until the job has run and returns its value.
-func (f *future[T]) wait() T {
-	<-f.done
-	return f.v
+// rule submits a fully-instrumented traced run for the rule ablation.
+// Rule cells are memoized like any other, so the ablation's expensive
+// traced runs are shared across sweeps and shardable across processes.
+func (r *Runner) rule(name string, c Config) *cell {
+	return r.submit(cellKey{
+		kind: cellRule, workload: name,
+		threads: c.Threads, cores: c.Cores, scale: c.Scale,
+	})
 }

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+)
+
+// CacheSchema versions the on-disk entry layout; it is folded into every
+// content hash, so a format change orphans old entries instead of
+// misreading them.
+const CacheSchema = "cheetah-sweep-cache/v1"
+
+// Cache is an on-disk store of finished cell results, content-addressed
+// by the hash of the cache schema and the cell's canonical ID. Re-sweeps
+// and resumed crashed sweeps look cells up before scheduling them, so
+// already-finished work is never re-run.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// CacheKey returns the content hash addressing a cell's entry.
+func CacheKey(c harness.Cell) string {
+	h := sha256.Sum256([]byte(CacheSchema + "\n" + c.ID()))
+	return hex.EncodeToString(h[:])
+}
+
+// path shards entries over 256 subdirectories by hash prefix, keeping
+// directories small on paper-scale sweeps.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// cacheEntry is the stored form: the cell's ID is kept alongside the
+// result so a hash collision or a file copied to the wrong name reads
+// as a miss, never as a wrong result.
+type cacheEntry struct {
+	Schema string             `json:"schema"`
+	Cell   string             `json:"cell"`
+	Result harness.CellResult `json:"result"`
+}
+
+// Get returns the cached result for cell, if present and intact.
+// Corrupt, oversized, mismatched or unvalidatable entries are treated
+// as misses: the cell simply re-runs.
+func (c *Cache) Get(cell harness.Cell) (harness.CellResult, bool) {
+	path := c.path(CacheKey(cell))
+	// Bound before reading: a corrupt multi-gigabyte file must read as
+	// a miss, not as an allocation.
+	if fi, err := os.Stat(path); err != nil || fi.Size() > MaxFrame {
+		return harness.CellResult{}, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return harness.CellResult{}, false
+	}
+	res, err := decodeCacheEntry(data, cell.ID())
+	if err != nil {
+		return harness.CellResult{}, false
+	}
+	return res, true
+}
+
+// decodeCacheEntry parses and bounds a stored entry, requiring it to
+// describe wantID. Split out so the fuzz target can drive it directly.
+func decodeCacheEntry(data []byte, wantID string) (harness.CellResult, error) {
+	if len(data) > MaxFrame {
+		return harness.CellResult{}, fmt.Errorf("sweep: cache entry of %d bytes exceeds limit %d",
+			len(data), MaxFrame)
+	}
+	var e cacheEntry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return harness.CellResult{}, fmt.Errorf("sweep: bad cache entry: %w", err)
+	}
+	if dec.More() {
+		return harness.CellResult{}, fmt.Errorf("sweep: trailing data in cache entry")
+	}
+	if e.Schema != CacheSchema {
+		return harness.CellResult{}, fmt.Errorf("sweep: cache entry schema %q, want %q", e.Schema, CacheSchema)
+	}
+	if e.Cell != wantID {
+		return harness.CellResult{}, fmt.Errorf("sweep: cache entry is for cell %q, want %q", e.Cell, wantID)
+	}
+	if err := e.Result.Validate(); err != nil {
+		return harness.CellResult{}, err
+	}
+	return e.Result, nil
+}
+
+// Put stores a finished cell atomically (temp file + rename), so a
+// crashed sweep can never leave a truncated entry for the next resume
+// to trip over.
+func (c *Cache) Put(cell harness.Cell, res harness.CellResult) error {
+	b, err := json.Marshal(cacheEntry{Schema: CacheSchema, Cell: cell.ID(), Result: res})
+	if err != nil {
+		return err
+	}
+	path := c.path(CacheKey(cell))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

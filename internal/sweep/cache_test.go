@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCacheRoundTrip: Put then Get must return the stored result
+// exactly, and distinct cells must not alias.
+func TestCacheRoundTrip(t *testing.T) {
+	t.Parallel()
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := sampleCell()
+	res := sampleResult()
+	if _, ok := cache.Get(cell); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := cache.Put(cell, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(cell)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("cache changed the result:\nput %+v\ngot %+v", res, got)
+	}
+	other := cell
+	other.Threads = 8
+	if _, ok := cache.Get(other); ok {
+		t.Error("different cell hit the same entry")
+	}
+}
+
+// TestCacheCorruptEntryIsAMiss: damaged or foreign entries must read
+// as misses (the cell re-runs), never as wrong results or crashes.
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	t.Parallel()
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := sampleCell()
+	if err := cache.Put(cell, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := cache.path(CacheKey(cell))
+
+	for name, data := range map[string][]byte{
+		"truncated":    []byte(`{"schema":"cheetah-sweep-cache/v1","cell":`),
+		"not json":     []byte("garbage"),
+		"wrong schema": []byte(`{"schema":"other/v9","cell":"x","result":{"result":{}}}`),
+	} {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := cache.Get(cell); ok {
+			t.Errorf("%s entry returned a hit", name)
+		}
+	}
+
+	// An intact entry under the wrong cell's key (a copied file) is a
+	// miss too: the stored cell ID must match.
+	other := cell
+	other.Threads = 8
+	if err := cache.Put(cell, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(cache.path(CacheKey(other))), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(cache.path(CacheKey(cell)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.path(CacheKey(other)), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(other); ok {
+		t.Error("entry copied under another cell's key returned a hit")
+	}
+}

@@ -1,0 +1,369 @@
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// Stats summarizes what a sharded sweep actually did, for logs and the
+// bench trajectory.
+type Stats struct {
+	// Cells is the total number of distinct cells the sweep comprises.
+	Cells int
+	// Cached is how many were satisfied from the result cache.
+	Cached int
+	// Executed is how many ran on workers this sweep.
+	Executed int
+	// Retries counts cell assignments that had to be re-run elsewhere
+	// after a worker died or reported a cell-level error.
+	Retries int
+	// Workers is how many workers completed the hello handshake.
+	Workers int
+}
+
+// Config configures a sharded sweep.
+type Config struct {
+	// Harness is the experiment configuration; the merged output is
+	// byte-identical to harness.RunAll(Harness) at any sharding.
+	Harness harness.Config
+	// Procs is how many worker transports to spawn via Spawn.
+	Procs int
+	// Spawn creates the i'th local worker transport (typically a
+	// subprocess running `fsbench -worker`). Required when Procs > 0.
+	Spawn func(i int) (io.ReadWriteCloser, error)
+	// Listener optionally accepts remote TCP workers for the duration
+	// of the sweep (shards on other machines dial in with
+	// `fsbench -worker -connect`). The coordinator closes it when the
+	// sweep ends. With a listener and Procs == 0 the sweep waits until
+	// at least one worker connects.
+	Listener net.Listener
+	// Cache is the optional on-disk result cache; hits skip execution
+	// entirely and finished cells are stored as they arrive, so an
+	// interrupted sweep resumes where it stopped.
+	Cache *Cache
+	// MaxAttempts bounds how many times one cell may be assigned before
+	// the sweep fails (default 3): a cell that crashes every worker it
+	// touches must not loop forever.
+	MaxAttempts int
+	// Log receives human-readable progress diagnostics (optional).
+	Log io.Writer
+}
+
+// event is what worker goroutines report to the coordinator loop.
+type event struct {
+	kind    eventKind
+	cell    harness.Cell
+	hasCell bool
+	res     harness.CellResult
+	errText string
+	err     error
+	// wasLive distinguishes a worker dying after its handshake from one
+	// that never joined, for the live/joining accounting.
+	wasLive bool
+}
+
+type eventKind uint8
+
+const (
+	evUp eventKind = iota + 1
+	// evDown: the worker is gone (transport error, bad handshake or
+	// protocol violation); hasCell marks an in-flight assignment that
+	// needs requeueing.
+	evDown
+	evResult
+	// evCellError: the worker survives but the cell failed there.
+	evCellError
+)
+
+// Run executes a full sharded sweep: enumerate cells, satisfy what the
+// cache can, farm the rest out to workers, then merge by preloading a
+// runner and replaying the experiment assembly in this process.
+func Run(cfg Config) (*harness.Results, Stats, error) {
+	var stats Stats
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Procs > 0 && cfg.Spawn == nil {
+		return nil, stats, fmt.Errorf("sweep: Procs = %d with no Spawn function", cfg.Procs)
+	}
+	if cfg.Procs <= 0 && cfg.Listener == nil {
+		return nil, stats, fmt.Errorf("sweep: no workers: need Procs > 0 or a Listener")
+	}
+	if cfg.Listener != nil {
+		defer cfg.Listener.Close()
+	}
+
+	cells := harness.EnumerateCells(cfg.Harness)
+	stats.Cells = len(cells)
+	results := make(map[string]harness.CellResult, len(cells))
+	var pending []harness.Cell
+	for _, cell := range cells {
+		if cfg.Cache != nil {
+			if res, ok := cfg.Cache.Get(cell); ok {
+				results[cell.ID()] = res
+				stats.Cached++
+				continue
+			}
+		}
+		pending = append(pending, cell)
+	}
+	co := &coordinator{
+		cfg:    cfg,
+		queue:  make(chan harness.Cell, len(pending)),
+		events: make(chan event),
+		done:   make(chan struct{}),
+	}
+	if len(pending) > 0 {
+		if err := co.execute(pending, results, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	r := harness.NewRunner(cfg.Harness.Workers)
+	for _, cell := range cells {
+		res, ok := results[cell.ID()]
+		if !ok {
+			return nil, stats, fmt.Errorf("sweep: cell %s has no result after sweep", cell.ID())
+		}
+		if err := r.Preload(cell, res); err != nil {
+			return nil, stats, fmt.Errorf("sweep: preloading %s: %w", cell.ID(), err)
+		}
+	}
+	return harness.RunAllWith(r, cfg.Harness), stats, nil
+}
+
+// coordinator holds the moving parts of one sweep's execution phase.
+type coordinator struct {
+	cfg    Config
+	queue  chan harness.Cell
+	events chan event
+	done   chan struct{}
+
+	wg sync.WaitGroup
+
+	mu         sync.Mutex
+	transports []io.Closer
+	// closed refuses new workers: set on abort and by the cleanup path
+	// before wg.Wait (wg.Add racing Wait is WaitGroup misuse).
+	closed bool
+}
+
+// execute distributes pending cells over workers until every result is
+// in, retrying assignments lost to dead workers on the survivors.
+func (co *coordinator) execute(pending []harness.Cell, results map[string]harness.CellResult, stats *Stats) error {
+	for _, cell := range pending {
+		co.queue <- cell
+	}
+	joining := 0
+	for i := 0; i < co.cfg.Procs; i++ {
+		t, err := co.cfg.Spawn(i)
+		if err != nil {
+			// Spawning fewer workers than asked is survivable as long
+			// as at least one comes up; the all-dead check below
+			// handles total failure.
+			co.logf("sweep: spawning worker %d: %v", i, err)
+			continue
+		}
+		co.addWorker(t)
+		joining++
+	}
+	if joining == 0 && co.cfg.Listener == nil {
+		// No worker ever came up and none can arrive: fail now rather
+		// than blocking forever on an event stream nobody will feed.
+		return fmt.Errorf("sweep: no workers could be spawned")
+	}
+	if co.cfg.Listener != nil {
+		go co.acceptLoop()
+	}
+
+	defer func() {
+		close(co.done)
+		// Refuse late-arriving TCP workers before waiting: wg.Add after
+		// Wait has started is WaitGroup misuse.
+		co.mu.Lock()
+		co.closed = true
+		co.mu.Unlock()
+		close(co.queue)
+		co.wg.Wait()
+	}()
+
+	attempts := make(map[string]int, len(pending))
+	live := 0
+	remaining := len(pending)
+	for remaining > 0 {
+		ev := <-co.events
+		switch ev.kind {
+		case evUp:
+			joining--
+			live++
+			stats.Workers++
+		case evDown:
+			if ev.err != nil {
+				co.logf("sweep: worker lost: %v", ev.err)
+			}
+			if ev.wasLive {
+				live--
+			} else {
+				joining--
+			}
+			if ev.hasCell {
+				stats.Retries++
+				if err := co.requeue(ev.cell, attempts, fmt.Errorf("worker died running it")); err != nil {
+					co.abort()
+					return err
+				}
+			}
+			if live == 0 && joining == 0 && co.cfg.Listener == nil {
+				co.abort()
+				return fmt.Errorf("sweep: all workers are gone with %d cells unfinished", remaining)
+			}
+		case evResult:
+			id := ev.cell.ID()
+			if _, dup := results[id]; dup {
+				break
+			}
+			results[id] = ev.res
+			stats.Executed++
+			remaining--
+			if co.cfg.Cache != nil {
+				if err := co.cfg.Cache.Put(ev.cell, ev.res); err != nil {
+					co.logf("sweep: caching %s: %v", id, err)
+				}
+			}
+		case evCellError:
+			stats.Retries++
+			if err := co.requeue(ev.cell, attempts, fmt.Errorf("%s", ev.errText)); err != nil {
+				co.abort()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// requeue puts a failed assignment back on the queue, failing the sweep
+// once the cell has exhausted its attempts.
+func (co *coordinator) requeue(cell harness.Cell, attempts map[string]int, cause error) error {
+	id := cell.ID()
+	attempts[id]++
+	if attempts[id] >= co.cfg.MaxAttempts {
+		return fmt.Errorf("sweep: cell %s failed %d times, last: %v", id, attempts[id], cause)
+	}
+	co.logf("sweep: retrying %s (%v)", id, cause)
+	co.queue <- cell
+	return nil
+}
+
+// abort closes every transport so worker goroutines blocked on reads
+// unwind; subprocesses see stdin EOF (and are killed if they linger).
+func (co *coordinator) abort() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.closed = true
+	for _, t := range co.transports {
+		t.Close()
+	}
+	co.transports = nil
+}
+
+// addWorker registers a transport and starts its goroutine. The closed
+// check and wg.Add share the critical section, so a worker either joins
+// before the cleanup's wg.Wait observes the counter or not at all.
+func (co *coordinator) addWorker(t io.ReadWriteCloser) {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		t.Close()
+		return
+	}
+	co.transports = append(co.transports, t)
+	co.wg.Add(1)
+	co.mu.Unlock()
+	go co.runWorker(t)
+}
+
+// acceptLoop turns incoming TCP connections into workers until the
+// listener closes (when the sweep ends).
+func (co *coordinator) acceptLoop() {
+	for {
+		conn, err := co.cfg.Listener.Accept()
+		if err != nil {
+			return
+		}
+		co.addWorker(conn)
+	}
+}
+
+// send delivers an event unless the coordinator loop has already
+// finished.
+func (co *coordinator) send(ev event) {
+	select {
+	case co.events <- ev:
+	case <-co.done:
+	}
+}
+
+// runWorker drives one transport: handshake, then assign cells from the
+// queue one at a time until the queue closes or the worker fails. Any
+// transport or protocol failure retires the worker; an in-flight cell
+// rides along on the evDown event for requeueing.
+func (co *coordinator) runWorker(t io.ReadWriteCloser) {
+	defer co.wg.Done()
+	defer t.Close()
+	br := bufio.NewReader(t)
+	bw := bufio.NewWriter(t)
+
+	hello, err := ReadMessage(br)
+	if err != nil {
+		co.send(event{kind: evDown, err: fmt.Errorf("handshake: %w", err)})
+		return
+	}
+	if hello.Type != MsgHello || hello.Proto != ProtoVersion {
+		co.send(event{kind: evDown,
+			err: fmt.Errorf("handshake: got %q proto %q, want %q", hello.Type, hello.Proto, ProtoVersion)})
+		return
+	}
+	co.send(event{kind: evUp})
+
+	seq := uint64(0)
+	for cell := range co.queue {
+		seq++
+		err := WriteMessage(bw, &Message{Type: MsgRun, Seq: seq, Cell: &cell})
+		if err == nil {
+			err = bw.Flush()
+		}
+		var m *Message
+		if err == nil {
+			m, err = ReadMessage(br)
+		}
+		if err == nil && (m.Seq != seq || (m.Type != MsgResult && m.Type != MsgError)) {
+			err = fmt.Errorf("protocol violation: %q frame seq %d, want reply to seq %d", m.Type, m.Seq, seq)
+		}
+		if err != nil {
+			co.send(event{kind: evDown, wasLive: true, cell: cell, hasCell: true, err: err})
+			return
+		}
+		if m.Type == MsgResult {
+			co.send(event{kind: evResult, cell: cell, res: *m.Result})
+		} else {
+			co.send(event{kind: evCellError, cell: cell, errText: m.Error})
+		}
+	}
+	// Queue drained: ask the worker to exit and let the deferred Close
+	// reap it.
+	if err := WriteMessage(bw, &Message{Type: MsgShutdown}); err == nil {
+		bw.Flush()
+	}
+	co.send(event{kind: evDown, wasLive: true})
+}
+
+func (co *coordinator) logf(format string, args ...any) {
+	if co.cfg.Log != nil {
+		fmt.Fprintf(co.cfg.Log, format+"\n", args...)
+	}
+}

@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns representative valid wire frames and cache entries
+// plus classic near-valid corruptions; checked-in seeds live under
+// testdata/fuzz. The codecs' contract under fuzzing: cache files and
+// worker streams are external input, so malformed bytes must produce
+// an error — never a panic, a hang or an unbounded allocation — and
+// every accepted payload must pass the harness field-bound validators.
+func fuzzSeeds(t interface{ Helper() }) [][]byte {
+	t.Helper()
+	cell := sampleCell()
+	res := sampleResult()
+	var frames bytes.Buffer
+	for _, m := range []*Message{
+		{Type: MsgHello, Proto: ProtoVersion},
+		{Type: MsgRun, Seq: 1, Cell: &cell},
+		{Type: MsgResult, Seq: 1, Result: &res},
+		{Type: MsgError, Seq: 2, Error: "boom"},
+		{Type: MsgShutdown},
+	} {
+		if err := WriteMessage(&frames, m); err != nil {
+			panic(err)
+		}
+	}
+	frameSeed := frames.Bytes()
+	truncated := append([]byte{}, frameSeed[:len(frameSeed)-5]...)
+	flipped := append([]byte{}, frameSeed...)
+	flipped[len(flipped)/2] ^= 0xFF
+
+	entry, err := json.Marshal(cacheEntry{Schema: CacheSchema, Cell: cell.ID(), Result: res})
+	if err != nil {
+		panic(err)
+	}
+	return [][]byte{
+		frameSeed,
+		truncated,
+		flipped,
+		entry,
+		[]byte("0\n\n"),
+		[]byte("99999999\n"),
+		[]byte("17\n{\"type\":\"launch\"}\n"),
+		[]byte(`{"schema":"cheetah-sweep-cache/v1","cell":"x","result":{"result":{}}}`),
+		[]byte{0x00},
+	}
+}
+
+// FuzzCellResultDecode drives both decode paths external data reaches:
+// the wire frame reader (a worker's stream) and the cache entry
+// decoder (a file on disk). Every input must either decode to bounded,
+// validated payloads or error out cleanly.
+func FuzzCellResultDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	wantID := sampleCell().ID()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			m, err := ReadMessage(br)
+			if err != nil {
+				break
+			}
+			// Anything the reader accepts must satisfy the validators —
+			// ReadMessage's contract is that no unvalidated frame
+			// escapes it.
+			if err := m.Validate(); err != nil {
+				t.Errorf("ReadMessage returned an invalid frame: %v", err)
+			}
+		}
+		if res, err := decodeCacheEntry(data, wantID); err == nil {
+			if err := res.Validate(); err != nil {
+				t.Errorf("decodeCacheEntry returned an invalid result: %v", err)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsAreWellFormed keeps the valid seeds actually valid (a
+// regression here would quietly gut the fuzz corpus): the frame seed
+// must parse to completion and the cache seed must decode.
+func TestFuzzSeedsAreWellFormed(t *testing.T) {
+	t.Parallel()
+	seeds := fuzzSeeds(t)
+	br := bufio.NewReader(bytes.NewReader(seeds[0]))
+	frames := 0
+	for {
+		_, err := ReadMessage(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		frames++
+	}
+	if frames != 5 {
+		t.Errorf("frame seed decodes to %d frames, want 5", frames)
+	}
+	if _, err := decodeCacheEntry(seeds[3], sampleCell().ID()); err != nil {
+		t.Errorf("cache seed rejected: %v", err)
+	}
+}

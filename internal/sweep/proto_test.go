@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/harness"
+)
+
+// sampleCell and sampleResult are well-formed payloads shared by the
+// protocol, cache and fuzz tests.
+func sampleCell() harness.Cell {
+	return harness.Cell{Kind: harness.KindNative, Workload: "figure1",
+		Threads: 4, Cores: 48, Scale: 0.05}
+}
+
+func sampleResult() harness.CellResult {
+	return harness.CellResult{
+		Result: exec.Result{
+			TotalCycles: 123456,
+			Phases:      []exec.PhaseRecord{{Index: 0, Name: "work", Parallel: true, Start: 10, End: 110}},
+			Threads:     []exec.ThreadRecord{{ID: 1, Core: 1, Phase: 0, Start: 10, End: 100, Instrs: 9000}},
+		},
+		Report: &core.Report{App: "figure1", Cores: 48, RuntimeCycles: 123456, Samples: 77},
+	}
+}
+
+// TestMessageRoundTrip: every frame type must survive the wire exactly.
+func TestMessageRoundTrip(t *testing.T) {
+	t.Parallel()
+	cell := sampleCell()
+	res := sampleResult()
+	msgs := []*Message{
+		{Type: MsgHello, Proto: ProtoVersion},
+		{Type: MsgRun, Seq: 7, Cell: &cell},
+		{Type: MsgResult, Seq: 7, Result: &res},
+		{Type: MsgError, Seq: 8, Error: "cell exploded"},
+		{Type: MsgShutdown},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %s: %v", m.Type, err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, want := range msgs {
+		got, err := ReadMessage(br)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.Error != want.Error {
+			t.Errorf("frame changed: got %+v want %+v", got, want)
+		}
+		if want.Cell != nil && *got.Cell != *want.Cell {
+			t.Errorf("cell changed: got %+v want %+v", *got.Cell, *want.Cell)
+		}
+		if want.Result != nil && got.Result.Result.TotalCycles != want.Result.Result.TotalCycles {
+			t.Errorf("result changed: got %+v", got.Result)
+		}
+	}
+	if _, err := ReadMessage(br); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadMessageRejectsMalformedFrames: the reader fronts external
+// input; each malformation must produce an error, never a panic, a
+// hang or a giant allocation.
+func TestReadMessageRejectsMalformedFrames(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"empty header":       "\n",
+		"non-digit header":   "12x\n{}\n",
+		"negative":           "-4\n{}\n",
+		"huge length":        "99999999\n{}\n",
+		"overlong header":    "123456789123\n",
+		"truncated payload":  "400\n{\"type\":\"shutdown\"}",
+		"missing newline":    "19\n{\"type\":\"shutdown\"}X",
+		"bad json":           "9\n{\"type\":}\n",
+		"unknown type":       "17\n{\"type\":\"launch\"}\n",
+		"unknown field":      "30\n{\"type\":\"shutdown\",\"zap\":true}\n",
+		"run without cell":   "14\n{\"type\":\"run\"}\n",
+		"result empty":       "17\n{\"type\":\"result\"}\n",
+		"error no text":      "16\n{\"type\":\"error\"}\n",
+		"cell out of bounds": `52` + "\n" + `{"type":"run","cell":{"kind":"native","threads":-1}}` + "\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadMessage(bufio.NewReader(strings.NewReader(input))); err == nil || err == io.EOF {
+			t.Errorf("%s: err = %v, want a non-EOF error", name, err)
+		}
+	}
+}
+
+// TestWriteMessageRejectsOversizedFrames: the writer enforces the same
+// bound as the reader, so a pathological result cannot poison a stream.
+func TestWriteMessageRejectsOversizedFrames(t *testing.T) {
+	t.Parallel()
+	m := &Message{Type: MsgError, Error: strings.Repeat("x", MaxFrame)}
+	if err := WriteMessage(io.Discard, m); err == nil {
+		t.Error("oversized frame written without error")
+	}
+}
