@@ -119,7 +119,11 @@ func New(cfg Config) *System {
 		cfg.Cache = cache.DefaultConfig(cfg.Cores)
 	}
 	if cfg.Engine.OpBuffer == 0 {
+		// Zero-value engine costs get the defaults; the scheduler choice
+		// rides along untouched (Sched alone does not imply custom costs).
+		sched := cfg.Engine.Sched
 		cfg.Engine = exec.DefaultConfig()
+		cfg.Engine.Sched = sched
 	}
 	if cfg.Heap.Size == 0 {
 		cfg.Heap = heap.DefaultConfig()

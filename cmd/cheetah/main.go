@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threads := fs.Int("threads", 16, "worker threads per parallel phase")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	sched := fs.String("sched", "",
+		"engine thread scheduler: heap (default) or calendar; reports are byte-identical either way")
 	period := fs.Uint64("period", 0, "sampling period in instructions (0 = calibrated default)")
 	words := fs.Bool("words", false, "print word-level access detail for each instance")
 	candidates := fs.Bool("candidates", false, "also print non-significant candidates")
@@ -79,6 +81,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if !exec.ValidScheduler(*sched) {
+		fmt.Fprintf(stderr, "cheetah: unknown scheduler %q; available: %s\n",
+			*sched, strings.Join(exec.SchedulerNames(), ", "))
+		return 2
+	}
+
 	var cfg pmu.Config
 	if *period != 0 {
 		cfg = pmu.Config{Period: *period, Jitter: *period / 4, HandlerCycles: 4, SetupCycles: 4700}
@@ -93,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "usage: cheetah -replay <trace> takes no workload argument")
 			return 2
 		}
-		return runReplay(*replay, cfg, rec, *words, *candidates, stdout, stderr)
+		return runReplay(*replay, cfg, rec, *sched, *words, *candidates, stdout, stderr)
 	}
 
 	if fs.NArg() != 1 {
@@ -107,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// semantics as -replay (recorded core count, friendly errors).
 		// -record still applies, re-recording the replayed run — which
 		// also converts between framings.
-		return runReplay(strings.TrimPrefix(name, workload.TracePrefix), cfg, rec, *words, *candidates, stdout, stderr)
+		return runReplay(strings.TrimPrefix(name, workload.TracePrefix), cfg, rec, *sched, *words, *candidates, stdout, stderr)
 	}
 	w, ok := workload.ByName(name)
 	if !ok {
@@ -116,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	sys := cheetah.New(cheetah.Config{})
+	sys := cheetah.New(cheetah.Config{Engine: exec.Config{Sched: *sched}})
 	prog := w.Build(sys, workload.Params{Threads: *threads, Scale: *scale, Fixed: *fixed})
 
 	report, res, err := profileMaybeRecorded(sys, prog, cfg, rec, stderr)
@@ -189,14 +197,15 @@ func profileRecorded(sys *cheetah.System, prog cheetah.Program, cfg pmu.Config, 
 
 // runReplay reconstructs a program from a trace file and profiles it on
 // a machine with the recorded core count, optionally re-recording it
-// (which converts between framings and full/sampled fidelity).
-func runReplay(path string, cfg pmu.Config, rec recordOptions, words, candidates bool, stdout, stderr io.Writer) int {
+// (which converts between framings and full/sampled fidelity). The
+// replayed program runs under the selected scheduler like any workload.
+func runReplay(path string, cfg pmu.Config, rec recordOptions, sched string, words, candidates bool, stdout, stderr io.Writer) int {
 	rp, err := trace.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "cheetah: reading trace: %v\n", err)
 		return 1
 	}
-	sys := cheetah.New(cheetah.Config{Cores: rp.Cores})
+	sys := cheetah.New(cheetah.Config{Cores: rp.Cores, Engine: exec.Config{Sched: sched}})
 	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
 		fmt.Fprintf(stderr, "cheetah: preparing trace: %v\n", err)
 		return 1

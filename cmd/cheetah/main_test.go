@@ -32,6 +32,32 @@ func TestRunProfilesWorkload(t *testing.T) {
 	}
 }
 
+// TestRunSchedFlag: an invalid -sched is diagnosed before any work,
+// and the calendar scheduler prints the byte-identical report the heap
+// prints — the CLI edge of the cross-scheduler equivalence guarantee.
+func TestRunSchedFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-sched", "lifo", "figure1"}, &out, &errOut); code != 2 {
+		t.Fatalf("-sched lifo: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scheduler") {
+		t.Errorf("stderr missing scheduler diagnosis:\n%s", errOut.String())
+	}
+
+	args := []string{"-threads", "4", "-scale", "0.1", "figure1"}
+	var heapOut, calOut, errs strings.Builder
+	if code := run(append([]string{"-sched", "heap"}, args...), &heapOut, &errs); code != 0 {
+		t.Fatalf("heap run: exit %d, stderr:\n%s", code, errs.String())
+	}
+	if code := run(append([]string{"-sched", "calendar"}, args...), &calOut, &errs); code != 0 {
+		t.Fatalf("calendar run: exit %d, stderr:\n%s", code, errs.String())
+	}
+	if heapOut.String() != calOut.String() {
+		t.Errorf("report differs across schedulers:\nheap:\n%s\ncalendar:\n%s",
+			heapOut.String(), calOut.String())
+	}
+}
+
 func TestRunRejectsUnknownWorkload(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"no_such_workload"}, &out, &errOut); code != 2 {

@@ -45,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	engine "repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	threads := fs.Int("threads", 16, "worker threads per parallel phase")
 	workers := fs.Int("workers", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	sched := fs.String("sched", "",
+		"engine thread scheduler: heap (default) or calendar; results are byte-identical either way")
 	app := fs.String("app", "linear_regression", "application for fig5 (case study report)")
 	benchOut := fs.String("bench-out", "",
 		"path for the machine-readable bench trajectory entry (with -experiment all)")
@@ -77,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"with -experiment all: accept remote TCP sweep workers on this address")
 	cacheDir := fs.String("cache-dir", "",
 		"on-disk result cache for sharded sweeps; cached cells are never re-run")
+	cellTimeout := fs.Duration("cell-timeout", 0,
+		"with a sharded sweep: requeue a cell whose worker sends no reply within this duration (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -111,7 +116,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers}
+	if !engine.ValidScheduler(*sched) {
+		fmt.Fprintf(stderr, "fsbench: unknown scheduler %q; available: %s\n",
+			*sched, strings.Join(engine.SchedulerNames(), ", "))
+		return 2
+	}
+
+	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers, Sched: *sched}
 	sharded := *workersProcs > 0 || *listenAddr != ""
 	if sharded && *experiment != "all" {
 		fmt.Fprintf(stderr, "fsbench: -workers-procs/-listen shard the full sweep; use -experiment all\n")
@@ -119,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *cacheDir != "" && !sharded {
 		fmt.Fprintf(stderr, "fsbench: -cache-dir requires a sharded sweep (-workers-procs or -listen)\n")
+		return 2
+	}
+	if *cellTimeout != 0 && !sharded {
+		fmt.Fprintf(stderr, "fsbench: -cell-timeout requires a sharded sweep (-workers-procs or -listen)\n")
 		return 2
 	}
 
@@ -131,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		)
 		start := time.Now()
 		if sharded {
-			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, &res, stderr)
+			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cellTimeout, &res, stderr)
 			if code != 0 {
 				return code
 			}
@@ -150,6 +165,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		elapsed := time.Since(start)
 		fmt.Fprint(stdout, res.Format())
 		if *benchOut != "" {
+			schedName := *sched
+			if schedName == "" {
+				schedName = engine.SchedHeap
+			}
 			entry := harness.BenchEntry{
 				Schema:      harness.BenchSchema,
 				GitCommit:   gitCommit(),
@@ -159,6 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				WallSeconds: elapsed.Seconds(),
 				Scale:       *scale,
 				Threads:     *threads,
+				Sched:       schedName,
 				Metrics:     res.Metrics(),
 			}
 			b, err := entry.MarshalIndent()
@@ -200,9 +220,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runSharded runs the full sweep through the multi-process coordinator:
 // procs spawned subprocess workers (this binary with -worker), plus any
 // remote workers that dial listenAddr, with an optional on-disk result
-// cache. The merged *harness.Results lands in *res.
-func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
-	sc := sweep.Config{Harness: cfg, Procs: procs, Log: stderr}
+// cache and per-cell timeout. The merged *harness.Results lands in *res.
+func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cellTimeout time.Duration, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
+	sc := sweep.Config{Harness: cfg, Procs: procs, CellTimeout: cellTimeout, Log: stderr}
 	if procs > 0 {
 		self, err := os.Executable()
 		if err != nil {

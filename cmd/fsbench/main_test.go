@@ -199,6 +199,39 @@ func TestShardedFlagValidation(t *testing.T) {
 	if code := run([]string{"-experiment", "all", "-cache-dir", t.TempDir()}, &out, &errOut); code != 2 {
 		t.Errorf("-cache-dir without sharding: exit %d, want 2", code)
 	}
+	errOut.Reset()
+	if code := run([]string{"-experiment", "all", "-cell-timeout", "10s"}, &out, &errOut); code != 2 {
+		t.Errorf("-cell-timeout without sharding: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-cell-timeout") {
+		t.Errorf("stderr missing -cell-timeout diagnosis:\n%s", errOut.String())
+	}
+}
+
+// TestSchedFlag: -sched validates its value up front and a calendar-
+// scheduled experiment prints byte-identical output to the default
+// heap-scheduled one (the CLI edge of the equivalence guarantee).
+func TestSchedFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-sched", "fifo"}, &out, &errOut); code != 2 {
+		t.Fatalf("-sched fifo: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scheduler") {
+		t.Errorf("stderr missing scheduler diagnosis:\n%s", errOut.String())
+	}
+
+	args := []string{"-experiment", "fig1", "-scale", "0.05", "-threads", "4"}
+	var heapOut, calOut, errs strings.Builder
+	if code := run(append([]string{"-sched", "heap"}, args...), &heapOut, &errs); code != 0 {
+		t.Fatalf("heap fig1: exit %d, stderr:\n%s", code, errs.String())
+	}
+	if code := run(append([]string{"-sched", "calendar"}, args...), &calOut, &errs); code != 0 {
+		t.Fatalf("calendar fig1: exit %d, stderr:\n%s", code, errs.String())
+	}
+	if heapOut.String() != calOut.String() {
+		t.Errorf("fig1 output differs across schedulers:\nheap:\n%s\ncalendar:\n%s",
+			heapOut.String(), calOut.String())
+	}
 }
 
 // TestWorkerModeOnClosedStdin: `fsbench -worker` under `go test` reads

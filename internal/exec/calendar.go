@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Calendar-queue geometry. 64 buckets keeps the occupancy map in a
+// single machine word, so "first nonempty bucket" is one TrailingZeros.
+// Threads executing concurrently cluster within one max-latency span of
+// each other (an L1 hit to a cross-socket coherence miss, a few hundred
+// cycles), so the 8-cycle width spreads that cluster over several
+// buckets — the active bucket stays small — while the 512-cycle
+// horizon still catches almost every advance-and-reinsert. Threads
+// sleeping past the horizon (large pure-compute blocks, staggered phase
+// starts) overflow to a sorted spill list and are re-seeded into the
+// calendar when the buckets drain down to them.
+const (
+	calBuckets    = 64
+	calWidthShift = 3
+	calWidth      = 1 << calWidthShift
+	calHorizon    = calBuckets * calWidth
+	calWidthMask  = calWidth - 1
+)
+
+// calKey is the scheduling key: (vtime, id), totally ordered.
+type calKey struct {
+	vt uint64
+	id mem.ThreadID
+}
+
+func (a calKey) less(b calKey) bool {
+	if a.vt != b.vt {
+		return a.vt < b.vt
+	}
+	return a.id < b.id
+}
+
+// calItem is one scheduled thread with its key snapshot, stored inline
+// so bucket operations do not chase thread pointers.
+type calItem struct {
+	key calKey
+	th  *thread
+}
+
+// calendarQueue implements Scheduler as a calendar/ladder queue with
+// O(1) extraction and O(1)-ish common-case reinsertion.
+//
+// The earliest thread is held out in min — it is the thread the engine
+// runs in place, so the FixMin fast path (the running thread is still
+// earliest) is one key comparison and touches no bucket. The remaining
+// threads live in calBuckets buckets of calWidth virtual-time each,
+// starting at base; anything past base+calHorizon waits in spill, kept
+// sorted so re-seeding peels a prefix. Bucket windows are disjoint, so
+// the global rest-minimum lives in the first occupied bucket.
+//
+// Ladder discipline: the first occupied bucket — the active bucket —
+// is sorted once on activation (insertion sort: small, and usually
+// mostly ordered) and then consumed from the front, so extraction is
+// O(1) and the rest-minimum stays cached across extractions (the next
+// minimum is simply the next sorted item). Insertions into the active
+// bucket binary-search its live tail; insertions into later buckets are
+// plain appends, unsorted until their own activation — appends plus one
+// deferred sort beat per-insert sorted placement on both instruction
+// count and locality.
+type calendarQueue struct {
+	min    *thread
+	minKey calKey
+
+	base     uint64 // start of bucket 0's window, multiple of calWidth
+	occupied uint64 // bit i set <=> buckets[i] has live items
+	buckets  [calBuckets][]calItem
+	spill    []calItem // sorted ascending by key; every vt >= its insert-time horizon
+	rest     int       // items in buckets+spill (excludes the held-out min)
+
+	// The active (sorted, front-consumed) bucket: active is its index or
+	// -1; head is how many of its items are already consumed.
+	active int
+	head   int
+
+	// cachedKey caches the rest-minimum key while cachedOK (it is always
+	// the active bucket's head item, or the spill head when everything
+	// else is empty).
+	cachedOK  bool
+	cachedKey calKey
+}
+
+func newCalendarQueue(capacity int) *calendarQueue {
+	q := &calendarQueue{active: -1}
+	if capacity > calBuckets {
+		q.spill = make([]calItem, 0, capacity)
+	}
+	return q
+}
+
+func (q *calendarQueue) Len() int {
+	if q.min == nil {
+		return 0
+	}
+	return q.rest + 1
+}
+
+func (q *calendarQueue) Min() *thread { return q.min }
+
+func (q *calendarQueue) Push(th *thread) {
+	k := calKey{vt: th.vtime, id: th.id}
+	if q.min == nil {
+		q.min, q.minKey = th, k
+		return
+	}
+	if k.less(q.minKey) {
+		q.insertRest(calItem{key: q.minKey, th: q.min})
+		q.min, q.minKey = th, k
+		return
+	}
+	q.insertRest(calItem{key: k, th: th})
+}
+
+func (q *calendarQueue) NextVtime() uint64 {
+	if q.rest == 0 {
+		return ^uint64(0)
+	}
+	q.findRestMin()
+	return q.cachedKey.vt
+}
+
+func (q *calendarQueue) FixMin() {
+	q.minKey.vt = q.min.vtime
+	if q.rest == 0 {
+		return
+	}
+	q.findRestMin()
+	if q.minKey.less(q.cachedKey) {
+		return // fast path: the running thread is still earliest
+	}
+	old, oldKey := q.min, q.minKey
+	q.min, q.minKey = q.removeRestMin()
+	q.insertRest(calItem{key: oldKey, th: old})
+}
+
+func (q *calendarQueue) PopMin() *thread {
+	top := q.min
+	if q.rest == 0 {
+		q.min = nil
+		return top
+	}
+	q.findRestMin()
+	q.min, q.minKey = q.removeRestMin()
+	return top
+}
+
+// insertRest places it into the buckets or the spill list, maintaining
+// the rest-set invariants: bucket items lie in [base, base+calHorizon),
+// spill items were at or past the horizon when inserted, and base only
+// advances while the buckets are empty — so spill keys always follow
+// bucket keys.
+func (q *calendarQueue) insertRest(it calItem) {
+	q.rest++
+	if q.rest == 1 {
+		// First resident: anchor the calendar at its window.
+		q.base = it.key.vt &^ calWidthMask
+	}
+	if it.key.vt < q.base {
+		// A key before the calendar's origin (only possible through
+		// out-of-order pushes at phase start, before any extraction).
+		// Rebuild around the new minimum; rare and small.
+		q.rebase(it)
+		return
+	}
+	idx := (it.key.vt - q.base) >> calWidthShift
+	if idx >= calBuckets {
+		q.insertSpill(it)
+		return
+	}
+	b := int(idx)
+	if b == q.active {
+		// Sorted insert into the active bucket's live tail: binary
+		// search plus a short memmove (the bucket holds a handful of
+		// items).
+		items := q.buckets[b]
+		lo, hi := q.head, len(items)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if items[mid].key.less(it.key) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		items = append(items, calItem{})
+		copy(items[lo+1:], items[lo:])
+		items[lo] = it
+		q.buckets[b] = items
+		if q.cachedOK && it.key.less(q.cachedKey) {
+			q.cachedKey = it.key // new head of the active bucket
+		}
+		return
+	}
+	q.buckets[b] = append(q.buckets[b], it)
+	q.occupied |= 1 << uint(b)
+	if q.cachedOK && it.key.less(q.cachedKey) {
+		q.cachedOK = false // landed ahead of the active bucket
+	}
+}
+
+// insertSpill adds a far-future item, keeping spill sorted ascending.
+func (q *calendarQueue) insertSpill(it calItem) {
+	i := sort.Search(len(q.spill), func(i int) bool { return it.key.less(q.spill[i].key) })
+	q.spill = append(q.spill, calItem{})
+	copy(q.spill[i+1:], q.spill[i:])
+	q.spill[i] = it
+}
+
+// liveItems returns b's not-yet-consumed items.
+func (q *calendarQueue) liveItems(b int) []calItem {
+	if b == q.active {
+		return q.buckets[b][q.head:]
+	}
+	return q.buckets[b]
+}
+
+// deactivate compacts the active bucket's consumed prefix away, so the
+// bucket can go back to plain (unsorted, append-only) life. Stale items
+// past the live region are not zeroed: the threads they point to are
+// alive for the whole phase anyway, and the scheduler is discarded with
+// the phase.
+func (q *calendarQueue) deactivate() {
+	if q.active < 0 {
+		return
+	}
+	if q.head > 0 {
+		items := q.buckets[q.active]
+		n := copy(items, items[q.head:])
+		q.buckets[q.active] = items[:n]
+	}
+	q.active, q.head = -1, 0
+}
+
+// activate sorts bucket b (insertion sort: small, and often already
+// mostly ordered) and makes it the front-consumed active bucket.
+// Callers ensure b != q.active.
+func (q *calendarQueue) activate(b int) {
+	q.deactivate()
+	items := q.buckets[b]
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		j := i - 1
+		for j >= 0 && it.key.less(items[j].key) {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = it
+	}
+	q.active, q.head = b, 0
+}
+
+// rebase rebuilds the calendar around a key earlier than base: gather
+// every resident plus extra, re-anchor at the new minimum, repartition.
+func (q *calendarQueue) rebase(extra calItem) {
+	all := make([]calItem, 0, q.rest)
+	all = append(all, extra)
+	for b := 0; b < calBuckets; b++ {
+		all = append(all, q.liveItems(b)...)
+	}
+	all = append(all, q.spill...)
+	for b := 0; b < calBuckets; b++ {
+		q.buckets[b] = q.buckets[b][:0]
+	}
+	q.spill = q.spill[:0]
+	q.occupied = 0
+	q.active, q.head = -1, 0
+	q.cachedOK = false
+	sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
+	q.base = all[0].key.vt &^ calWidthMask
+	for _, it := range all {
+		idx := (it.key.vt - q.base) >> calWidthShift
+		if idx >= calBuckets {
+			q.spill = append(q.spill, it) // all is sorted, so spill stays sorted
+			continue
+		}
+		b := int(idx)
+		q.buckets[b] = append(q.buckets[b], it)
+		q.occupied |= 1 << uint(b)
+	}
+}
+
+// reseed advances the calendar to the spill list once the buckets are
+// empty: re-anchor at the spill head and absorb the prefix that now
+// falls inside the horizon.
+func (q *calendarQueue) reseed() {
+	q.base = q.spill[0].key.vt &^ calWidthMask
+	n := sort.Search(len(q.spill), func(i int) bool {
+		return q.spill[i].key.vt-q.base >= calHorizon
+	})
+	for _, it := range q.spill[:n] {
+		b := int((it.key.vt - q.base) >> calWidthShift)
+		q.buckets[b] = append(q.buckets[b], it)
+		q.occupied |= 1 << uint(b)
+	}
+	q.spill = q.spill[:copy(q.spill, q.spill[n:])]
+}
+
+// findRestMin ensures the first occupied bucket is active and caches
+// its head key — the rest-minimum. Requires rest > 0.
+func (q *calendarQueue) findRestMin() {
+	if q.cachedOK {
+		return
+	}
+	if q.occupied == 0 {
+		q.reseed()
+	}
+	b := bits.TrailingZeros64(q.occupied)
+	if b != q.active {
+		q.activate(b)
+	}
+	q.cachedOK = true
+	q.cachedKey = q.buckets[b][q.head].key
+}
+
+// removeRestMin pops the head of the active bucket. Requires a valid
+// cache (call findRestMin first). The rest-minimum cache survives the
+// common case: the next minimum is simply the next sorted item of the
+// same bucket (every later bucket and the spill hold larger keys).
+func (q *calendarQueue) removeRestMin() (*thread, calKey) {
+	b := q.active
+	items := q.buckets[b]
+	it := items[q.head]
+	q.head++
+	q.rest--
+	if q.head == len(items) {
+		q.buckets[b] = items[:0]
+		q.occupied &^= 1 << uint(b)
+		q.active, q.head = -1, 0
+		q.cachedOK = false
+	} else {
+		q.cachedKey = items[q.head].key
+	}
+	return it.th, it.key
+}

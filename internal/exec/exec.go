@@ -227,6 +227,12 @@ type Config struct {
 	// OpBuffer is the size of each thread's operation buffer; generation
 	// runs ahead of simulation by at most one buffer.
 	OpBuffer int
+	// Sched selects the thread scheduler: SchedHeap (the default, also
+	// selected by the empty string) or SchedCalendar. Every scheduler
+	// produces the identical deterministic schedule — the (vtime, id)
+	// order is total — so Sched trades only engine time; the
+	// cross-scheduler equivalence suite enforces byte-identical results.
+	Sched string
 }
 
 // DefaultConfig returns the engine defaults used by the evaluation.
@@ -362,26 +368,26 @@ func (e *Engine) coreFor(i int) int {
 	return 1 + i%(c-1)
 }
 
-// simulate interleaves runnable threads in minimum-virtual-time order.
+// simulate interleaves runnable threads in minimum-virtual-time order
+// using the configured Scheduler.
 func (e *Engine) simulate(threads []*thread) {
-	h := newThreadHeap(len(threads))
+	s := newSchedulerFor(e.cfg.Sched, len(threads))
 	for _, th := range threads {
 		th.startGen()
 		if th.refill() {
-			h.push(th)
+			s.Push(th)
 		} else {
 			e.finishThread(th)
 		}
 	}
-	for h.len() > 0 {
+	for s.Len() > 0 {
 		// Run the earliest thread in place until it ceases to be the
-		// earliest, to amortize heap traffic over compute-heavy stretches.
-		// The root stays in the heap while it runs: the second-earliest
-		// thread is always a root child, so one siftDown restores order —
-		// half the heap work of a pop/push pair, with the identical
-		// deterministic schedule (the (vtime, id) order is total).
-		th := h.peek()
-		limit := h.nextVtime()
+		// earliest, to amortize scheduler traffic over compute-heavy
+		// stretches; see the Scheduler docs for the run-in-place contract
+		// each implementation exploits. The schedule is identical either
+		// way — the (vtime, id) order is total.
+		th := s.Min()
+		limit := s.NextVtime()
 		alive := true
 		for th.vtime <= limit {
 			op := th.buf[th.pos]
@@ -395,9 +401,9 @@ func (e *Engine) simulate(threads []*thread) {
 			}
 		}
 		if alive {
-			h.fix()
+			s.FixMin()
 		} else {
-			h.pop()
+			s.PopMin()
 			e.finishThread(th)
 		}
 	}

@@ -321,12 +321,12 @@ func TestThreadHeapOrdering(t *testing.T) {
 	h := newThreadHeap(8)
 	vt := []uint64{50, 10, 30, 10, 90, 20}
 	for i, v := range vt {
-		h.push(&thread{id: mem.ThreadID(i), vtime: v})
+		h.Push(&thread{id: mem.ThreadID(i), vtime: v})
 	}
 	var got []uint64
 	var ids []mem.ThreadID
-	for h.len() > 0 {
-		th := h.pop()
+	for h.Len() > 0 {
+		th := h.PopMin()
 		got = append(got, th.vtime)
 		ids = append(ids, th.id)
 	}

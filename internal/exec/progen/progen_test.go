@@ -1,0 +1,107 @@
+package progen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+var testAddrs = []mem.Addr{0x1000, 0x2040, 0x8000}
+
+// collectOps flattens every materialized operation of a case.
+func collectOps(cfg Config) []genOp {
+	var all []genOp
+	for _, ph := range materialize(cfg) {
+		for _, ops := range ph.bodies {
+			all = append(all, ops...)
+		}
+	}
+	return all
+}
+
+// TestGenerateReproducible: the same (Seed, Case) must materialize the
+// identical operation lists — the property that makes a failing
+// equivalence case reproducible from its log line alone. Bodies are
+// closures, so reproducibility is checked at the genOps layer plus the
+// program shape.
+func TestGenerateReproducible(t *testing.T) {
+	for c := 0; c < 50; c++ {
+		a := Generate(Config{Seed: 7, Case: c, Addrs: testAddrs})
+		b := Generate(Config{Seed: 7, Case: c, Addrs: testAddrs})
+		if len(a.Phases) != len(b.Phases) {
+			t.Fatalf("case %d: %d vs %d phases", c, len(a.Phases), len(b.Phases))
+		}
+		for i := range a.Phases {
+			pa, pb := a.Phases[i], b.Phases[i]
+			if pa.Name != pb.Name || pa.Serial != pb.Serial || pa.Pooled != pb.Pooled ||
+				len(pa.Bodies) != len(pb.Bodies) {
+				t.Fatalf("case %d phase %d: shape diverges: %+v vs %+v", c, i, pa, pb)
+			}
+		}
+	}
+}
+
+// TestGenerateGrowsFromSmall: case 0 must be tiny (shrink-friendliness:
+// the first failing case is close to minimal) and later cases must
+// actually reach multi-phase, multi-thread shapes.
+func TestGenerateGrowsFromSmall(t *testing.T) {
+	p0 := Generate(Config{Seed: 1, Case: 0, Addrs: testAddrs})
+	if len(p0.Phases) != 1 || len(p0.Phases[0].Bodies) > 2 {
+		t.Errorf("case 0 is not small: %d phases, %d bodies",
+			len(p0.Phases), len(p0.Phases[0].Bodies))
+	}
+	var sawMultiPhase, sawManyThreads, sawPooled, sawSerial bool
+	for c := 0; c < 200; c++ {
+		p := Generate(Config{Seed: 1, Case: c, Addrs: testAddrs})
+		if len(p.Phases) > 1 {
+			sawMultiPhase = true
+		}
+		for _, ph := range p.Phases {
+			if len(ph.Bodies) >= 6 {
+				sawManyThreads = true
+			}
+			if ph.Pooled {
+				sawPooled = true
+			}
+			if ph.Serial {
+				sawSerial = true
+			}
+		}
+	}
+	if !sawMultiPhase || !sawManyThreads || !sawPooled || !sawSerial {
+		t.Errorf("200 cases never reached full shape coverage: multiphase=%v many=%v pooled=%v serial=%v",
+			sawMultiPhase, sawManyThreads, sawPooled, sawSerial)
+	}
+}
+
+// TestGenOpsMix: the operation stream must cover every op kind the
+// engine accepts, including zero-length compute and far-future sleeps.
+func TestGenOpsMix(t *testing.T) {
+	kinds := map[byte]int{}
+	var zeroCompute, hugeCompute bool
+	for c := 0; c < 100; c++ {
+		rngOps := collectOps(Config{Seed: 3, Case: c, Addrs: testAddrs})
+		for _, o := range rngOps {
+			kinds[o.kind]++
+			if o.kind == 'c' && o.n == 0 {
+				zeroCompute = true
+			}
+			if o.kind == 'c' && o.n >= 2000 {
+				hugeCompute = true
+			}
+		}
+	}
+	for _, k := range []byte{'l', 's', 'L', 'S', 'n', 'N', 'c'} {
+		if kinds[k] == 0 {
+			t.Errorf("op kind %q never generated", k)
+		}
+	}
+	if !zeroCompute || !hugeCompute {
+		t.Errorf("compute extremes missing: zero=%v huge=%v", zeroCompute, hugeCompute)
+	}
+	if !reflect.DeepEqual(collectOps(Config{Seed: 3, Case: 5, Addrs: testAddrs}),
+		collectOps(Config{Seed: 3, Case: 5, Addrs: testAddrs})) {
+		t.Error("collectOps not reproducible")
+	}
+}

@@ -1,0 +1,75 @@
+package exec
+
+import "fmt"
+
+// Scheduler names accepted by Config.Sched and the CLIs' -sched flag.
+const (
+	// SchedHeap is the binary min-heap scheduler, the default until the
+	// calendar queue has proven parity everywhere.
+	SchedHeap = "heap"
+	// SchedCalendar is the calendar-queue (ladder) scheduler: O(1) on the
+	// common advance-and-reinsert path instead of O(log n).
+	SchedCalendar = "calendar"
+)
+
+// SchedulerNames lists the available scheduler implementations, in the
+// order CLIs should present them.
+func SchedulerNames() []string { return []string{SchedHeap, SchedCalendar} }
+
+// ValidScheduler reports whether name selects a scheduler. The empty
+// string is valid and means the default (SchedHeap).
+func ValidScheduler(name string) bool {
+	switch name {
+	case "", SchedHeap, SchedCalendar:
+		return true
+	}
+	return false
+}
+
+// Scheduler is the engine's thread-selection structure: a priority queue
+// of runnable threads keyed by (vtime, id). The id tie-break makes the
+// key total, so any correct implementation yields the identical,
+// fully deterministic schedule — the cross-scheduler equivalence suite
+// (TestSchedulerEquivalence and the report-level suites above it)
+// enforces byte-identical results across implementations.
+//
+// The engine's inner loop exploits a structural fact every
+// implementation must honor: the minimum thread stays *in* the scheduler
+// while it runs. The engine peeks the minimum (Min), runs it in place
+// until its clock passes the second-earliest key (NextVtime), then calls
+// FixMin to restore order — for the heap that is a single sift-down
+// (the second-earliest thread is always a root child), half the work of
+// a pop/push pair; for the calendar queue the minimum is held out of the
+// buckets entirely, so the common case is one key comparison and no
+// bucket traffic at all. Only Min's vtime may change between calls.
+type Scheduler interface {
+	// Push inserts a runnable thread keyed by its current (vtime, id).
+	Push(th *thread)
+	// Len reports how many threads are scheduled.
+	Len() int
+	// Min returns the thread with the smallest (vtime, id) key without
+	// removing it.
+	Min() *thread
+	// NextVtime returns the vtime of the second-earliest thread — the
+	// point up to which Min may run unchallenged — or ^uint64(0) when
+	// Min is alone.
+	NextVtime() uint64
+	// FixMin restores order after Min's vtime has increased in place.
+	FixMin()
+	// PopMin removes and returns the earliest thread.
+	PopMin() *thread
+}
+
+// newSchedulerFor builds the scheduler selected by name (see Sched*
+// constants); the empty string selects the heap. Callers validate
+// user-supplied names with ValidScheduler first — an unknown name here
+// is a programming error.
+func newSchedulerFor(name string, capacity int) Scheduler {
+	switch name {
+	case "", SchedHeap:
+		return newThreadHeap(capacity)
+	case SchedCalendar:
+		return newCalendarQueue(capacity)
+	}
+	panic(fmt.Sprintf("exec: unknown scheduler %q", name))
+}

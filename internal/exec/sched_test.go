@@ -1,0 +1,383 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// newSchedulers builds one instance of every Scheduler implementation,
+// keyed by name, so ordering tests run identically against each.
+func newSchedulers(capacity int) map[string]Scheduler {
+	m := make(map[string]Scheduler)
+	for _, name := range SchedulerNames() {
+		m[name] = newSchedulerFor(name, capacity)
+	}
+	return m
+}
+
+func TestSchedulerNames(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		if !ValidScheduler(name) {
+			t.Errorf("ValidScheduler(%q) = false for a listed scheduler", name)
+		}
+		if s := newSchedulerFor(name, 4); s == nil || s.Len() != 0 {
+			t.Errorf("newSchedulerFor(%q) = %v", name, s)
+		}
+	}
+	if !ValidScheduler("") {
+		t.Error("ValidScheduler(\"\") = false; empty must mean the default")
+	}
+	if ValidScheduler("fifo") {
+		t.Error("ValidScheduler(\"fifo\") = true")
+	}
+}
+
+// TestSchedulerOrdering: every implementation pops in (vtime, id) order,
+// ids breaking ties.
+func TestSchedulerOrdering(t *testing.T) {
+	vt := []uint64{50, 10, 30, 10, 90, 20, 10}
+	for name, s := range newSchedulers(len(vt)) {
+		t.Run(name, func(t *testing.T) {
+			for i, v := range vt {
+				s.Push(&thread{id: mem.ThreadID(i), vtime: v})
+			}
+			var got []uint64
+			var ids []mem.ThreadID
+			for s.Len() > 0 {
+				th := s.PopMin()
+				got = append(got, th.vtime)
+				ids = append(ids, th.id)
+			}
+			want := []uint64{10, 10, 10, 20, 30, 50, 90}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pop order %v, want %v", got, want)
+			}
+			// The three vtime-10 entries are threads 1, 3, 6 — id order.
+			if ids[0] != 1 || ids[1] != 3 || ids[2] != 6 {
+				t.Errorf("tie-break order = %v, want ids 1,3,6 first", ids[:3])
+			}
+		})
+	}
+}
+
+// TestSchedulerFarFuture drives keys far past the calendar horizon so
+// the spill list and its re-seeding are exercised: pops must still come
+// out in ascending vtime order under every implementation.
+func TestSchedulerFarFuture(t *testing.T) {
+	vts := []uint64{calHorizon, 1, 10 * calHorizon, calHorizon - 1, 1 << 40,
+		3 * calHorizon, 0, 10*calHorizon + calWidth, 1<<40 + 1, calHorizon + 1}
+	for name, s := range newSchedulers(len(vts)) {
+		t.Run(name, func(t *testing.T) {
+			for i, v := range vts {
+				s.Push(&thread{id: mem.ThreadID(i), vtime: v})
+			}
+			var got []uint64
+			for s.Len() > 0 {
+				min := s.Min()
+				popped := s.PopMin()
+				if min != popped {
+					t.Fatalf("Min returned thread %d, PopMin thread %d", min.id, popped.id)
+				}
+				got = append(got, popped.vtime)
+			}
+			want := []uint64{0, 1, calHorizon - 1, calHorizon, calHorizon + 1,
+				3 * calHorizon, 10 * calHorizon, 10*calHorizon + calWidth, 1 << 40, 1<<40 + 1}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pop order %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// schedOp is one scripted operation for the model-check test.
+type schedOp struct {
+	// push a thread with vtime vt (id assigned sequentially), or, when
+	// push is false, run the engine's Min/NextVtime/advance/FixMin-or-
+	// PopMin cycle with the given advance delta (pop when pop is set).
+	push bool
+	vt   uint64
+	adv  uint64
+	pop  bool
+}
+
+// refSched is the naive reference Scheduler: a slice scanned linearly.
+type refSched struct{ ths []*thread }
+
+func (r *refSched) Push(th *thread) { r.ths = append(r.ths, th) }
+func (r *refSched) Len() int        { return len(r.ths) }
+func (r *refSched) minIndex() int {
+	best := 0
+	for i := 1; i < len(r.ths); i++ {
+		a, b := r.ths[i], r.ths[best]
+		if a.vtime < b.vtime || (a.vtime == b.vtime && a.id < b.id) {
+			best = i
+		}
+	}
+	return best
+}
+func (r *refSched) Min() *thread { return r.ths[r.minIndex()] }
+func (r *refSched) NextVtime() uint64 {
+	mi := r.minIndex()
+	next := ^uint64(0)
+	for i, th := range r.ths {
+		if i != mi && th.vtime < next {
+			next = th.vtime
+		}
+	}
+	return next
+}
+func (r *refSched) FixMin() {}
+func (r *refSched) PopMin() *thread {
+	mi := r.minIndex()
+	th := r.ths[mi]
+	r.ths = append(r.ths[:mi], r.ths[mi+1:]...)
+	return th
+}
+
+// TestSchedulerMatchesReference model-checks every implementation
+// against the naive reference over randomized scripts of pushes,
+// in-place advances (FixMin) and pops, with vtime deltas chosen to hit
+// the calendar queue's in-window, spill, re-seed and rebase paths.
+func TestSchedulerMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			script := make([]schedOp, 0, 600)
+			alive := 0
+			for len(script) < cap(script) {
+				r := rng.Intn(10)
+				switch {
+				case alive == 0 || r < 3:
+					// Deltas span sub-bucket to way-past-horizon; small
+					// absolute vtimes early make out-of-order phase-start
+					// pushes (the rebase path) likely.
+					script = append(script, schedOp{push: true,
+						vt: uint64(rng.Intn(4 * calHorizon))})
+					alive++
+				case r < 8:
+					script = append(script, schedOp{
+						adv: 1 + uint64(rng.Intn(2*calHorizon))})
+				default:
+					script = append(script, schedOp{pop: true})
+					alive--
+				}
+			}
+
+			type trace struct {
+				mins, nexts []uint64
+				pops        []mem.ThreadID
+			}
+			runScript := func(s Scheduler) trace {
+				var tr trace
+				nextID := mem.ThreadID(1)
+				for _, op := range script {
+					switch {
+					case op.push:
+						s.Push(&thread{id: nextID, vtime: op.vt})
+						nextID++
+					case op.pop:
+						tr.pops = append(tr.pops, s.PopMin().id)
+					default:
+						th := s.Min()
+						tr.mins = append(tr.mins, th.vtime)
+						tr.nexts = append(tr.nexts, s.NextVtime())
+						th.vtime += op.adv
+						s.FixMin()
+					}
+				}
+				for s.Len() > 0 {
+					tr.pops = append(tr.pops, s.PopMin().id)
+				}
+				return tr
+			}
+
+			want := runScript(&refSched{})
+			for _, name := range SchedulerNames() {
+				got := runScript(newSchedulerFor(name, 8))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s diverges from reference:\n got %+v\nwant %+v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// runBoth executes prog under every scheduler on the given machine
+// builder and returns the recorded access stream and result per
+// scheduler name.
+func runBoth(t *testing.T, cfg Config, mkMachine func() Machine, prog Program) map[string]struct {
+	res Result
+	acc []mem.Access
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		res Result
+		acc []mem.Access
+	})
+	for _, name := range SchedulerNames() {
+		c := cfg
+		c.Sched = name
+		rec := &recorder{}
+		e := New(mkMachine(), c, rec)
+		res := e.Run(prog)
+		out[name] = struct {
+			res Result
+			acc []mem.Access
+		}{res, rec.accesses}
+	}
+	return out
+}
+
+// assertSchedulersAgree fails unless every scheduler produced the
+// identical result and access stream.
+func assertSchedulersAgree(t *testing.T, runs map[string]struct {
+	res Result
+	acc []mem.Access
+}) {
+	t.Helper()
+	base := runs[SchedHeap]
+	for name, r := range runs {
+		if !reflect.DeepEqual(r.res, base.res) {
+			t.Errorf("%s result diverges from heap:\n%+v\nvs\n%+v", name, r.res, base.res)
+		}
+		if !reflect.DeepEqual(r.acc, base.acc) {
+			t.Errorf("%s access stream diverges from heap (%d vs %d accesses)",
+				name, len(r.acc), len(base.acc))
+		}
+	}
+}
+
+// TestSingleThreadPhases: phases that never have a second runnable
+// thread — a serial phase and a one-body parallel phase — must behave
+// identically under every scheduler (the NextVtime == max sentinel
+// path).
+func TestSingleThreadPhases(t *testing.T) {
+	prog := Program{
+		Name: "single",
+		Phases: []Phase{
+			SerialPhase("s", func(tt *T) {
+				tt.Compute(40)
+				tt.Store(0x100)
+				tt.Load(0x140)
+			}),
+			ParallelPhase("p1", func(tt *T) {
+				tt.Store(0x180)
+				tt.Compute(9)
+			}),
+		},
+	}
+	runs := runBoth(t, Config{OpBuffer: 4, ThreadCreateCycles: 100, ThreadJoinCycles: 10},
+		func() Machine { return &fixedMachine{cores: 4, latency: 7} }, prog)
+	assertSchedulersAgree(t, runs)
+	// Serial: 40 compute + 2 accesses * 7. Parallel: thread 0 of a phase
+	// pays no creation stagger, so 7 + 9, plus one join.
+	want := uint64(40 + 7 + 7 + 7 + 9 + 10)
+	if got := runs[SchedHeap].res.TotalCycles; got != want {
+		t.Errorf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+// TestZeroLatencyOps: a machine that answers every access in zero
+// cycles keeps thread clocks frozen, so a running thread only yields
+// when its body ends. Both schedulers must agree on that degenerate
+// schedule (each thread's whole stream runs back-to-back, in id order).
+func TestZeroLatencyOps(t *testing.T) {
+	body := func(base mem.Addr) Body {
+		return func(tt *T) {
+			for i := 0; i < 10; i++ {
+				tt.Store(base + mem.Addr(4*i))
+			}
+		}
+	}
+	prog := Program{
+		Name:   "zerolat",
+		Phases: []Phase{ParallelPhase("p", body(0x1000), body(0x2000), body(0x3000))},
+	}
+	runs := runBoth(t, Config{OpBuffer: 4},
+		func() Machine { return &fixedMachine{cores: 4, latency: 0} }, prog)
+	assertSchedulersAgree(t, runs)
+	acc := runs[SchedHeap].acc
+	if len(acc) != 30 {
+		t.Fatalf("got %d accesses, want 30", len(acc))
+	}
+	for i, a := range acc {
+		if want := mem.ThreadID(1 + i/10); a.Thread != want {
+			t.Fatalf("access %d by thread %d, want %d (zero-latency threads must run whole)",
+				i, a.Thread, want)
+		}
+		if a.Latency != 0 || a.Time != 0 {
+			t.Fatalf("access %d = %+v, want zero latency at time 0", i, a)
+		}
+	}
+}
+
+// TestVtimeTiesAcrossThreads: four threads with identical bodies and no
+// creation stagger stay tied on vtime for the whole run; the id
+// tie-break must serialize them identically under every scheduler.
+func TestVtimeTiesAcrossThreads(t *testing.T) {
+	body := func(tt *T) {
+		for i := 0; i < 8; i++ {
+			tt.Store(0x40)
+			tt.Compute(3)
+		}
+	}
+	prog := Program{
+		Name:   "ties",
+		Phases: []Phase{ParallelPhase("p", body, body, body, body)},
+	}
+	runs := runBoth(t, Config{OpBuffer: 4},
+		func() Machine { return &fixedMachine{cores: 8, latency: 5} }, prog)
+	assertSchedulersAgree(t, runs)
+	acc := runs[SchedHeap].acc
+	if len(acc) != 32 {
+		t.Fatalf("got %d accesses, want 32", len(acc))
+	}
+	// All four threads issue access round k at the same vtime (the group
+	// stays tied for the whole run), so each consecutive group of four
+	// accesses must contain every thread exactly once at the round's
+	// vtime. The order within a round is the engine's deterministic
+	// tie-resolution — pinned by assertSchedulersAgree, not re-derived
+	// here.
+	for round := 0; round < len(acc)/4; round++ {
+		seen := map[mem.ThreadID]bool{}
+		for i := round * 4; i < (round+1)*4; i++ {
+			a := acc[i]
+			if a.Thread < 1 || a.Thread > 4 || seen[a.Thread] {
+				t.Fatalf("round %d: access %d by unexpected/duplicate thread %d", round, i, a.Thread)
+			}
+			seen[a.Thread] = true
+			if wantT := uint64(round * 8); a.Time != wantT {
+				t.Fatalf("round %d: access %d at vtime %d, want %d", round, i, a.Time, wantT)
+			}
+		}
+	}
+}
+
+// TestPooledPhasesAcrossSchedulers: pooled phases re-enter threads with
+// clocks mid-flight; both schedulers must agree across phase
+// boundaries.
+func TestPooledPhasesAcrossSchedulers(t *testing.T) {
+	mk := func(step int) Body {
+		return func(tt *T) {
+			for i := 0; i < 6; i++ {
+				tt.Store(mem.Addr(0x500 + 4*step))
+				tt.Compute(step)
+			}
+		}
+	}
+	prog := Program{
+		Name: "pooled",
+		Phases: []Phase{
+			PooledPhase("p1", mk(3), mk(5), mk(7)),
+			SerialPhase("s", func(tt *T) { tt.Compute(11) }),
+			PooledPhase("p2", mk(2), mk(4), mk(6)),
+		},
+	}
+	runs := runBoth(t, Config{ThreadCreateCycles: 50, ThreadJoinCycles: 20, OpBuffer: 4},
+		func() Machine { return &fixedMachine{cores: 4, latency: 9} }, prog)
+	assertSchedulersAgree(t, runs)
+}

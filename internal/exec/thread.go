@@ -155,7 +155,7 @@ func (th *thread) refill() bool {
 
 // heapItem is one heap slot. The sort key (vtime, id) is stored inline so
 // comparisons during sifts do not chase thread pointers; vt is a snapshot
-// of th.vtime, refreshed by fix() for the only thread whose clock moves
+// of th.vtime, refreshed by FixMin for the only thread whose clock moves
 // (the running root).
 type heapItem struct {
 	vt uint64
@@ -163,8 +163,12 @@ type heapItem struct {
 	th *thread
 }
 
-// threadHeap is a binary min-heap of threads ordered by (vtime, id), the
-// id tie-break making interleavings fully deterministic.
+// threadHeap is the binary min-heap Scheduler: threads ordered by
+// (vtime, id), the id tie-break making interleavings fully
+// deterministic. It exploits the run-in-place contract directly — the
+// root stays in the heap while it runs, so FixMin is a single siftDown
+// (the second-earliest thread is always a root child), half the heap
+// work of a pop/push pair.
 type threadHeap struct {
 	items []heapItem
 }
@@ -173,13 +177,13 @@ func newThreadHeap(capacity int) *threadHeap {
 	return &threadHeap{items: make([]heapItem, 0, capacity)}
 }
 
-func (h *threadHeap) len() int      { return len(h.items) }
-func (h *threadHeap) peek() *thread { return h.items[0].th }
+func (h *threadHeap) Len() int     { return len(h.items) }
+func (h *threadHeap) Min() *thread { return h.items[0].th }
 
-// nextVtime returns the virtual time of the second-earliest thread, or
+// NextVtime returns the virtual time of the second-earliest thread, or
 // the maximum time when the root is alone. In a binary min-heap ordered
 // primarily by vtime, the minimum non-root vtime is at a root child.
-func (h *threadHeap) nextVtime() uint64 {
+func (h *threadHeap) NextVtime() uint64 {
 	switch len(h.items) {
 	case 1:
 		return ^uint64(0)
@@ -194,8 +198,8 @@ func (h *threadHeap) nextVtime() uint64 {
 	}
 }
 
-// fix restores heap order after the root thread's vtime has increased.
-func (h *threadHeap) fix() {
+// FixMin restores heap order after the root thread's vtime has increased.
+func (h *threadHeap) FixMin() {
 	h.items[0].vt = h.items[0].th.vtime
 	h.siftDown(0)
 }
@@ -207,7 +211,7 @@ func (a heapItem) less(b heapItem) bool {
 	return a.id < b.id
 }
 
-func (h *threadHeap) push(th *thread) {
+func (h *threadHeap) Push(th *thread) {
 	h.items = append(h.items, heapItem{vt: th.vtime, id: th.id, th: th})
 	i := len(h.items) - 1
 	for i > 0 {
@@ -220,7 +224,7 @@ func (h *threadHeap) push(th *thread) {
 	}
 }
 
-func (h *threadHeap) pop() *thread {
+func (h *threadHeap) PopMin() *thread {
 	top := h.items[0].th
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]

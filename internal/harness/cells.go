@@ -44,6 +44,20 @@ type Cell struct {
 	Scale    float64    `json:"scale"`
 	Fixed    bool       `json:"fixed,omitempty"`
 	PMU      pmu.Config `json:"pmu"`
+	// Sched is the engine scheduler the cell runs under; empty means the
+	// default heap scheduler (and is the canonical spelling for it, so
+	// heap cells keep their pre-scheduler IDs and cache entries).
+	Sched string `json:"sched,omitempty"`
+}
+
+// canonSched canonicalizes a scheduler name for cell identity: the
+// default heap scheduler is spelled "" so that runs which don't care
+// about the scheduler (the overwhelming majority) share one identity.
+func canonSched(s string) string {
+	if s == exec.SchedHeap {
+		return ""
+	}
+	return s
 }
 
 // Bounds on Cell fields. Decoded cells come from worker streams and
@@ -95,6 +109,9 @@ func (c Cell) Validate() error {
 			return fmt.Errorf("harness: cell PMU %s %d out of range", f.name, f.v)
 		}
 	}
+	if !exec.ValidScheduler(c.Sched) {
+		return fmt.Errorf("harness: unknown cell scheduler %q", c.Sched)
+	}
 	return nil
 }
 
@@ -102,7 +119,7 @@ func (c Cell) Validate() error {
 // every field, stable across processes. Sweep coordinators sort by it
 // and content-address cache entries with its hash.
 func (c Cell) ID() string {
-	return c.Kind + "|" + c.Workload +
+	id := c.Kind + "|" + c.Workload +
 		"|t" + strconv.Itoa(c.Threads) +
 		"|c" + strconv.Itoa(c.Cores) +
 		"|s" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
@@ -112,6 +129,12 @@ func (c Cell) ID() string {
 		"," + strconv.FormatUint(c.PMU.Jitter, 10) +
 		"," + strconv.FormatUint(c.PMU.HandlerCycles, 10) +
 		"," + strconv.FormatUint(c.PMU.SetupCycles, 10)
+	// Canonically-default (heap) cells keep their historical IDs, so
+	// pre-scheduler result caches stay warm.
+	if s := canonSched(c.Sched); s != "" {
+		id += "|d" + s
+	}
+	return id
 }
 
 // key converts to the runner's internal form. Valid by construction for
@@ -125,6 +148,7 @@ func (c Cell) key() cellKey {
 		scale:    c.Scale,
 		fixed:    c.Fixed,
 		pmu:      c.PMU,
+		sched:    canonSched(c.Sched),
 	}
 	switch c.Kind {
 	case KindProfiled:
@@ -150,6 +174,7 @@ func cellOf(k cellKey) Cell {
 		Scale:    k.scale,
 		Fixed:    k.fixed,
 		PMU:      k.pmu,
+		Sched:    k.sched,
 	}
 	switch k.kind {
 	case cellProfiled:

@@ -39,6 +39,12 @@ type Config struct {
 	// simulator is deterministic and cells share no state — so Workers
 	// trades only wall-clock time and caching.
 	Workers int
+	// Sched selects the engine's thread scheduler for every cell
+	// (exec.SchedHeap or exec.SchedCalendar; empty = heap). Schedulers
+	// produce byte-identical results — the cross-scheduler equivalence
+	// suite proves it — so, like Workers, Sched trades only wall-clock
+	// time.
+	Sched string
 }
 
 // withDefaults fills zero fields with the paper's evaluation setup.

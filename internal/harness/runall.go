@@ -154,13 +154,16 @@ type BenchEntry struct {
 	// Scale and Threads record the sweep configuration.
 	Scale   float64 `json:"scale"`
 	Threads int     `json:"threads"`
+	// Sched is the engine scheduler the sweep ran under ("heap" when
+	// unset), so scheduler wall-clock comparisons land in the trajectory.
+	Sched string `json:"sched"`
 	// Metrics holds each experiment's headline quantity.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
 // BenchSchema is the current BenchEntry schema identifier; v2 added the
-// git_commit and timestamp stamps.
-const BenchSchema = "cheetah-bench/v2"
+// git_commit and timestamp stamps, v3 the engine scheduler.
+const BenchSchema = "cheetah-bench/v3"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

@@ -59,6 +59,10 @@ type cellKey struct {
 	// native and baseline cells, so runs that differ only in profiler
 	// configuration share their native baselines.
 	pmu pmu.Config
+	// sched is the engine scheduler, canonicalized ("" = heap). Results
+	// are scheduler-independent by proven invariant, but the key stays
+	// honest: a cell records every input of the run that produced it.
+	sched string
 }
 
 // cellOut is a finished cell's payload; which fields are set depends on
@@ -160,7 +164,7 @@ func runCell(k cellKey) cellOut {
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown workload %q", k.workload))
 	}
-	sys := cheetah.New(cheetah.Config{Cores: k.cores})
+	sys := cheetah.New(cheetah.Config{Cores: k.cores, Engine: exec.Config{Sched: k.sched}})
 	prog := w.Build(sys, workload.Params{Threads: k.threads, Scale: k.scale, Fixed: k.fixed})
 	switch k.kind {
 	case cellProfiled:
@@ -200,6 +204,7 @@ func (r *Runner) native(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellNative, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
+		sched: canonSched(c.Sched),
 	})
 }
 
@@ -208,7 +213,7 @@ func (r *Runner) profiled(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellProfiled, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
-		pmu: c.PMU,
+		pmu: c.PMU, sched: canonSched(c.Sched),
 	})
 }
 
@@ -217,6 +222,7 @@ func (r *Runner) predator(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellPredator, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
+		sched: canonSched(c.Sched),
 	})
 }
 
@@ -225,6 +231,7 @@ func (r *Runner) sheriff(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellSheriff, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
+		sched: canonSched(c.Sched),
 	})
 }
 
@@ -235,5 +242,6 @@ func (r *Runner) rule(name string, c Config) *cell {
 	return r.submit(cellKey{
 		kind: cellRule, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale,
+		sched: canonSched(c.Sched),
 	})
 }

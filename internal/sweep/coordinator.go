@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -50,6 +51,14 @@ type Config struct {
 	// the sweep fails (default 3): a cell that crashes every worker it
 	// touches must not loop forever.
 	MaxAttempts int
+	// CellTimeout bounds how long one assigned cell may go without a
+	// reply (0 = wait forever). A worker that exceeds it — a hung remote
+	// shard, a wedged subprocess — is retired exactly like a dead one:
+	// its transport is closed and the in-flight cell is requeued on the
+	// survivors. The timeout must comfortably exceed the slowest cell's
+	// runtime; a too-tight value merely burns attempts (MaxAttempts
+	// still bounds the damage).
+	CellTimeout time.Duration
 	// Log receives human-readable progress diagnostics (optional).
 	Log io.Writer
 }
@@ -339,7 +348,7 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser) {
 		}
 		var m *Message
 		if err == nil {
-			m, err = ReadMessage(br)
+			m, err = co.readReply(br, t)
 		}
 		if err == nil && (m.Seq != seq || (m.Type != MsgResult && m.Type != MsgError)) {
 			err = fmt.Errorf("protocol violation: %q frame seq %d, want reply to seq %d", m.Type, m.Seq, seq)
@@ -360,6 +369,36 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser) {
 		bw.Flush()
 	}
 	co.send(event{kind: evDown, wasLive: true})
+}
+
+// readReply reads one reply frame, enforcing the per-cell timeout when
+// one is configured. On timeout the transport is closed — which
+// unblocks the pending read — and a timeout error is returned, so the
+// caller retires the worker and requeues its in-flight cell exactly
+// like a transport failure.
+func (co *coordinator) readReply(br *bufio.Reader, t io.Closer) (*Message, error) {
+	if co.cfg.CellTimeout <= 0 {
+		return ReadMessage(br)
+	}
+	type reply struct {
+		m   *Message
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		m, err := ReadMessage(br)
+		ch <- reply{m, err}
+	}()
+	timer := time.NewTimer(co.cfg.CellTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-timer.C:
+		t.Close()
+		<-ch // the closed transport unblocks the reader goroutine
+		return nil, fmt.Errorf("no reply within the %v cell timeout", co.cfg.CellTimeout)
+	}
 }
 
 func (co *coordinator) logf(format string, args ...any) {

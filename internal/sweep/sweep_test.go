@@ -194,6 +194,63 @@ func TestWorkerDeathRetries(t *testing.T) {
 	}
 }
 
+// stallingWorker handshakes, then swallows every assignment without
+// ever replying — a hung remote shard. It keeps reading so it notices
+// the coordinator abandoning it (the transport closing) and exits,
+// like a remote worker whose connection is torn down.
+func stallingWorker(t io.ReadWriteCloser) {
+	defer t.Close()
+	bw := bufio.NewWriter(t)
+	if err := WriteMessage(bw, &Message{Type: MsgHello, Proto: ProtoVersion}); err != nil {
+		return
+	}
+	bw.Flush()
+	br := bufio.NewReader(t)
+	for {
+		if _, err := ReadMessage(br); err != nil {
+			return
+		}
+	}
+}
+
+// TestCellTimeoutRequeues is the hung-shard fault injection: one of two
+// workers accepts a cell and never replies. With CellTimeout set the
+// coordinator must retire it, requeue the cell on the healthy worker,
+// and still merge the byte-identical report — without the timeout the
+// sweep would hang forever.
+func TestCellTimeoutRequeues(t *testing.T) {
+	t.Parallel()
+	c := testConfig(t)
+	serialCfg := c
+	serialCfg.Workers = 1
+	serialText := harness.RunAll(serialCfg).Format()
+
+	spawn := func(i int) (io.ReadWriteCloser, error) {
+		coordSide, workerSide := net.Pipe()
+		if i == 0 {
+			go stallingWorker(workerSide)
+		} else {
+			go Serve(workerSide, workerSide)
+		}
+		return coordSide, nil
+	}
+	// The timeout must exceed the slowest healthy cell by a wide margin
+	// (a spurious trip would just burn an attempt, but the test asserts
+	// on retry accounting); the stall is detected concurrently with the
+	// healthy worker draining the queue.
+	res, stats, err := Run(Config{Harness: c, Procs: 2, Spawn: spawn,
+		CellTimeout: 3 * time.Second, MaxAttempts: 5})
+	if err != nil {
+		t.Fatalf("sweep with stalled worker: %v", err)
+	}
+	if stats.Retries == 0 {
+		t.Error("no retries recorded; the stalled worker's cell should have been requeued")
+	}
+	if got := res.Format(); got != serialText {
+		t.Errorf("report after stalled worker diverges from serial:\n%s", firstDiff(serialText, got))
+	}
+}
+
 // TestAllWorkersDeadFails: when every worker is gone and cells remain,
 // the sweep must fail with a diagnosis instead of hanging.
 func TestAllWorkersDeadFails(t *testing.T) {
