@@ -6,6 +6,8 @@
 //	cheetah [-threads 16] [-scale 1.0] [-period 64] [-words] [-candidates] <workload>
 //	cheetah -record trace.out [-record-sampled] [-record-binary] <workload>
 //	cheetah -replay trace.out
+//	cheetah -import-perf samples.txt [-record out.trace] [-record-binary] [-replay out.trace]
+//	cheetah -import-ibs samples.csv [-record out.trace] [-record-binary] [-replay out.trace]
 //	cheetah -list
 //
 // Workloads are the built-in Phoenix/PARSEC analogs, e.g.:
@@ -19,6 +21,12 @@
 // the same flags prints a report byte-identical to the recorded run's.
 // A trace also replays anywhere a workload name is accepted, as
 // `trace:<path>`.
+//
+// -import-perf converts `perf script` output of a `perf mem record`
+// session, and -import-ibs an AMD IBS CSV dump, into a native trace
+// written to the -record path (default: the input path + ".trace", in
+// the binary framing with -record-binary). Passing -replay with the
+// same path additionally profiles the imported trace immediately.
 package main
 
 import (
@@ -30,11 +38,13 @@ import (
 	"strings"
 
 	cheetah "repro"
+	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/pmu"
 	"repro/internal/trace"
+	traceimport "repro/internal/trace/import"
 	"repro/internal/workload"
 )
 
@@ -59,6 +69,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	recordSampled := fs.Bool("record-sampled", false, "record only PMU-sampled accesses (compact; replay is approximate)")
 	recordBinary := fs.Bool("record-binary", false, "write the trace in the compact binary framing instead of text")
 	replay := fs.String("replay", "", "replay a recorded trace instead of running a workload")
+	importPerf := fs.String("import-perf", "",
+		"convert `perf script` output of a perf mem record session into a native trace (written to -record)")
+	importIBS := fs.String("import-ibs", "",
+		"convert an AMD IBS CSV dump into a native trace (written to -record)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -96,6 +110,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	rec := recordOptions{path: *record, sampled: *recordSampled, binary: *recordBinary}
 
+	if *importPerf != "" || *importIBS != "" {
+		if *importPerf != "" && *importIBS != "" {
+			fmt.Fprintln(stderr, "cheetah: -import-perf and -import-ibs are mutually exclusive")
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: cheetah -import-perf/-import-ibs <dump> takes no workload argument")
+			return 2
+		}
+		if code := runImport(*importPerf, *importIBS, rec, stderr); code != 0 {
+			return code
+		}
+		if *replay == "" {
+			return 0
+		}
+		// Fall through to profile the freshly imported trace; the
+		// recording options are spent (re-recording the replay onto the
+		// file being replayed would truncate it mid-read).
+		return runReplay(*replay, cfg, recordOptions{}, *sched, *words, *candidates, stdout, stderr)
+	}
+
 	if *replay != "" {
 		if fs.NArg() != 0 {
 			fmt.Fprintln(stderr, "usage: cheetah -replay <trace> takes no workload argument")
@@ -132,6 +167,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	printReport(stdout, report, res, *words, *candidates)
+	return 0
+}
+
+// runImport converts a real-PMU dump (exactly one of perfPath/ibsPath
+// is set) into a native trace at rec.path, defaulting to the input path
+// + ".trace". The import is staged through a temp file and renamed, so
+// a failed import never leaves a truncated trace behind.
+func runImport(perfPath, ibsPath string, rec recordOptions, stderr io.Writer) int {
+	inPath, kind := perfPath, "perf script"
+	importer := traceimport.ImportPerfScript
+	if ibsPath != "" {
+		inPath, kind = ibsPath, "IBS"
+		importer = traceimport.ImportIBS
+	}
+	outPath := rec.path
+	if outPath == "" {
+		outPath = inPath + ".trace"
+	}
+	in, err := os.Open(inPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: importing %s: %v\n", inPath, err)
+		return 1
+	}
+	defer in.Close()
+	out, err := atomicfile.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: importing %s: %v\n", inPath, err)
+		return 1
+	}
+	defer out.Abort() // no-op after a successful Commit
+	var enc trace.Encoder
+	if rec.binary {
+		enc = trace.NewBinaryEncoder(out)
+	} else {
+		enc = trace.NewTextEncoder(out)
+	}
+	stats, err := importer(in, enc, traceimport.Options{})
+	if err == nil {
+		err = out.Commit()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: importing %s: %v\n", inPath, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "cheetah: imported %d %s samples (%d skipped) as %d threads over %d phases to %s\n",
+		stats.Samples, kind, stats.Skipped, stats.Threads, stats.Phases, outPath)
 	return 0
 }
 

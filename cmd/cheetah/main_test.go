@@ -189,3 +189,128 @@ func TestRunReplayExcludesWorkloadArgument(t *testing.T) {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 }
+
+// perfFixture is the checked-in perf script dump the import tests share
+// with the importer package.
+const perfFixture = "../../internal/trace/import/testdata/perf-mem.script"
+
+// TestRunImportPerf: -import-perf converts a perf script dump into a
+// native trace, -replay profiles it, and the imported trace replays
+// byte-identically across invocations and schedulers (the acceptance
+// bar for real-PMU imports).
+func TestRunImportPerf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "imported.trace")
+	var out, errOut strings.Builder
+	code := run([]string{"-import-perf", perfFixture, "-record", path, "-record-binary"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("import exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "imported 114 perf script samples") {
+		t.Errorf("stderr missing import summary:\n%s", errOut.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("imported trace not written: %v", err)
+	}
+
+	var rep1, rep2, repCal, errs strings.Builder
+	if code := run([]string{"-replay", path}, &rep1, &errs); code != 0 {
+		t.Fatalf("replay exit code %d, stderr:\n%s", code, errs.String())
+	}
+	if !strings.Contains(rep1.String(), "fs_app") {
+		t.Errorf("report does not name the imported program:\n%s", rep1.String())
+	}
+	if code := run([]string{"-replay", path}, &rep2, &errs); code != 0 {
+		t.Fatalf("second replay exit code %d", code)
+	}
+	if rep1.String() != rep2.String() {
+		t.Error("imported trace replays non-deterministically")
+	}
+	if code := run([]string{"-sched", "calendar", "-replay", path}, &repCal, &errs); code != 0 {
+		t.Fatalf("calendar replay exit code %d", code)
+	}
+	if rep1.String() != repCal.String() {
+		t.Error("imported trace replay differs across schedulers")
+	}
+}
+
+// TestRunImportThenReplayInOneInvocation: -import-perf plus -replay on
+// the output path converts and immediately profiles.
+func TestRunImportThenReplayInOneInvocation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "imported.trace")
+	var out, errOut strings.Builder
+	code := run([]string{"-import-perf", perfFixture, "-record", path, "-replay", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"runtime", "phases"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("combined import+replay output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Separate invocations must print the same report bytes.
+	var rep strings.Builder
+	if code := run([]string{"-replay", path}, &rep, &errOut); code != 0 {
+		t.Fatalf("replay exit code %d", code)
+	}
+	if rep.String() != out.String() {
+		t.Error("combined import+replay differs from separate replay")
+	}
+}
+
+// TestRunImportIBS: the IBS CSV importer through the CLI, with the
+// default output path derived from the input.
+func TestRunImportIBS(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile("../../internal/trace/import/testdata/ibs-samples.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "samples.csv")
+	if err := os.WriteFile(in, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-import-ibs", in}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if fi, err := os.Stat(in + ".trace"); err != nil || fi.Size() == 0 {
+		t.Fatalf("default-path trace not written: %v", err)
+	}
+	var rep strings.Builder
+	if code := run([]string{"-replay", in + ".trace"}, &rep, &errOut); code != 0 {
+		t.Fatalf("replay exit code %d, stderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestRunImportFlagValidation: the import flags reject contradictory
+// usage and bad inputs with exit code 2/1 and a diagnosis.
+func TestRunImportFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-import-perf", "a", "-import-ibs", "b"}, &out, &errOut); code != 2 {
+		t.Errorf("both import flags: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Errorf("stderr missing exclusivity diagnosis:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-import-perf", perfFixture, "figure1"}, &out, &errOut); code != 2 {
+		t.Errorf("import with workload arg: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-import-perf", filepath.Join(t.TempDir(), "nope")}, &out, &errOut); code != 1 {
+		t.Errorf("missing input: exit %d, want 1", code)
+	}
+	errOut.Reset()
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(t.TempDir(), "out.trace")
+	if code := run([]string{"-import-perf", empty, "-record", out2}, &out, &errOut); code != 1 {
+		t.Errorf("empty input: exit %d, want 1", code)
+	}
+	if _, err := os.Stat(out2); !os.IsNotExist(err) {
+		t.Error("failed import left a trace file behind")
+	}
+}

@@ -6,7 +6,7 @@
 //	fsbench -experiment fig1|fig4|fig5|fig7|table1|compare|ablation|all
 //	        [-scale 1.0] [-threads 16] [-workers 0] [-app linear_regression]
 //	        [-bench-out BENCH_harness.json]
-//	        [-workers-procs 0] [-cache-dir DIR] [-listen ADDR]
+//	        [-workers-procs 0] [-cache-dir DIR] [-cache-max-bytes N] [-listen ADDR]
 //	fsbench -worker [-connect ADDR]
 //
 // Each experiment prints the same rows or series the paper reports.
@@ -23,12 +23,17 @@
 // re-executed with -worker), -listen ADDR additionally accepts remote
 // workers started with `fsbench -worker -connect ADDR` on other
 // machines, and -cache-dir keeps finished cells on disk so re-sweeps
-// and crashed-sweep resumes skip completed work. The merged sharded
-// report is byte-identical to the serial run — CI cmps the two.
+// and crashed-sweep resumes skip completed work (-cache-max-bytes caps
+// the directory, evicting least-recently-used entries from previous
+// sweeps). Workers that die mid-sweep are replaced up to a bound, so a
+// multi-proc sweep keeps its parallelism through crashes. The merged
+// sharded report is byte-identical to the serial run — CI cmps the two.
 //
-// Recorded memory-access traces sweep like any workload: pass
-// `trace:<path>` wherever an application name is accepted, e.g.
-// `fsbench -experiment fig5 -app trace:run.trace`.
+// Recorded and imported memory-access traces sweep like any workload:
+// pass `trace:<path>` wherever an application name is accepted, e.g.
+// `fsbench -experiment fig5 -app trace:run.trace`. Cells of trace
+// workloads are identified by the trace file's content hash, so cached
+// results never go stale when the file is rewritten.
 package main
 
 import (
@@ -39,12 +44,12 @@ import (
 	"net"
 	"os"
 	"os/exec"
-	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
 
+	"repro/internal/atomicfile"
 	engine "repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/sweep"
@@ -80,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"with -experiment all: accept remote TCP sweep workers on this address")
 	cacheDir := fs.String("cache-dir", "",
 		"on-disk result cache for sharded sweeps; cached cells are never re-run")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0,
+		"evict least-recently-used -cache-dir entries over this size (0 = unbounded; the running sweep's entries are never evicted)")
 	cellTimeout := fs.Duration("cell-timeout", 0,
 		"with a sharded sweep: requeue a cell whose worker sends no reply within this duration (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +139,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fsbench: -cache-dir requires a sharded sweep (-workers-procs or -listen)\n")
 		return 2
 	}
+	if *cacheMaxBytes != 0 && *cacheDir == "" {
+		fmt.Fprintf(stderr, "fsbench: -cache-max-bytes requires -cache-dir\n")
+		return 2
+	}
+	if *cacheMaxBytes < 0 {
+		fmt.Fprintf(stderr, "fsbench: -cache-max-bytes must be >= 0\n")
+		return 2
+	}
 	if *cellTimeout != 0 && !sharded {
 		fmt.Fprintf(stderr, "fsbench: -cell-timeout requires a sharded sweep (-workers-procs or -listen)\n")
 		return 2
@@ -146,13 +161,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		)
 		start := time.Now()
 		if sharded {
-			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cellTimeout, &res, stderr)
+			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, &res, stderr)
 			if code != 0 {
 				return code
 			}
 			cellsRun, workersN = stats.Executed, stats.Workers
-			fmt.Fprintf(stderr, "fsbench: sweep of %d cells: %d cached, %d executed on %d workers, %d retries\n",
-				stats.Cells, stats.Cached, stats.Executed, stats.Workers, stats.Retries)
+			fmt.Fprintf(stderr, "fsbench: sweep of %d cells: %d cached, %d executed on %d workers, %d retries, %d respawns\n",
+				stats.Cells, stats.Cached, stats.Executed, stats.Workers, stats.Retries, stats.Respawns)
 		} else {
 			r := harness.NewRunner(cfg.Workers)
 			res = harness.RunAllWith(r, cfg)
@@ -179,6 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Scale:       *scale,
 				Threads:     *threads,
 				Sched:       schedName,
+				TraceFormat: trace.BinaryVersion,
 				Metrics:     res.Metrics(),
 			}
 			b, err := entry.MarshalIndent()
@@ -221,7 +237,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // procs spawned subprocess workers (this binary with -worker), plus any
 // remote workers that dial listenAddr, with an optional on-disk result
 // cache and per-cell timeout. The merged *harness.Results lands in *res.
-func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cellTimeout time.Duration, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
+func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
 	sc := sweep.Config{Harness: cfg, Procs: procs, CellTimeout: cellTimeout, Log: stderr}
 	if procs > 0 {
 		self, err := os.Executable()
@@ -248,6 +264,7 @@ func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cell
 			fmt.Fprintf(stderr, "fsbench: %v\n", err)
 			return sweep.Stats{}, 1
 		}
+		cache.SetMaxBytes(cacheMaxBytes)
 		sc.Cache = cache
 	}
 	out, stats, err := sweep.Run(sc)
@@ -283,22 +300,5 @@ func gitCommit() string {
 // directory plus rename, so an interrupted run can never leave a
 // truncated trajectory file behind.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicfile.WriteFile(path, data, 0o644)
 }

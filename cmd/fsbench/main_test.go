@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/sweep"
+	"repro/internal/trace"
+	traceimport "repro/internal/trace/import"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -275,5 +277,66 @@ func TestShardedSweepCLI(t *testing.T) {
 	}
 	if string(serial) != string(sharded) {
 		t.Errorf("sharded CLI output diverges from serial:\nserial:\n%s\nsharded:\n%s", serial, sharded)
+	}
+}
+
+// TestCacheMaxBytesFlagValidation: the eviction cap requires a cache
+// directory and a non-negative value.
+func TestCacheMaxBytesFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "all", "-workers-procs", "2", "-cache-max-bytes", "1024"}, &out, &errOut); code != 2 {
+		t.Errorf("-cache-max-bytes without -cache-dir: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-cache-dir") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-experiment", "all", "-workers-procs", "2",
+		"-cache-dir", t.TempDir(), "-cache-max-bytes", "-5"}, &out, &errOut); code != 2 {
+		t.Errorf("negative -cache-max-bytes: exit %d, want 2", code)
+	}
+}
+
+// TestImportedTraceSmoke is fsbench's imported-trace smoke workload: a
+// real perf script fixture imports to a native trace, sweeps through
+// the fig5 case study as a `trace:` pseudo-workload, and prints
+// byte-identical output across repeated runs and schedulers.
+func TestImportedTraceSmoke(t *testing.T) {
+	src, err := os.Open("../../internal/trace/import/testdata/perf-mem.script")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	path := filepath.Join(t.TempDir(), "imported.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traceimport.ImportPerfScript(src, trace.NewBinaryEncoder(f), traceimport.Options{}); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	args := []string{"-experiment", "fig5", "-app", "trace:" + path}
+	var first, second, calendar, errOut strings.Builder
+	if code := run(args, &first, &errOut); code != 0 {
+		t.Fatalf("fig5 on imported trace: exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(first.String(), "fs_app") {
+		t.Errorf("fig5 report does not name the imported program:\n%s", first.String())
+	}
+	if code := run(args, &second, &errOut); code != 0 {
+		t.Fatalf("second run: exit %d", code)
+	}
+	if first.String() != second.String() {
+		t.Error("imported-trace fig5 output is not reproducible")
+	}
+	if code := run(append([]string{"-sched", "calendar"}, args...), &calendar, &errOut); code != 0 {
+		t.Fatalf("calendar run: exit %d", code)
+	}
+	if first.String() != calendar.String() {
+		t.Error("imported-trace fig5 output differs across schedulers")
 	}
 }

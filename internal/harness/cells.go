@@ -1,11 +1,15 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -48,6 +52,39 @@ type Cell struct {
 	// default heap scheduler (and is the canonical spelling for it, so
 	// heap cells keep their pre-scheduler IDs and cache entries).
 	Sched string `json:"sched,omitempty"`
+	// TraceHash is the sha256 of the trace file's content for `trace:`
+	// pseudo-workloads (empty otherwise, or when the file is unreadable
+	// at planning time). A trace cell's outcome depends on the file's
+	// bytes, not its path, so the hash joins the identity: rewriting a
+	// trace in place orphans its old cache entries instead of serving
+	// stale results, and a worker whose copy of the file diverges from
+	// the coordinator's refuses the cell instead of merging a mismatched
+	// report.
+	TraceHash string `json:"trace_hash,omitempty"`
+}
+
+// TraceContentHash returns the identity hash of a trace file's content
+// (the value carried in Cell.TraceHash), or "" if the file is
+// unreadable. The file is re-read on every call; callers that hash
+// repeatedly memoize per path (Runner.traceHashFor), with the same
+// lifetime as their cell memoization.
+func TraceContentHash(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// traceHashFor derives the TraceHash identity component for a workload
+// name: the content hash for trace pseudo-workloads, "" for everything
+// else.
+func traceHashFor(name string) string {
+	if !workload.IsTraceName(name) {
+		return ""
+	}
+	return TraceContentHash(strings.TrimPrefix(name, workload.TracePrefix))
 }
 
 // canonSched canonicalizes a scheduler name for cell identity: the
@@ -112,6 +149,17 @@ func (c Cell) Validate() error {
 	if !exec.ValidScheduler(c.Sched) {
 		return fmt.Errorf("harness: unknown cell scheduler %q", c.Sched)
 	}
+	if c.TraceHash != "" {
+		if !workload.IsTraceName(c.Workload) {
+			return fmt.Errorf("harness: cell %q is not a trace workload but carries a trace hash", c.Workload)
+		}
+		if len(c.TraceHash) != sha256.Size*2 {
+			return fmt.Errorf("harness: cell trace hash length %d, want %d", len(c.TraceHash), sha256.Size*2)
+		}
+		if _, err := hex.DecodeString(c.TraceHash); err != nil {
+			return fmt.Errorf("harness: cell trace hash is not hex: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -130,9 +178,13 @@ func (c Cell) ID() string {
 		"," + strconv.FormatUint(c.PMU.HandlerCycles, 10) +
 		"," + strconv.FormatUint(c.PMU.SetupCycles, 10)
 	// Canonically-default (heap) cells keep their historical IDs, so
-	// pre-scheduler result caches stay warm.
+	// pre-scheduler result caches stay warm; likewise non-trace cells
+	// (every registered workload) keep their pre-hash IDs.
 	if s := canonSched(c.Sched); s != "" {
 		id += "|d" + s
+	}
+	if c.TraceHash != "" {
+		id += "|th" + c.TraceHash
 	}
 	return id
 }
@@ -142,13 +194,14 @@ func (c Cell) ID() string {
 // first.
 func (c Cell) key() cellKey {
 	k := cellKey{
-		workload: c.Workload,
-		threads:  c.Threads,
-		cores:    c.Cores,
-		scale:    c.Scale,
-		fixed:    c.Fixed,
-		pmu:      c.PMU,
-		sched:    canonSched(c.Sched),
+		workload:  c.Workload,
+		threads:   c.Threads,
+		cores:     c.Cores,
+		scale:     c.Scale,
+		fixed:     c.Fixed,
+		pmu:       c.PMU,
+		sched:     canonSched(c.Sched),
+		traceHash: c.TraceHash,
 	}
 	switch c.Kind {
 	case KindProfiled:
@@ -168,13 +221,14 @@ func (c Cell) key() cellKey {
 // cellOf converts an internal key to its portable form.
 func cellOf(k cellKey) Cell {
 	c := Cell{
-		Workload: k.workload,
-		Threads:  k.threads,
-		Cores:    k.cores,
-		Scale:    k.scale,
-		Fixed:    k.fixed,
-		PMU:      k.pmu,
-		Sched:    k.sched,
+		Workload:  k.workload,
+		Threads:   k.threads,
+		Cores:     k.cores,
+		Scale:     k.scale,
+		Fixed:     k.fixed,
+		PMU:       k.pmu,
+		Sched:     k.sched,
+		TraceHash: k.traceHash,
 	}
 	switch k.kind {
 	case cellProfiled:
@@ -338,6 +392,17 @@ func RunCell(c Cell) (res CellResult, err error) {
 	}
 	if _, ok := workload.ByName(c.Workload); !ok {
 		return CellResult{}, fmt.Errorf("harness: unknown workload %q", c.Workload)
+	}
+	// A trace cell's identity includes the coordinator's content hash;
+	// if this machine's copy of the file differs (a divergent replica on
+	// a remote shard, or the file was rewritten mid-sweep), running it
+	// would merge a report for different data under the coordinator's
+	// cell ID.
+	if c.TraceHash != "" {
+		if local := traceHashFor(c.Workload); local != c.TraceHash {
+			return CellResult{}, fmt.Errorf("harness: cell %s: local trace content hash %.12s does not match the coordinator's %.12s",
+				c.ID(), local, c.TraceHash)
+		}
 	}
 	defer func() {
 		if p := recover(); p != nil {

@@ -157,13 +157,18 @@ type BenchEntry struct {
 	// Sched is the engine scheduler the sweep ran under ("heap" when
 	// unset), so scheduler wall-clock comparisons land in the trajectory.
 	Sched string `json:"sched"`
+	// TraceFormat is the binary trace framing version the build writes
+	// (trace.BinaryVersion), so trajectory entries pin which format
+	// recorded/imported traces in that revision's artifacts use.
+	TraceFormat int `json:"trace_format"`
 	// Metrics holds each experiment's headline quantity.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
 // BenchSchema is the current BenchEntry schema identifier; v2 added the
-// git_commit and timestamp stamps, v3 the engine scheduler.
-const BenchSchema = "cheetah-bench/v3"
+// git_commit and timestamp stamps, v3 the engine scheduler, v4 the
+// binary trace framing version.
+const BenchSchema = "cheetah-bench/v4"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

@@ -63,6 +63,10 @@ type cellKey struct {
 	// are scheduler-independent by proven invariant, but the key stays
 	// honest: a cell records every input of the run that produced it.
 	sched string
+	// traceHash is the content hash of the trace file for `trace:`
+	// workloads ("" otherwise): the cell's outcome depends on the file's
+	// bytes, so the bytes join the memoization key.
+	traceHash string
 }
 
 // cellOut is a finished cell's payload; which fields are set depends on
@@ -98,6 +102,12 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cells map[cellKey]*cell
+	// traceHashes memoizes trace-file content hashes per path for this
+	// runner's lifetime. A runner already memoizes whole cells forever,
+	// so re-hashing the file on every submit could never change which
+	// result is served — it would only re-read the file; one hash per
+	// path per runner keeps sweeps over large imported traces cheap.
+	traceHashes map[string]string
 }
 
 // NewRunner creates a runner executing at most workers cells at once.
@@ -140,8 +150,13 @@ func (r *Runner) CellsRun() int {
 }
 
 // submit returns the memoized cell for k, launching it on the pool the
-// first time the key is seen.
+// first time the key is seen. Trace workloads get their content hash
+// folded into the key here, so every path that submits cells — the
+// experiments, EnumerateCells, benchmarks — shares one identity rule.
 func (r *Runner) submit(k cellKey) *cell {
+	if k.traceHash == "" {
+		k.traceHash = r.traceHashFor(k.workload)
+	}
 	r.mu.Lock()
 	c, ok := r.cells[k]
 	if !ok {
@@ -156,6 +171,29 @@ func (r *Runner) submit(k cellKey) *cell {
 	}
 	r.mu.Unlock()
 	return c
+}
+
+// traceHashFor returns the memoized content hash for a trace workload
+// ("" for registered workloads), hashing the file once per path per
+// runner.
+func (r *Runner) traceHashFor(name string) string {
+	if !workload.IsTraceName(name) {
+		return ""
+	}
+	r.mu.Lock()
+	h, ok := r.traceHashes[name]
+	r.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = traceHashFor(name)
+	r.mu.Lock()
+	if r.traceHashes == nil {
+		r.traceHashes = make(map[string]string)
+	}
+	r.traceHashes[name] = h
+	r.mu.Unlock()
+	return h
 }
 
 // runCell executes one cell on a fresh system.

@@ -6,9 +6,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/harness"
 )
 
@@ -21,8 +27,23 @@ const CacheSchema = "cheetah-sweep-cache/v1"
 // by the hash of the cache schema and the cell's canonical ID. Re-sweeps
 // and resumed crashed sweeps look cells up before scheduling them, so
 // already-finished work is never re-run.
+//
+// A cache may be size-capped with SetMaxBytes: when the stored entries
+// exceed the cap, the least-recently-used ones (oldest access time) are
+// evicted — except entries this Cache instance wrote or served, which
+// belong to the running sweep and are never evicted, even over budget.
 type Cache struct {
-	dir string
+	dir      string
+	maxBytes int64
+
+	mu sync.Mutex
+	// protected holds the entry paths the running sweep touched (Put or
+	// Get hit): its working set, exempt from eviction.
+	protected map[string]bool
+	// size estimates the stored bytes (lazily initialized by a walk);
+	// eviction recounts authoritatively, this only schedules it.
+	size  int64
+	sized bool
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
@@ -30,7 +51,15 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: opening cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, protected: make(map[string]bool)}, nil
+}
+
+// SetMaxBytes caps the cache's on-disk size; 0 (the default) means
+// unbounded. The cap is enforced after each Put.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	c.maxBytes = n
+	c.mu.Unlock()
 }
 
 // CacheKey returns the content hash addressing a cell's entry.
@@ -72,6 +101,14 @@ func (c *Cache) Get(cell harness.Cell) (harness.CellResult, bool) {
 	if err != nil {
 		return harness.CellResult{}, false
 	}
+	// A hit joins the running sweep's working set: touch the entry so
+	// its recency survives relatime/noatime mounts, and protect it from
+	// eviction for this sweep's lifetime.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	c.mu.Lock()
+	c.protected[path] = true
+	c.mu.Unlock()
 	return res, true
 }
 
@@ -115,17 +152,86 @@ func (c *Cache) Put(cell harness.Cell, res harness.CellResult) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
-	if err != nil {
+	if err := atomicfile.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return err
+	c.mu.Lock()
+	c.protected[path] = true
+	if c.sized {
+		c.size += int64(len(b))
 	}
-	if err := tmp.Close(); err != nil {
-		return err
+	c.mu.Unlock()
+	c.evictOverBudget()
+	return nil
+}
+
+// cacheEntryInfo is one stored file as seen by the eviction scan.
+type cacheEntryInfo struct {
+	path  string
+	size  int64
+	atime time.Time
+}
+
+// evictOverBudget enforces the size cap: when the stored entries exceed
+// it, unprotected entries are removed oldest-access-first until the
+// cache fits (or only the running sweep's own entries remain, which may
+// legitimately exceed the cap and are never evicted). Failures are
+// ignored — eviction is hygiene, not correctness; a file that will not
+// die today dies on a later sweep.
+func (c *Cache) evictOverBudget() {
+	c.mu.Lock()
+	limit := c.maxBytes
+	if limit <= 0 || (c.sized && c.size <= limit) {
+		c.mu.Unlock()
+		return
 	}
-	return os.Rename(tmp.Name(), path)
+	c.mu.Unlock()
+
+	entries, total := c.scan()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.size, c.sized = total, true
+	if total <= limit {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].atime.Equal(entries[j].atime) {
+			return entries[i].atime.Before(entries[j].atime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if c.size <= limit {
+			break
+		}
+		if c.protected[e.path] {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			c.size -= e.size
+		}
+	}
+}
+
+// scan walks the cache directory, returning every stored entry with its
+// access time and the total stored size. Temp files mid-write are not
+// entries and are skipped.
+func (c *Cache) scan() ([]cacheEntryInfo, int64) {
+	var (
+		entries []cacheEntryInfo
+		total   int64
+	)
+	_ = filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		total += fi.Size()
+		entries = append(entries, cacheEntryInfo{path: path, size: fi.Size(), atime: atimeOf(fi)})
+		return nil
+	})
+	return entries, total
 }

@@ -1,0 +1,19 @@
+//go:build linux
+
+package sweep
+
+import (
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// atimeOf extracts a file's access time from the stat record. Get hits
+// mirror atime into mtime via Chtimes, so LRU ordering also holds on
+// noatime mounts.
+func atimeOf(fi fs.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package sweep
+
+import (
+	"io/fs"
+	"time"
+)
+
+// atimeOf falls back to the modification time where the stat access
+// time is not portably reachable; Get hits touch both via Chtimes, so
+// recency ordering still holds.
+func atimeOf(fi fs.FileInfo) time.Time { return fi.ModTime() }

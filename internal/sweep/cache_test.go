@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
+
+	"repro/internal/harness"
 )
 
 // TestCacheRoundTrip: Put then Get must return the stored result
@@ -83,5 +86,130 @@ func TestCacheCorruptEntryIsAMiss(t *testing.T) {
 	}
 	if _, ok := cache.Get(other); ok {
 		t.Error("entry copied under another cell's key returned a hit")
+	}
+}
+
+// agedEntry stores a cell result and backdates the entry file, so
+// eviction order is deterministic regardless of test speed.
+func agedEntry(t *testing.T, c *Cache, cell harness.Cell, age time.Duration) string {
+	t.Helper()
+	if err := c.Put(cell, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(CacheKey(cell))
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// cellWithThreads varies a sample cell's identity.
+func cellWithThreads(n int) harness.Cell {
+	c := sampleCell()
+	c.Threads = n
+	return c
+}
+
+// TestCacheEvictsOldestOverCap: a size-capped cache sheds its
+// least-recently-used entries from previous sweeps — and only those —
+// when a Put takes it over budget.
+func TestCacheEvictsOldestOverCap(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	// A previous sweep leaves four entries with distinct ages.
+	prev, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	var entrySize int64
+	for i := 0; i < 4; i++ {
+		p := agedEntry(t, prev, cellWithThreads(2+i), time.Duration(40-10*i)*time.Minute)
+		paths = append(paths, p)
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entrySize = fi.Size()
+	}
+
+	// A new sweep opens the same directory capped at about three
+	// entries, reuses one old entry (a Get hit: now protected and
+	// freshly touched), and stores one new cell.
+	cur, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.SetMaxBytes(3*entrySize + entrySize/2)
+	if _, ok := cur.Get(cellWithThreads(2)); !ok {
+		t.Fatal("warm entry missed")
+	}
+	if err := cur.Put(cellWithThreads(100), sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The two oldest unprotected leftovers (threads=3, threads=4) must
+	// be gone; the hit entry, the youngest leftover and the new entry
+	// survive.
+	if _, err := os.Stat(paths[1]); !os.IsNotExist(err) {
+		t.Error("oldest unprotected entry survived eviction")
+	}
+	if _, err := os.Stat(paths[2]); !os.IsNotExist(err) {
+		t.Error("second-oldest unprotected entry survived eviction")
+	}
+	if _, ok := cur.Get(cellWithThreads(2)); !ok {
+		t.Error("entry hit by the running sweep was evicted")
+	}
+	if _, ok := cur.Get(cellWithThreads(5)); !ok {
+		t.Error("youngest old entry was evicted despite fitting the budget")
+	}
+	if _, ok := cur.Get(cellWithThreads(100)); !ok {
+		t.Error("the running sweep's own entry was evicted")
+	}
+}
+
+// TestCacheNeverEvictsRunningSweepEntries: entries written by the
+// running sweep are exempt even when they alone exceed the cap — a
+// sweep must never cannibalize its own resume state.
+func TestCacheNeverEvictsRunningSweepEntries(t *testing.T) {
+	t.Parallel()
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetMaxBytes(1) // absurdly small: everything is over budget
+	for i := 0; i < 3; i++ {
+		if err := cache.Put(cellWithThreads(2+i), sampleResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := cache.Get(cellWithThreads(2 + i)); !ok {
+			t.Errorf("running sweep's entry %d was evicted", i)
+		}
+	}
+}
+
+// TestCacheUncappedNeverEvicts: the default (no cap) keeps everything —
+// the pre-eviction behaviour.
+func TestCacheUncappedNeverEvicts(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "cache")
+	prev, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agedEntry(t, prev, cellWithThreads(2), time.Hour)
+	cur, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Put(cellWithThreads(3), sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Get(cellWithThreads(2)); !ok {
+		t.Error("uncapped cache evicted an old entry")
 	}
 }

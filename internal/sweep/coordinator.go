@@ -25,6 +25,8 @@ type Stats struct {
 	Retries int
 	// Workers is how many workers completed the hello handshake.
 	Workers int
+	// Respawns counts replacement local workers spawned after deaths.
+	Respawns int
 }
 
 // Config configures a sharded sweep.
@@ -51,6 +53,15 @@ type Config struct {
 	// the sweep fails (default 3): a cell that crashes every worker it
 	// touches must not loop forever.
 	MaxAttempts int
+	// MaxRespawns bounds how many replacement workers the coordinator
+	// spawns (via Spawn) after local workers die mid-sweep, so a 4-proc
+	// sweep that loses 3 workers recovers its parallelism instead of
+	// limping serially on the survivor. 0 means the default of 2×Procs;
+	// negative disables re-spawning. Only spawned local workers are
+	// replaced — remote TCP workers reconnect on their own terms — and a
+	// replacement that dies consumes another unit of the same budget, so
+	// a spawn command that always crashes cannot respawn forever.
+	MaxRespawns int
 	// CellTimeout bounds how long one assigned cell may go without a
 	// reply (0 = wait forever). A worker that exceeds it — a hung remote
 	// shard, a wedged subprocess — is retired exactly like a dead one:
@@ -74,6 +85,9 @@ type event struct {
 	// wasLive distinguishes a worker dying after its handshake from one
 	// that never joined, for the live/joining accounting.
 	wasLive bool
+	// local marks workers created via Spawn (subprocesses), the only
+	// kind the coordinator can re-spawn.
+	local bool
 }
 
 type eventKind uint8
@@ -169,17 +183,23 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 		co.queue <- cell
 	}
 	joining := 0
-	for i := 0; i < co.cfg.Procs; i++ {
-		t, err := co.cfg.Spawn(i)
+	spawnIdx := 0
+	spawn := func() bool {
+		t, err := co.cfg.Spawn(spawnIdx)
+		spawnIdx++
 		if err != nil {
-			// Spawning fewer workers than asked is survivable as long
-			// as at least one comes up; the all-dead check below
-			// handles total failure.
-			co.logf("sweep: spawning worker %d: %v", i, err)
-			continue
+			co.logf("sweep: spawning worker %d: %v", spawnIdx-1, err)
+			return false
 		}
-		co.addWorker(t)
+		co.addWorker(t, true)
 		joining++
+		return true
+	}
+	for i := 0; i < co.cfg.Procs; i++ {
+		// Spawning fewer workers than asked is survivable as long as at
+		// least one comes up; the all-dead check below handles total
+		// failure.
+		spawn()
 	}
 	if joining == 0 && co.cfg.Listener == nil {
 		// No worker ever came up and none can arrive: fail now rather
@@ -201,6 +221,10 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 		co.wg.Wait()
 	}()
 
+	respawnBudget := co.cfg.MaxRespawns
+	if respawnBudget == 0 {
+		respawnBudget = 2 * co.cfg.Procs
+	}
 	attempts := make(map[string]int, len(pending))
 	live := 0
 	remaining := len(pending)
@@ -225,6 +249,16 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 				if err := co.requeue(ev.cell, attempts, fmt.Errorf("worker died running it")); err != nil {
 					co.abort()
 					return err
+				}
+			}
+			// Replace a dead local worker while work remains and the
+			// budget lasts, so the sweep keeps its parallelism instead of
+			// finishing on whatever happens to survive.
+			if ev.local && co.cfg.Spawn != nil && remaining > 0 && stats.Respawns < respawnBudget {
+				if spawn() {
+					stats.Respawns++
+					co.logf("sweep: re-spawned worker %d to replace a dead one (%d/%d respawns used)",
+						spawnIdx-1, stats.Respawns, respawnBudget)
 				}
 			}
 			if live == 0 && joining == 0 && co.cfg.Listener == nil {
@@ -283,7 +317,7 @@ func (co *coordinator) abort() {
 // addWorker registers a transport and starts its goroutine. The closed
 // check and wg.Add share the critical section, so a worker either joins
 // before the cleanup's wg.Wait observes the counter or not at all.
-func (co *coordinator) addWorker(t io.ReadWriteCloser) {
+func (co *coordinator) addWorker(t io.ReadWriteCloser, local bool) {
 	co.mu.Lock()
 	if co.closed {
 		co.mu.Unlock()
@@ -293,7 +327,7 @@ func (co *coordinator) addWorker(t io.ReadWriteCloser) {
 	co.transports = append(co.transports, t)
 	co.wg.Add(1)
 	co.mu.Unlock()
-	go co.runWorker(t)
+	go co.runWorker(t, local)
 }
 
 // acceptLoop turns incoming TCP connections into workers until the
@@ -304,7 +338,7 @@ func (co *coordinator) acceptLoop() {
 		if err != nil {
 			return
 		}
-		co.addWorker(conn)
+		co.addWorker(conn, false)
 	}
 }
 
@@ -321,7 +355,7 @@ func (co *coordinator) send(ev event) {
 // queue one at a time until the queue closes or the worker fails. Any
 // transport or protocol failure retires the worker; an in-flight cell
 // rides along on the evDown event for requeueing.
-func (co *coordinator) runWorker(t io.ReadWriteCloser) {
+func (co *coordinator) runWorker(t io.ReadWriteCloser, local bool) {
 	defer co.wg.Done()
 	defer t.Close()
 	br := bufio.NewReader(t)
@@ -329,11 +363,11 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser) {
 
 	hello, err := ReadMessage(br)
 	if err != nil {
-		co.send(event{kind: evDown, err: fmt.Errorf("handshake: %w", err)})
+		co.send(event{kind: evDown, local: local, err: fmt.Errorf("handshake: %w", err)})
 		return
 	}
 	if hello.Type != MsgHello || hello.Proto != ProtoVersion {
-		co.send(event{kind: evDown,
+		co.send(event{kind: evDown, local: local,
 			err: fmt.Errorf("handshake: got %q proto %q, want %q", hello.Type, hello.Proto, ProtoVersion)})
 		return
 	}
@@ -354,7 +388,7 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser) {
 			err = fmt.Errorf("protocol violation: %q frame seq %d, want reply to seq %d", m.Type, m.Seq, seq)
 		}
 		if err != nil {
-			co.send(event{kind: evDown, wasLive: true, cell: cell, hasCell: true, err: err})
+			co.send(event{kind: evDown, wasLive: true, local: local, cell: cell, hasCell: true, err: err})
 			return
 		}
 		if m.Type == MsgResult {
@@ -368,7 +402,7 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser) {
 	if err := WriteMessage(bw, &Message{Type: MsgShutdown}); err == nil {
 		bw.Flush()
 	}
-	co.send(event{kind: evDown, wasLive: true})
+	co.send(event{kind: evDown, wasLive: true, local: local})
 }
 
 // readReply reads one reply frame, enforcing the per-cell timeout when

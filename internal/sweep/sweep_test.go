@@ -337,3 +337,93 @@ func firstDiff(a, b string) string {
 	}
 	return fmt.Sprintf("outputs differ in length: %d vs %d lines", len(al), len(bl))
 }
+
+// TestDeadWorkersAreRespawned is the worker-loss recovery fault
+// injection: 3 of 4 subprocess workers die early in the sweep. The
+// coordinator must spawn replacements — not limp serially on the lone
+// survivor — and still merge the byte-identical report.
+func TestDeadWorkersAreRespawned(t *testing.T) {
+	c := testConfig(t)
+	serialCfg := c
+	serialCfg.Workers = 1
+	serialText := harness.RunAll(serialCfg).Format()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := func(i int) (io.ReadWriteCloser, error) {
+		if i < 3 {
+			// The first three workers each serve one cell, then die
+			// holding their second.
+			return SpawnWorkerProc(exe, nil,
+				[]string{workerEnv + "=die-after", dieAfterEnv + "=1"}, os.Stderr)
+		}
+		return SpawnWorkerProc(exe, nil, []string{workerEnv + "=serve"}, os.Stderr)
+	}
+	res, stats, err := Run(Config{Harness: c, Procs: 4, Spawn: spawn, MaxAttempts: 8})
+	if err != nil {
+		t.Fatalf("sweep with dying workers: %v", err)
+	}
+	if stats.Respawns != 3 {
+		t.Errorf("Respawns = %d, want 3 (one per dead worker)", stats.Respawns)
+	}
+	if stats.Workers != 7 {
+		t.Errorf("Workers = %d, want 7 (4 originals + 3 replacements)", stats.Workers)
+	}
+	if stats.Retries < 3 {
+		t.Errorf("Retries = %d, want >= 3 (each death lost an in-flight cell)", stats.Retries)
+	}
+	if got := res.Format(); got != serialText {
+		t.Errorf("report after respawns diverges from serial:\n%s", firstDiff(serialText, got))
+	}
+}
+
+// TestRespawnBudgetBoundsChurn: when every spawned worker dies at its
+// first cell, re-spawning must stop at the configured bound and the
+// sweep must fail with a diagnosis instead of spawning forever.
+func TestRespawnBudgetBoundsChurn(t *testing.T) {
+	c := testConfig(t)
+	spawned := 0
+	_, stats, err := Run(Config{Harness: c, Procs: 1, MaxRespawns: 2, MaxAttempts: 100,
+		Spawn: func(i int) (io.ReadWriteCloser, error) {
+			spawned++
+			exe, exeErr := os.Executable()
+			if exeErr != nil {
+				return nil, exeErr
+			}
+			return SpawnWorkerProc(exe, nil,
+				[]string{workerEnv + "=die-after", dieAfterEnv + "=0"}, os.Stderr)
+		}})
+	if err == nil {
+		t.Fatal("sweep with only crashing workers succeeded")
+	}
+	if !strings.Contains(err.Error(), "workers") {
+		t.Errorf("error does not diagnose worker loss: %v", err)
+	}
+	if stats.Respawns != 2 {
+		t.Errorf("Respawns = %d, want exactly the budget of 2", stats.Respawns)
+	}
+	if spawned != 3 {
+		t.Errorf("Spawn called %d times, want 3 (1 original + 2 respawns)", spawned)
+	}
+
+	// A negative budget disables re-spawning entirely.
+	spawned = 0
+	_, stats, err = Run(Config{Harness: c, Procs: 1, MaxRespawns: -1,
+		Spawn: func(i int) (io.ReadWriteCloser, error) {
+			spawned++
+			exe, exeErr := os.Executable()
+			if exeErr != nil {
+				return nil, exeErr
+			}
+			return SpawnWorkerProc(exe, nil,
+				[]string{workerEnv + "=die-after", dieAfterEnv + "=0"}, os.Stderr)
+		}})
+	if err == nil {
+		t.Fatal("sweep with crashing worker and respawns disabled succeeded")
+	}
+	if stats.Respawns != 0 || spawned != 1 {
+		t.Errorf("MaxRespawns=-1: Respawns = %d, Spawn calls = %d, want 0 and 1", stats.Respawns, spawned)
+	}
+}

@@ -10,22 +10,97 @@ import (
 	"repro/internal/mem"
 )
 
-// binaryMagic opens every binary trace. The leading NUL distinguishes
-// binary from text framing ('#') in one byte.
-var binaryMagic = []byte{0x00, 'C', 'H', 'T', 'R', 'B', '0' + Version, '\n'}
+// Binary framing versions. The framing carries the same schema as the
+// text form; the version selects only how records are laid out on disk.
+// v1 encodes every column as an absolute uvarint; v2 delta-encodes the
+// hot columns (per-thread addr/ip/size/lat/phase on access records,
+// addr/seq runs on the metadata snapshot) as zigzag varints, which
+// shrinks typical traces severalfold. The decoder auto-detects the
+// version from the magic, so v1 corpus files decode forever.
+const (
+	BinaryV1 = 1
+	BinaryV2 = 2
+	// BinaryVersion is the framing NewBinaryEncoder writes.
+	BinaryVersion = BinaryV2
+)
+
+// binaryMagicFor returns the magic opening a binary trace of the given
+// framing version. The leading NUL distinguishes binary from text
+// framing ('#') in one byte.
+func binaryMagicFor(version int) []byte {
+	return []byte{0x00, 'C', 'H', 'T', 'R', 'B', '0' + byte(version), '\n'}
+}
 
 // BinaryEncoder writes the compact varint framing.
 type BinaryEncoder struct {
-	w   *bufio.Writer
-	buf []byte
-	err error
+	w       *bufio.Writer
+	buf     []byte
+	err     error
+	version int
+	// Per-thread column predictors (v2). Values, not pointers: the map is
+	// bounded by the distinct thread ids of the trace being written.
+	prev map[mem.ThreadID]accessState
+	meta metaState
 }
 
-// NewBinaryEncoder creates a binary encoder over w. The magic is written
-// immediately; any error surfaces from Encode or Close.
+// accessState is one thread's last-seen access columns, the prediction
+// context for v2 delta encoding. The zero value is the defined initial
+// context, so a thread's first access encodes its absolute values.
+type accessState struct {
+	addr  uint64
+	ip    uint64
+	size  uint64
+	lat   uint64
+	phase uint64
+}
+
+// v2 access-record flag bits. Bit 0 is the store/load bit (shared with
+// v1's write byte); the "same" bits elide columns whose value repeats
+// the thread's previous access — in practice most accesses keep their
+// width, phase and (for cache hits) latency, so a typical access record
+// is kind + tid + flags + two short deltas.
+const (
+	accessWrite     = 1 << 0
+	accessSameSize  = 1 << 1
+	accessSameLat   = 1 << 2
+	accessSamePhase = 1 << 3
+	accessFlagsMask = accessWrite | accessSameSize | accessSameLat | accessSamePhase
+)
+
+// metaState is the prediction context for the layout snapshot: symbol
+// and object records each delta-encode their base address against the
+// previous record of the same kind (the snapshot is emitted in address
+// order, so the deltas are short), and objects additionally
+// delta-encode the allocation sequence number.
+type metaState struct {
+	symAddr uint64
+	objAddr uint64
+	objSeq  uint64
+}
+
+// NewBinaryEncoder creates a binary encoder over w in the current
+// framing version. The magic is written immediately; any error surfaces
+// from Encode or Close.
 func NewBinaryEncoder(w io.Writer) *BinaryEncoder {
-	e := &BinaryEncoder{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
-	_, e.err = e.w.Write(binaryMagic)
+	return newBinaryEncoder(w, BinaryVersion)
+}
+
+// NewBinaryEncoderV1 creates an encoder writing the legacy v1 framing —
+// absolute-value varints, no cross-record state. New traces should use
+// NewBinaryEncoder; v1 writing is kept so compatibility tooling and
+// tests can regenerate v1 streams.
+func NewBinaryEncoderV1(w io.Writer) *BinaryEncoder {
+	return newBinaryEncoder(w, BinaryV1)
+}
+
+func newBinaryEncoder(w io.Writer, version int) *BinaryEncoder {
+	e := &BinaryEncoder{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		buf:     make([]byte, 0, 256),
+		version: version,
+		prev:    make(map[mem.ThreadID]accessState),
+	}
+	_, e.err = e.w.Write(binaryMagicFor(version))
 	return e
 }
 
@@ -40,15 +115,30 @@ func (e *BinaryEncoder) Encode(ev Event) error {
 		b = binary.AppendUvarint(b, uint64(ev.Cores))
 		b = appendString(b, ev.Name)
 	case KindSymbol:
-		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		if e.version >= BinaryV2 {
+			b = appendZigzag(b, uint64(ev.Addr)-e.meta.symAddr)
+			e.meta.symAddr = uint64(ev.Addr)
+		} else {
+			b = binary.AppendUvarint(b, uint64(ev.Addr))
+		}
 		b = binary.AppendUvarint(b, ev.Size)
 		b = appendString(b, ev.Name)
 	case KindObject:
-		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		if e.version >= BinaryV2 {
+			b = appendZigzag(b, uint64(ev.Addr)-e.meta.objAddr)
+			e.meta.objAddr = uint64(ev.Addr)
+		} else {
+			b = binary.AppendUvarint(b, uint64(ev.Addr))
+		}
 		b = binary.AppendUvarint(b, ev.Size)
 		b = binary.AppendUvarint(b, ev.Class)
 		b = binary.AppendUvarint(b, uint64(ev.TID))
-		b = binary.AppendUvarint(b, ev.Seq)
+		if e.version >= BinaryV2 {
+			b = appendZigzag(b, ev.Seq-e.meta.objSeq)
+			e.meta.objSeq = ev.Seq
+		} else {
+			b = binary.AppendUvarint(b, ev.Seq)
+		}
 		b = append(b, byte(b2i(ev.Live)))
 		b = binary.AppendUvarint(b, uint64(len(ev.Stack)))
 		for _, f := range ev.Stack {
@@ -66,12 +156,42 @@ func (e *BinaryEncoder) Encode(ev Event) error {
 		b = binary.AppendUvarint(b, ev.Instrs)
 	case KindAccess:
 		b = binary.AppendUvarint(b, uint64(ev.TID))
-		b = append(b, byte(b2i(ev.Write)))
-		b = binary.AppendUvarint(b, uint64(ev.Addr))
-		b = binary.AppendUvarint(b, ev.Size)
-		b = binary.AppendUvarint(b, ev.IP)
-		b = binary.AppendUvarint(b, uint64(ev.Lat))
-		b = binary.AppendUvarint(b, uint64(ev.Phase))
+		if e.version >= BinaryV2 {
+			st := e.prev[ev.TID]
+			flags := byte(b2i(ev.Write))
+			if ev.Size == st.size {
+				flags |= accessSameSize
+			}
+			if uint64(ev.Lat) == st.lat {
+				flags |= accessSameLat
+			}
+			if uint64(ev.Phase) == st.phase {
+				flags |= accessSamePhase
+			}
+			b = append(b, flags)
+			b = appendZigzag(b, uint64(ev.Addr)-st.addr)
+			b = appendZigzag(b, ev.IP-st.ip)
+			if flags&accessSameSize == 0 {
+				b = appendZigzag(b, ev.Size-st.size)
+			}
+			if flags&accessSameLat == 0 {
+				b = appendZigzag(b, uint64(ev.Lat)-st.lat)
+			}
+			if flags&accessSamePhase == 0 {
+				b = appendZigzag(b, uint64(ev.Phase)-st.phase)
+			}
+			e.prev[ev.TID] = accessState{
+				addr: uint64(ev.Addr), ip: ev.IP, size: ev.Size,
+				lat: uint64(ev.Lat), phase: uint64(ev.Phase),
+			}
+		} else {
+			b = append(b, byte(b2i(ev.Write)))
+			b = binary.AppendUvarint(b, uint64(ev.Addr))
+			b = binary.AppendUvarint(b, ev.Size)
+			b = binary.AppendUvarint(b, ev.IP)
+			b = binary.AppendUvarint(b, uint64(ev.Lat))
+			b = binary.AppendUvarint(b, uint64(ev.Phase))
+		}
 	default:
 		return fmt.Errorf("trace: encode: unknown event kind %d", ev.Kind)
 	}
@@ -85,6 +205,16 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+// appendZigzag writes a wrapping column delta as a zigzag varint: the
+// difference is computed in wrapping uint64 arithmetic, reinterpreted as
+// signed so small moves in either direction encode in one or two bytes,
+// and the decoder reverses it with a wrapping add — an exact round trip
+// for every uint64 value.
+func appendZigzag(b []byte, delta uint64) []byte {
+	d := int64(delta)
+	return binary.AppendUvarint(b, uint64(d<<1)^uint64(d>>63))
+}
+
 // Close implements Encoder, flushing buffered output.
 func (e *BinaryEncoder) Close() error {
 	if e.err != nil {
@@ -96,25 +226,54 @@ func (e *BinaryEncoder) Close() error {
 
 // binaryDecoder streams the varint framing back into events.
 type binaryDecoder struct {
-	br *bufio.Reader
+	br      *bufio.Reader
+	version int
+	// err latches the first failure: once any record fails to decode the
+	// stream position is unsynchronized (and in v2 the prediction state
+	// may be half-updated), so every later call must return the same
+	// error rather than misparse from a random offset.
+	err error
+	// prev and meta mirror the encoder's prediction context (v2).
+	prev map[mem.ThreadID]accessState
+	meta metaState
 }
 
-// newBinaryDecoder validates the magic and returns a streaming decoder.
+// newBinaryDecoder validates the magic, detects the framing version and
+// returns a streaming decoder.
 func newBinaryDecoder(br *bufio.Reader) (func() (Event, error), error) {
-	head := make([]byte, len(binaryMagic))
+	head := make([]byte, len(binaryMagicFor(BinaryV1)))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: truncated binary magic: %w", err)
 	}
-	for i, c := range binaryMagic {
-		if head[i] != c {
-			return nil, fmt.Errorf("trace: bad binary magic %q", head)
+	version := 0
+	for v := BinaryV1; v <= BinaryVersion; v++ {
+		if string(head) == string(binaryMagicFor(v)) {
+			version = v
+			break
 		}
 	}
-	d := &binaryDecoder{br: br}
+	if version == 0 {
+		return nil, fmt.Errorf("trace: bad binary magic %q", head)
+	}
+	d := &binaryDecoder{br: br, version: version, prev: make(map[mem.ThreadID]accessState)}
 	return d.next, nil
 }
 
+// next returns the next event. All errors — including io.EOF — are
+// terminal: the decoder latches the first one and returns it forever.
 func (d *binaryDecoder) next() (Event, error) {
+	if d.err != nil {
+		return Event{}, d.err
+	}
+	ev, err := d.decode()
+	if err != nil {
+		d.err = err
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+func (d *binaryDecoder) decode() (Event, error) {
 	kind, err := d.br.ReadByte()
 	if err == io.EOF {
 		return Event{}, io.EOF
@@ -137,24 +296,33 @@ func (d *binaryDecoder) next() (Event, error) {
 			return Event{}, err
 		}
 	case KindSymbol:
+		addr, err := d.column("addr", 1<<62, &d.meta.symAddr)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Addr = mem.Addr(addr)
 		if err := d.fields(
-			field{"addr", 1 << 62, func(v uint64) { ev.Addr = mem.Addr(v) }},
 			field{"size", 1 << 40, func(v uint64) { ev.Size = v }},
 		); err != nil {
 			return Event{}, err
 		}
-		var err error
 		if ev.Name, err = d.string("symbol name"); err != nil {
 			return Event{}, err
 		}
 	case KindObject:
+		addr, err := d.column("addr", 1<<62, &d.meta.objAddr)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Addr = mem.Addr(addr)
 		if err := d.fields(
-			field{"addr", 1 << 62, func(v uint64) { ev.Addr = mem.Addr(v) }},
 			field{"size", 1 << 40, func(v uint64) { ev.Size = v }},
 			field{"class", 1 << 40, func(v uint64) { ev.Class = v }},
 			field{"thread", MaxThreadID, func(v uint64) { ev.TID = mem.ThreadID(v) }},
-			field{"seq", 1 << 62, func(v uint64) { ev.Seq = v }},
 		); err != nil {
+			return Event{}, err
+		}
+		if ev.Seq, err = d.column("seq", 1<<62, &d.meta.objSeq); err != nil {
 			return Event{}, err
 		}
 		live, err := d.br.ReadByte()
@@ -212,6 +380,22 @@ func (d *binaryDecoder) next() (Event, error) {
 			return Event{}, err
 		}
 		ev.TID = mem.ThreadID(tid)
+		if d.version >= BinaryV2 {
+			flags, err := d.br.ReadByte()
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: truncated access: %w", err)
+			}
+			if flags&^byte(accessFlagsMask) != 0 {
+				return Event{}, fmt.Errorf("trace: unknown access flag bits %#02x", flags)
+			}
+			ev.Write = flags&accessWrite != 0
+			st := d.prev[ev.TID]
+			if err := d.accessColumns(&ev, &st, flags); err != nil {
+				return Event{}, err
+			}
+			d.prev[ev.TID] = st
+			break
+		}
 		write, err := d.br.ReadByte()
 		if err != nil {
 			return Event{}, fmt.Errorf("trace: truncated access: %w", err)
@@ -230,6 +414,65 @@ func (d *binaryDecoder) next() (Event, error) {
 		return Event{}, fmt.Errorf("trace: unknown event kind %d", kind)
 	}
 	return ev, nil
+}
+
+// accessColumns decodes the v2 delta-encoded access columns against the
+// thread's prediction state, updating it in place. Columns whose "same"
+// flag is set repeat the state value and occupy no bytes.
+func (d *binaryDecoder) accessColumns(ev *Event, st *accessState, flags byte) error {
+	for _, c := range []struct {
+		name string
+		max  uint64
+		prev *uint64
+		same bool
+	}{
+		{"addr", 1 << 62, &st.addr, false},
+		{"ip", MaxInstrs, &st.ip, false},
+		{"size", 1<<16 - 1, &st.size, flags&accessSameSize != 0},
+		{"lat", 1<<32 - 1, &st.lat, flags&accessSameLat != 0},
+		{"phase index", MaxPhaseIndex, &st.phase, flags&accessSamePhase != 0},
+	} {
+		if c.same {
+			continue
+		}
+		if _, err := d.column(c.name, c.max, c.prev); err != nil {
+			return err
+		}
+	}
+	ev.Addr = mem.Addr(st.addr)
+	ev.IP = st.ip
+	ev.Size = st.size
+	ev.Lat = uint32(st.lat)
+	ev.Phase = int(st.phase)
+	return nil
+}
+
+// column reads one bounded column value: a delta-encoded zigzag varint
+// applied to *prev in v2, an absolute uvarint in v1. On success *prev is
+// updated to the decoded value.
+func (d *binaryDecoder) column(what string, max uint64, prev *uint64) (uint64, error) {
+	if d.version < BinaryV2 {
+		v, err := d.uvarint(what, max)
+		if err != nil {
+			return 0, err
+		}
+		*prev = v
+		return v, nil
+	}
+	z, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: truncated %s delta: %w", what, err)
+	}
+	delta := uint64(int64(z>>1) ^ -int64(z&1))
+	// Wrapping add mirrors the encoder's wrapping subtract exactly; the
+	// bound check below keeps hostile deltas from smuggling in values the
+	// absolute v1 column would have rejected.
+	v := *prev + delta
+	if v > max {
+		return 0, fmt.Errorf("trace: %s %d exceeds limit %d", what, v, max)
+	}
+	*prev = v
+	return v, nil
 }
 
 // field is one bounded uvarint field of a binary record.

@@ -26,16 +26,20 @@ func fuzzSeeds(t interface{ Helper() }) [][]byte {
 		"2 w 0x40000008 4 11 200 1\n" +
 		"#threadend 1 1 20\n" +
 		"#threadend 2 1 15\n")
-	var bin bytes.Buffer
-	enc := NewBinaryEncoder(&bin)
-	for _, ev := range sampleEvents() {
-		if err := enc.Encode(ev); err != nil {
+	encode := func(enc Encoder) []byte {
+		for _, ev := range sampleEvents() {
+			if err := enc.Encode(ev); err != nil {
+				panic(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
 			panic(err)
 		}
+		return nil
 	}
-	if err := enc.Close(); err != nil {
-		panic(err)
-	}
+	var bin, binV1 bytes.Buffer
+	encode(NewBinaryEncoder(&bin))
+	encode(NewBinaryEncoderV1(&binV1))
 	binSeed := bin.Bytes()
 	truncated := append([]byte{}, binSeed[:len(binSeed)-3]...)
 	flipped := append([]byte{}, binSeed...)
@@ -43,6 +47,7 @@ func fuzzSeeds(t interface{ Helper() }) [][]byte {
 	return [][]byte{
 		textSeed,
 		binSeed,
+		binV1.Bytes(),
 		truncated,
 		flipped,
 		[]byte("#cheetah-trace v1\n"),

@@ -1,0 +1,78 @@
+package traceimport_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	traceimport "repro/internal/trace/import"
+)
+
+// fuzzImportSeeds: the real fixtures plus near-valid corruptions of the
+// shapes each parser keys on.
+func fuzzImportSeeds(f *testing.F, fixture string, extra ...string) {
+	f.Helper()
+	if data, err := os.ReadFile(filepath.Join("testdata", fixture)); err == nil {
+		f.Add(data)
+		if len(data) > 40 {
+			f.Add(data[:len(data)-17]) // truncated mid-line
+		}
+	}
+	for _, s := range extra {
+		f.Add([]byte(s))
+	}
+}
+
+// fuzzImport drives one importer: any input must either error or
+// produce a trace that the native decoder accepts in full — an importer
+// must never emit an undecodable or replay-rejected stream.
+func fuzzImport(t *testing.T, data []byte, imp func(*bytes.Reader, trace.Encoder) (traceimport.Stats, error)) {
+	var out bytes.Buffer
+	st, err := imp(bytes.NewReader(data), trace.NewBinaryEncoder(&out))
+	if err != nil {
+		return
+	}
+	if st.Samples == 0 {
+		t.Error("import succeeded with zero samples")
+	}
+	rp, err := trace.Read(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Errorf("imported trace does not decode: %v", err)
+		return
+	}
+	if rp.Accesses == 0 || rp.Cores <= 0 {
+		t.Errorf("imported trace is degenerate: %d accesses, %d cores", rp.Accesses, rp.Cores)
+	}
+}
+
+func FuzzImportPerf(f *testing.F) {
+	fuzzImportSeeds(f, "perf-mem.script",
+		"app 1 [000] 1.000000: cpu/mem-loads,ldlat=30/P: 55d8 7f2a 10\n",
+		"app 1/2 [000] 1.000000: 3 cpu/mem-stores/P: 55d8 [unknown] 7f2a\n",
+		"app 1 1.000000: cycles: 55d8 7f2a 10\n",
+		"1.5: x:\n",
+		"# comment\n\napp NaN [x] 1.0.0: mem-loads:\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzImport(t, data, func(r *bytes.Reader, enc trace.Encoder) (traceimport.Stats, error) {
+			return traceimport.ImportPerfScript(r, enc, traceimport.Options{})
+		})
+	})
+}
+
+func FuzzImportIBS(f *testing.F) {
+	fuzzImportSeeds(f, "ibs-samples.csv",
+		"tsc,tid,ibs_ld_op,ibs_st_op,ibs_dc_lin_ad\n100,1,1,0,0x7ffd10\n",
+		"tsc,tid,op,addr\n100,1,ld,0x7ffd10\n",
+		"tsc,tid,op,addr\n100,1,xx,0x7ffd10\n",
+		"tsc,cpu\n1,2\n",
+		"tsc,tid,op,addr,lat\n18446744073709551615,1,st,ffffffffffffffff,99\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzImport(t, data, func(r *bytes.Reader, enc trace.Encoder) (traceimport.Stats, error) {
+			return traceimport.ImportIBS(r, enc, traceimport.Options{})
+		})
+	})
+}

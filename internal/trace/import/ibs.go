@@ -1,0 +1,238 @@
+package traceimport
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ImportIBS converts AMD IBS op-sample dump rows (the CSV produced by
+// IBS decoding tools in the style of the AMD Research IBS toolkit) into
+// a native trace written to enc.
+//
+// The input is a comma-separated file whose first non-empty, non-`#`
+// line is a header naming the columns. Column names are matched
+// case-insensitively against the spellings the common decoders emit:
+//
+//   - thread id (required): tid, thread, thread_id
+//   - timestamp (required): tsc, timestamp, time, cycles
+//   - data linear address (required): ibs_dc_lin_ad, dc_lin_ad,
+//     dc_lin_addr, lin_ad, lin_addr, addr, address
+//   - load/store (required): either a single op column (op, mem_op;
+//     values ld/st/load/store) or separate 0/1 flag columns
+//     (ibs_ld_op/ld_op/load and ibs_st_op/st_op/store)
+//   - load latency (optional): ibs_dc_miss_lat, dc_miss_lat, miss_lat,
+//     lat, latency, weight
+//   - access width in bytes (optional): ibs_op_mem_width, mem_width,
+//     width, size
+//
+// Rows that decode to neither a load nor a store (non-memory ops
+// tagged along in the dump), rows with kernel-half or null linear
+// addresses, and rows with malformed numeric cells are counted in
+// Stats.Skipped. Numeric cells accept decimal or 0x-prefixed hex; the
+// address column additionally accepts bare hex.
+func ImportIBS(r io.Reader, enc trace.Encoder, o Options) (Stats, error) {
+	const (
+		defaultScale  = 0.1 // instructions per cycle (see Options.TimeScale)
+		defaultGapTSC = 1e6 // a million idle cycles starts a new phase
+		defaultName   = "ibs-import"
+	)
+	sc := lineScanner(r)
+	var (
+		cols    *ibsColumns
+		samples []sample
+		skipped int
+		lineno  int
+	)
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if cols == nil {
+			c, err := parseIBSHeader(line)
+			if err != nil {
+				return Stats{}, fmt.Errorf("import: line %d: %w", lineno, err)
+			}
+			cols = c
+			continue
+		}
+		s, ok := cols.parseRow(line)
+		if !ok {
+			skipped++
+			continue
+		}
+		if len(samples) >= MaxSamples {
+			return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: more than %d samples", lineno, MaxSamples)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: %w", lineno+1, err)
+	}
+	if cols == nil {
+		return Stats{}, fmt.Errorf("import: no IBS header row found")
+	}
+	st, err := convert(samples, enc, o, defaultName, defaultScale, defaultGapTSC)
+	st.Skipped += skipped
+	return st, err
+}
+
+// ibsColumns maps the header's column layout. Indices are -1 when the
+// column is absent.
+type ibsColumns struct {
+	tid, time, addr int
+	op, ld, st      int
+	lat, width      int
+	n               int
+}
+
+// maxIBSColumns bounds the column count: header rows past it are
+// structural errors, data rows past it are skipped, and neither is
+// split first — a megabyte-long comma run must not cost a megabyte of
+// field allocations per row.
+const maxIBSColumns = 4096
+
+// ibsColumnNames lists the accepted spellings per logical column.
+var ibsColumnNames = map[string][]string{
+	"tid":   {"tid", "thread", "thread_id"},
+	"time":  {"tsc", "timestamp", "time", "cycles"},
+	"addr":  {"ibs_dc_lin_ad", "dc_lin_ad", "dc_lin_addr", "lin_ad", "lin_addr", "addr", "address"},
+	"op":    {"op", "mem_op"},
+	"ld":    {"ibs_ld_op", "ld_op", "load"},
+	"st":    {"ibs_st_op", "st_op", "store"},
+	"lat":   {"ibs_dc_miss_lat", "dc_miss_lat", "miss_lat", "lat", "latency", "weight"},
+	"width": {"ibs_op_mem_width", "mem_width", "width", "size"},
+}
+
+func parseIBSHeader(line string) (*ibsColumns, error) {
+	if strings.Count(line, ",") >= maxIBSColumns {
+		return nil, fmt.Errorf("IBS header has more than %d columns", maxIBSColumns)
+	}
+	fields := strings.Split(line, ",")
+	c := &ibsColumns{tid: -1, time: -1, addr: -1, op: -1, ld: -1, st: -1, lat: -1, width: -1, n: len(fields)}
+	dst := map[string]*int{
+		"tid": &c.tid, "time": &c.time, "addr": &c.addr,
+		"op": &c.op, "ld": &c.ld, "st": &c.st,
+		"lat": &c.lat, "width": &c.width,
+	}
+	for i, f := range fields {
+		name := strings.ToLower(strings.TrimSpace(f))
+		for logical, spellings := range ibsColumnNames {
+			if *dst[logical] != -1 {
+				continue
+			}
+			for _, s := range spellings {
+				if name == s {
+					*dst[logical] = i
+					break
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, req := range []struct {
+		what string
+		ok   bool
+	}{
+		{"thread id (tid)", c.tid != -1},
+		{"timestamp (tsc)", c.time != -1},
+		{"linear address (dc_lin_ad)", c.addr != -1},
+		{"load/store (op, or ld_op+st_op)", c.op != -1 || (c.ld != -1 && c.st != -1)},
+	} {
+		if !req.ok {
+			missing = append(missing, req.what)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("IBS header %q is missing required columns: %s", line, strings.Join(missing, "; "))
+	}
+	return c, nil
+}
+
+// parseRow converts one data row; ok is false for rows that are not
+// convertible memory samples.
+func (c *ibsColumns) parseRow(line string) (sample, bool) {
+	if n := strings.Count(line, ","); n+1 < c.n || n >= maxIBSColumns {
+		return sample{}, false
+	}
+	fields := strings.Split(line, ",")
+	cell := func(i int) string { return strings.TrimSpace(fields[i]) }
+
+	var write bool
+	switch {
+	case c.op != -1:
+		switch strings.ToLower(cell(c.op)) {
+		case "ld", "load", "l", "r":
+			write = false
+		case "st", "store", "s", "w":
+			write = true
+		default:
+			return sample{}, false
+		}
+	default:
+		ld, err1 := parseIBSUint(cell(c.ld), false)
+		st, err2 := parseIBSUint(cell(c.st), false)
+		if err1 != nil || err2 != nil {
+			return sample{}, false
+		}
+		switch {
+		case st != 0:
+			write = true
+		case ld != 0:
+			write = false
+		default:
+			return sample{}, false // non-memory op row
+		}
+	}
+
+	tid, err := parseIBSUint(cell(c.tid), false)
+	if err != nil || tid > 1<<31 {
+		return sample{}, false
+	}
+	t, err := parseIBSUint(cell(c.time), false)
+	if err != nil {
+		return sample{}, false
+	}
+	addr, err := parseIBSUint(cell(c.addr), true)
+	if err != nil || !usableAddr(addr) {
+		return sample{}, false
+	}
+	s := sample{tid: tid, t: float64(t), addr: addr, write: write}
+	if c.lat != -1 {
+		if v, err := parseIBSUint(cell(c.lat), false); err == nil {
+			if v > 1<<32-1 {
+				v = 1<<32 - 1
+			}
+			s.lat = uint32(v)
+		}
+	}
+	if c.width != -1 {
+		if v, err := parseIBSUint(cell(c.width), false); err == nil && v > 0 && v <= 128 {
+			s.size = uint8(v)
+		}
+	}
+	return s, true
+}
+
+// parseIBSUint parses a numeric cell: decimal or 0x-prefixed hex, plus
+// bare hex when the column is an address.
+func parseIBSUint(s string, bareHex bool) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty cell")
+	}
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v, nil
+	}
+	if bareHex {
+		return strconv.ParseUint(s, 16, 64)
+	}
+	return 0, fmt.Errorf("bad numeric cell %q", s)
+}

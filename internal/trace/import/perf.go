@@ -1,0 +1,214 @@
+package traceimport
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ImportPerfScript converts `perf script` text output of a `perf mem
+// record` session into a native trace written to enc.
+//
+// The supported invocation is:
+//
+//	perf mem record -- <command>
+//	perf script -F comm,tid,time,event,ip,addr,weight
+//
+// which renders one sample per line:
+//
+//	<comm> <tid> [<cpu>] <time>: <event>: <ip> <addr> <weight> ...
+//
+// e.g.
+//
+//	lr_worker  4821 181999.324867: cpu/mem-loads,ldlat=30/P: 55d8f9d0a1b2 7f2a1c044040 120
+//
+// Parsing is token-based and tolerant of the fields perf interleaves in
+// other configurations: a `pid/tid` pair is accepted where a tid is
+// expected (the tid half is used), bracketed `[cpu]` tokens and a
+// leading period count are skipped, and symbol decorations after the
+// raw ip/addr values (`func+0x10`, `[unknown]`, `(/usr/bin/app)`) are
+// ignored. Lines whose event is not a memory load/store (e.g. plain
+// `cycles:` samples) and samples with kernel-half or null data
+// addresses are counted in Stats.Skipped rather than failing the
+// import, so a mixed-event dump imports its memory samples.
+//
+// The weight column, when present, becomes the access latency; replay
+// recomputes latencies through the simulator, so it is carried for
+// external analysis only. perf does not report the access width, so
+// imported accesses replay at word width.
+func ImportPerfScript(r io.Reader, enc trace.Encoder, o Options) (Stats, error) {
+	const (
+		nsPerSec     = 1e9
+		defaultScale = 0.01 // instructions per nanosecond (see Options.TimeScale)
+		defaultGapNs = 1e6  // 1 ms of sample silence starts a new phase
+		defaultName  = "perf-import"
+	)
+	sc := lineScanner(r)
+	var (
+		samples []sample
+		skipped int
+		comm    string
+		lineno  int
+	)
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, rowComm, ok := parsePerfLine(line)
+		if !ok {
+			skipped++
+			continue
+		}
+		if comm == "" {
+			comm = rowComm
+		}
+		if len(samples) >= MaxSamples {
+			return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: more than %d samples", lineno, MaxSamples)
+		}
+		s.t *= nsPerSec
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: %w", lineno+1, err)
+	}
+	name := comm
+	if name == "" {
+		name = defaultName
+	}
+	if o.ProgramName == "" {
+		o.ProgramName = name
+	}
+	st, err := convert(samples, enc, o, name, defaultScale, defaultGapNs)
+	st.Skipped += skipped
+	return st, err
+}
+
+// parsePerfLine parses one perf script sample line. ok is false for
+// lines that are recognizable but not convertible (wrong event kind,
+// unusable address, missing fields) — the caller counts them skipped.
+func parsePerfLine(line string) (s sample, comm string, ok bool) {
+	toks := strings.Fields(line)
+	// Locate the timestamp: the first `seconds.fraction:` token.
+	timeIdx := -1
+	var t float64
+	for i, tok := range toks {
+		v, isTime := parsePerfTime(tok)
+		if isTime {
+			timeIdx, t = i, v
+			break
+		}
+	}
+	if timeIdx < 0 {
+		return sample{}, "", false
+	}
+	// The tid precedes the timestamp, possibly as `pid/tid`, with an
+	// optional bracketed cpu between them; the comm precedes the tid.
+	tid, tidIdx := uint64(0), -1
+	for i := timeIdx - 1; i >= 0; i-- {
+		tok := toks[i]
+		if strings.HasPrefix(tok, "[") && strings.HasSuffix(tok, "]") {
+			continue // [cpu]
+		}
+		if slash := strings.IndexByte(tok, '/'); slash >= 0 {
+			tok = tok[slash+1:]
+		}
+		v, err := strconv.ParseUint(tok, 10, 32)
+		if err != nil {
+			return sample{}, "", false
+		}
+		tid, tidIdx = v, i
+		break
+	}
+	if tidIdx < 0 {
+		return sample{}, "", false
+	}
+	if tidIdx > 0 {
+		comm = strings.Join(toks[:tidIdx], " ")
+	}
+	// The event name: the next `name:` token after the timestamp (an
+	// intervening bare integer is a period count).
+	evIdx := -1
+	var write bool
+	for i := timeIdx + 1; i < len(toks); i++ {
+		tok := toks[i]
+		if _, err := strconv.ParseUint(tok, 10, 64); err == nil {
+			continue // period
+		}
+		if !strings.HasSuffix(tok, ":") {
+			return sample{}, "", false
+		}
+		name := strings.ToLower(strings.TrimSuffix(tok, ":"))
+		switch {
+		case strings.Contains(name, "load"):
+			write = false
+		case strings.Contains(name, "store"):
+			write = true
+		default:
+			return sample{}, "", false // not a memory event
+		}
+		evIdx = i
+		break
+	}
+	if evIdx < 0 {
+		return sample{}, "", false
+	}
+	// After the event: the first two bare-hex tokens are ip and addr
+	// (symbol decorations between and after them are skipped), then the
+	// first decimal token after the addr is the weight.
+	var hexes []uint64
+	addrIdx := -1
+	for i := evIdx + 1; i < len(toks) && len(hexes) < 2; i++ {
+		if v, err := parseHexToken(toks[i]); err == nil {
+			hexes = append(hexes, v)
+			addrIdx = i
+		}
+	}
+	if len(hexes) < 2 {
+		return sample{}, "", false
+	}
+	// hexes[0] is the instruction pointer; the simulated ip column is a
+	// retired-instruction count synthesized from timestamps, so the real
+	// code address is not carried into the trace.
+	addr := hexes[1]
+	if !usableAddr(addr) {
+		return sample{}, "", false
+	}
+	weight := uint64(0)
+	for i := addrIdx + 1; i < len(toks); i++ {
+		if v, err := strconv.ParseUint(toks[i], 10, 64); err == nil {
+			weight = v
+			break
+		}
+	}
+	if weight > 1<<32-1 {
+		weight = 1<<32 - 1
+	}
+	return sample{tid: tid, t: t, addr: addr, lat: uint32(weight), write: write}, comm, true
+}
+
+// parsePerfTime parses a `seconds.fraction:` timestamp token.
+func parsePerfTime(tok string) (float64, bool) {
+	if !strings.HasSuffix(tok, ":") || !strings.Contains(tok, ".") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tok, ":"), 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseHexToken parses a bare or 0x-prefixed hex value, rejecting
+// decorated tokens (symbols, offsets, brackets).
+func parseHexToken(tok string) (uint64, error) {
+	tok = strings.TrimPrefix(strings.ToLower(tok), "0x")
+	if tok == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	return strconv.ParseUint(tok, 16, 64)
+}

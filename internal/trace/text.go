@@ -188,7 +188,14 @@ func newTextDecoder(br *bufio.Reader) (func() (Event, error), error) {
 		return nil, fmt.Errorf("trace: bad header %q (want %q)", got, textHeader)
 	}
 	lineno := 1
+	// sticky latches the first failure (including io.EOF): a parse error
+	// leaves the decoder mid-stream, so later calls must keep returning
+	// it rather than resynchronize on whatever line happens to follow.
+	var sticky error
 	return func() (Event, error) {
+		if sticky != nil {
+			return Event{}, sticky
+		}
 		for sc.Scan() {
 			lineno++
 			line := strings.TrimSpace(sc.Text())
@@ -197,14 +204,17 @@ func newTextDecoder(br *bufio.Reader) (func() (Event, error), error) {
 			}
 			ev, err := parseTextLine(line)
 			if err != nil {
-				return Event{}, fmt.Errorf("trace: line %d: %w", lineno, err)
+				sticky = fmt.Errorf("trace: line %d: %w", lineno, err)
+				return Event{}, sticky
 			}
 			return ev, nil
 		}
 		if err := scanErr(sc); err != nil {
-			return Event{}, fmt.Errorf("trace: line %d: %w", lineno+1, err)
+			sticky = fmt.Errorf("trace: line %d: %w", lineno+1, err)
+		} else {
+			sticky = io.EOF
 		}
-		return Event{}, io.EOF
+		return Event{}, sticky
 	}, nil
 }
 

@@ -20,7 +20,10 @@
 //     `#`-prefixed directives, so naive line tools can process the data
 //     rows alone.
 //   - a compact binary framing (magic-prefixed, varint-encoded) for large
-//     traces.
+//     traces. The binary framing is itself versioned: v2 delta-encodes
+//     the hot columns per thread as zigzag varints, and the decoder
+//     auto-detects v1 or v2 from the magic, so old corpus files decode
+//     forever.
 //
 // The `ip` column is the simulated instruction pointer: the thread's
 // retired instruction count at the access. Consecutive ip values encode

@@ -290,7 +290,7 @@ func TestDecodersBoundInstructionCounts(t *testing.T) {
 	if _, err := Read(strings.NewReader(hugeEnd)); err == nil {
 		t.Error("text decoder accepted thread-end instrs 2^64-1")
 	}
-	b := append([]byte{}, binaryMagic...)
+	b := append([]byte{}, binaryMagicFor(BinaryV1)...)
 	b = append(b, byte(KindAccess))
 	b = appendUvarintForTest(b, 1)          // tid
 	b = append(b, 1)                        // write
@@ -327,7 +327,7 @@ func TestSymtabRestoreRejectsWrappingSize(t *testing.T) {
 // representable range must error, not silently truncate.
 func TestBinaryDecoderBoundsAreInclusiveMaxima(t *testing.T) {
 	record := func(lat uint64) []byte {
-		b := append([]byte{}, binaryMagic...)
+		b := append([]byte{}, binaryMagicFor(BinaryV1)...)
 		b = append(b, byte(KindAccess))
 		b = appendUvarintForTest(b, 1)    // tid
 		b = append(b, 1)                  // write
