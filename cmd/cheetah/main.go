@@ -6,6 +6,10 @@
 //	cheetah [-threads 16] [-scale 1.0] [-period 64] [-words] [-candidates] <workload>
 //	cheetah -record trace.out [-record-sampled] [-record-binary] <workload>
 //	cheetah -replay trace.out
+//	cheetah -replay-stream trace.out
+//	cheetah -index trace.out [-record indexed.trace]
+//	cheetah -trace-info trace.out
+//	cheetah -synth-trace 1000000 -record big.trace
 //	cheetah -import-perf samples.txt [-record out.trace] [-record-binary] [-replay out.trace]
 //	cheetah -import-ibs samples.csv [-record out.trace] [-record-binary] [-replay out.trace]
 //	cheetah -list
@@ -21,6 +25,16 @@
 // the same flags prints a report byte-identical to the recorded run's.
 // A trace also replays anywhere a workload name is accepted, as
 // `trace:<path>`.
+//
+// -index rewrites any decodable trace in the indexed binary v3 framing
+// (atomically, in place unless -record names the output): the same
+// record stream plus a seekable index block. Indexed traces replay with
+// bounded memory via -replay-stream, which loads one phase's records at
+// a time and prints a report byte-identical to -replay's. -trace-info
+// prints a trace's metadata without building its program (reading only
+// the index and layout for indexed traces); -synth-trace writes a
+// deterministic indexed trace of the requested access count to -record,
+// for memory-bound regression gates.
 //
 // -import-perf converts `perf script` output of a `perf mem record`
 // session, and -import-ibs an AMD IBS CSV dump, into a native trace
@@ -69,6 +83,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	recordSampled := fs.Bool("record-sampled", false, "record only PMU-sampled accesses (compact; replay is approximate)")
 	recordBinary := fs.Bool("record-binary", false, "write the trace in the compact binary framing instead of text")
 	replay := fs.String("replay", "", "replay a recorded trace instead of running a workload")
+	replayStream := fs.String("replay-stream", "",
+		"stream-replay an indexed trace with bounded memory (report is byte-identical to -replay)")
+	indexPath := fs.String("index", "",
+		"rewrite a trace in the indexed binary v3 framing, in place or to -record")
+	traceInfo := fs.String("trace-info", "", "print a trace file's metadata and exit")
+	synthTrace := fs.Uint64("synth-trace", 0,
+		"write a synthetic indexed trace with this many accesses to -record and exit")
 	importPerf := fs.String("import-perf", "",
 		"convert `perf script` output of a perf mem record session into a native trace (written to -record)")
 	importIBS := fs.String("import-ibs", "",
@@ -109,6 +130,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rec := recordOptions{path: *record, sampled: *recordSampled, binary: *recordBinary}
+
+	if *traceInfo != "" {
+		return runTraceInfo(*traceInfo, stdout, stderr)
+	}
+	if *synthTrace != 0 {
+		return runSynth(*synthTrace, *threads, rec.path, stderr)
+	}
+	if *indexPath != "" {
+		return runIndex(*indexPath, rec.path, stderr)
+	}
+	if *replayStream != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: cheetah -replay-stream <trace> takes no workload argument")
+			return 2
+		}
+		return runReplayStream(*replayStream, cfg, rec, *sched, *words, *candidates, stdout, stderr)
+	}
 
 	if *importPerf != "" || *importIBS != "" {
 		if *importPerf != "" && *importIBS != "" {
@@ -296,6 +334,121 @@ func runReplay(path string, cfg pmu.Config, rec recordOptions, sched string, wor
 		return 1
 	}
 	printReport(stdout, report, res, words, candidates)
+	return 0
+}
+
+// runReplayStream profiles an indexed trace through the streaming
+// replayer: the layout restores up front, but each phase's access
+// records load from disk only when the engine reaches the phase, so
+// peak memory is bounded by the largest phase. The report (and exit
+// behaviour) match runReplay on the same trace byte for byte.
+func runReplayStream(path string, cfg pmu.Config, rec recordOptions, sched string, words, candidates bool, stdout, stderr io.Writer) int {
+	sr, err := trace.OpenStream(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: opening indexed trace: %v\n", err)
+		return 1
+	}
+	sys := cheetah.New(cheetah.Config{Cores: sr.Cores, Engine: exec.Config{Sched: sched}})
+	if err := sr.Prepare(sys.Heap(), sys.Globals()); err != nil {
+		fmt.Fprintf(stderr, "cheetah: preparing trace: %v\n", err)
+		return 1
+	}
+	report, res, err := profileMaybeRecorded(sys, sr.Program(), cfg, rec, stderr)
+	if err != nil {
+		return 1
+	}
+	printReport(stdout, report, res, words, candidates)
+	return 0
+}
+
+// runIndex rewrites a trace (any decodable framing) as an indexed
+// binary v3 file, staged through a temp file so a failed rewrite never
+// clobbers the input. With no -record path the trace is replaced in
+// place.
+func runIndex(inPath, outPath string, stderr io.Writer) int {
+	if outPath == "" {
+		outPath = inPath
+	}
+	in, err := os.Open(inPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: indexing %s: %v\n", inPath, err)
+		return 1
+	}
+	defer in.Close()
+	out, err := atomicfile.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: indexing %s: %v\n", inPath, err)
+		return 1
+	}
+	defer out.Abort() // no-op after a successful Commit
+	enc := trace.NewIndexedEncoder(out)
+	d := trace.NewDecoder(in)
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == nil {
+			err = enc.Encode(ev)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "cheetah: indexing %s: %v\n", inPath, err)
+			return 1
+		}
+	}
+	err = enc.Close()
+	if err == nil {
+		err = out.Commit()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: indexing %s: %v\n", inPath, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "cheetah: wrote indexed trace to %s\n", outPath)
+	return 0
+}
+
+// runTraceInfo prints a trace's metadata. Indexed traces answer from
+// the index and layout regions without reading their access records.
+func runTraceInfo(path string, stdout, stderr io.Writer) int {
+	m, err := trace.ReadMetaFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: inspecting %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "name:     %s\ncores:    %d\nframing:  %s\nindexed:  %v\n",
+		m.Name, m.Cores, m.Framing, m.Indexed)
+	fmt.Fprintf(stdout, "accesses: %d\nsymbols:  %d\nobjects:  %d\nphases:   %d (max index %d)\nthreads:  %d\n",
+		m.Accesses, m.Symbols, m.Objects, m.Phases, m.MaxPhase, m.Threads)
+	return 0
+}
+
+// runSynth writes a deterministic synthetic indexed trace for
+// memory-bound regression gates.
+func runSynth(accesses uint64, threads int, outPath string, stderr io.Writer) int {
+	if outPath == "" {
+		fmt.Fprintln(stderr, "cheetah: -synth-trace requires -record <path>")
+		return 2
+	}
+	out, err := atomicfile.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: writing %s: %v\n", outPath, err)
+		return 1
+	}
+	defer out.Abort()
+	enc := trace.NewIndexedEncoder(out)
+	err = trace.WriteSynthetic(enc, trace.SynthConfig{Accesses: accesses, Threads: threads})
+	if err == nil {
+		err = enc.Close()
+	}
+	if err == nil {
+		err = out.Commit()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: writing %s: %v\n", outPath, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "cheetah: wrote synthetic indexed trace to %s\n", outPath)
 	return 0
 }
 

@@ -314,3 +314,46 @@ func TestRunImportFlagValidation(t *testing.T) {
 		t.Error("failed import left a trace file behind")
 	}
 }
+
+// TestRunStreamReplayGoldens pins the streamed replay of the two
+// checked-in fixtures — the hand-written sample trace and the imported
+// perf mem trace — against golden reports: -index rewrites each into the
+// seekable v3 framing, and -replay-stream must print bytes identical to
+// both -replay and the golden. A diff here means the out-of-core path
+// (or the engine schedule it relies on) changed observable behavior.
+func TestRunStreamReplayGoldens(t *testing.T) {
+	cases := []struct {
+		name, fixture, golden string
+	}{
+		{"sample", "../../examples/tracereplay/sample.trace", "testdata/sample-replay.golden"},
+		{"perf-mem", "../../internal/trace/import/testdata/perf-mem.golden.trace", "testdata/perf-mem-replay.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			indexed := filepath.Join(t.TempDir(), tc.name+"-v3.trace")
+			var out, errOut strings.Builder
+			if code := run([]string{"-index", tc.fixture, "-record", indexed}, &out, &errOut); code != 0 {
+				t.Fatalf("-index exit %d, stderr:\n%s", code, errOut.String())
+			}
+			var full, stream, errs strings.Builder
+			if code := run([]string{"-replay", indexed}, &full, &errs); code != 0 {
+				t.Fatalf("-replay exit %d, stderr:\n%s", code, errs.String())
+			}
+			if code := run([]string{"-replay-stream", indexed}, &stream, &errs); code != 0 {
+				t.Fatalf("-replay-stream exit %d, stderr:\n%s", code, errs.String())
+			}
+			if stream.String() != full.String() {
+				t.Errorf("streamed replay differs from full replay\n--- full ---\n%s\n--- stream ---\n%s",
+					full.String(), stream.String())
+			}
+			golden, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stream.String() != string(golden) {
+				t.Errorf("streamed replay differs from golden %s\n--- golden ---\n%s\n--- stream ---\n%s",
+					tc.golden, golden, stream.String())
+			}
+		})
+	}
+}

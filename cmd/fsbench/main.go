@@ -5,8 +5,9 @@
 //
 //	fsbench -experiment fig1|fig4|fig5|fig7|table1|compare|ablation|all
 //	        [-scale 1.0] [-threads 16] [-workers 0] [-app linear_regression]
-//	        [-bench-out BENCH_harness.json]
+//	        [-bench-out BENCH_harness.json] [-replay-mode auto|full|stream]
 //	        [-workers-procs 0] [-cache-dir DIR] [-cache-max-bytes N] [-listen ADDR]
+//	fsbench -replay-shards N -app trace:PATH [-workers 0] [-workers-procs 0]
 //	fsbench -worker [-connect ADDR]
 //
 // Each experiment prints the same rows or series the paper reports.
@@ -33,7 +34,16 @@
 // pass `trace:<path>` wherever an application name is accepted, e.g.
 // `fsbench -experiment fig5 -app trace:run.trace`. Cells of trace
 // workloads are identified by the trace file's content hash, so cached
-// results never go stale when the file is rewritten.
+// results never go stale when the file is rewritten. -replay-mode
+// selects how trace cells load their file: auto (default) streams
+// indexed traces phase-by-phase under bounded memory and fully decodes
+// the rest, full always loads the whole trace, stream requires an
+// index; reports are byte-identical in every mode, so the mode is not
+// part of a cell's cache identity. -replay-shards N splits one indexed
+// trace into N contiguous phase ranges and replays them as independent
+// `trace:<path>@lo-hi` cells — locally on the -workers pool, or across
+// worker processes with -workers-procs/-listen — printing the merged
+// per-shard report, byte-identical at any worker count.
 package main
 
 import (
@@ -89,10 +99,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"evict least-recently-used -cache-dir entries over this size (0 = unbounded; the running sweep's entries are never evicted)")
 	cellTimeout := fs.Duration("cell-timeout", 0,
 		"with a sharded sweep: requeue a cell whose worker sends no reply within this duration (0 = wait forever)")
+	replayMode := fs.String("replay-mode", workload.ReplayAuto,
+		"trace replay mode: auto (stream indexed traces), full, or stream; reports are byte-identical in every mode")
+	replayShards := fs.Int("replay-shards", 0,
+		"with -app trace:PATH: split the indexed trace into this many phase-range shards and print the merged per-shard report")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+
+	// The replay mode is process-wide: it must be set before any trace
+	// cell builds, including in worker mode (the coordinator forwards the
+	// flag to spawned workers so every process loads traces the same way).
+	if err := workload.SetTraceReplayMode(*replayMode); err != nil {
+		fmt.Fprintf(stderr, "fsbench: %v\n", err)
 		return 2
 	}
 
@@ -115,9 +137,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Trace pseudo-workloads are validated up front — the full pipeline,
 	// not just decoding: workload Build cannot return errors (it panics,
 	// inside a harness worker), so a bad path, corrupt file or
-	// unrestorable layout is diagnosed here instead.
+	// unrestorable layout is diagnosed here instead. ValidateTraceName
+	// rehearses the same load path Build will take under the selected
+	// replay mode (streamed or full).
 	if workload.IsTraceName(*app) {
-		if err := trace.Validate(strings.TrimPrefix(*app, workload.TracePrefix)); err != nil {
+		if err := workload.ValidateTraceName(*app); err != nil {
 			fmt.Fprintf(stderr, "fsbench: %v\n", err)
 			return 1
 		}
@@ -131,8 +155,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers, Sched: *sched}
 	sharded := *workersProcs > 0 || *listenAddr != ""
-	if sharded && *experiment != "all" {
-		fmt.Fprintf(stderr, "fsbench: -workers-procs/-listen shard the full sweep; use -experiment all\n")
+	if sharded && *experiment != "all" && *replayShards == 0 {
+		fmt.Fprintf(stderr, "fsbench: -workers-procs/-listen shard the full sweep; use -experiment all or -replay-shards\n")
 		return 2
 	}
 	if *cacheDir != "" && !sharded {
@@ -152,6 +176,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Phase-sharded trace replay: split one indexed trace into phase
+	// ranges, run them as independent cells (local goroutines or sweep
+	// worker processes), print the merged per-shard report.
+	if *replayShards != 0 {
+		if *replayShards < 1 {
+			fmt.Fprintf(stderr, "fsbench: -replay-shards must be >= 1\n")
+			return 2
+		}
+		if !workload.IsTraceName(*app) {
+			fmt.Fprintf(stderr, "fsbench: -replay-shards requires -app trace:<path>\n")
+			return 2
+		}
+		return runShardedReplay(cfg, *app, *replayShards, *workers, *workersProcs,
+			*listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *replayMode, stdout, stderr)
+	}
+
 	switch *experiment {
 	case "all":
 		var (
@@ -161,7 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		)
 		start := time.Now()
 		if sharded {
-			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, &res, stderr)
+			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *replayMode, &res, stderr)
 			if code != 0 {
 				return code
 			}
@@ -195,6 +235,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Threads:     *threads,
 				Sched:       schedName,
 				TraceFormat: trace.BinaryVersion,
+				ReplayMode:  *replayMode,
 				Metrics:     res.Metrics(),
 			}
 			b, err := entry.MarshalIndent()
@@ -233,27 +274,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSharded runs the full sweep through the multi-process coordinator:
-// procs spawned subprocess workers (this binary with -worker), plus any
-// remote workers that dial listenAddr, with an optional on-disk result
-// cache and per-cell timeout. The merged *harness.Results lands in *res.
-func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
+// sweepConfig assembles the multi-process coordinator configuration:
+// procs spawned subprocess workers (this binary re-executed with
+// -worker and the process-wide replay mode forwarded, so every worker
+// loads traces the same way), plus any remote workers that dial
+// listenAddr, with an optional on-disk result cache and per-cell
+// timeout.
+func sweepConfig(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, replayMode string, stderr io.Writer) (sweep.Config, error) {
 	sc := sweep.Config{Harness: cfg, Procs: procs, CellTimeout: cellTimeout, Log: stderr}
 	if procs > 0 {
 		self, err := os.Executable()
 		if err != nil {
-			fmt.Fprintf(stderr, "fsbench: resolving own binary for workers: %v\n", err)
-			return sweep.Stats{}, 1
+			return sc, fmt.Errorf("resolving own binary for workers: %v", err)
 		}
 		sc.Spawn = func(int) (io.ReadWriteCloser, error) {
-			return sweep.SpawnWorkerProc(self, []string{"-worker"}, nil, stderr)
+			return sweep.SpawnWorkerProc(self, []string{"-worker", "-replay-mode", replayMode}, nil, stderr)
 		}
 	}
 	if listenAddr != "" {
 		ln, err := net.Listen("tcp", listenAddr)
 		if err != nil {
-			fmt.Fprintf(stderr, "fsbench: listening on %s: %v\n", listenAddr, err)
-			return sweep.Stats{}, 1
+			return sc, fmt.Errorf("listening on %s: %v", listenAddr, err)
 		}
 		fmt.Fprintf(stderr, "fsbench: accepting sweep workers on %s\n", ln.Addr())
 		sc.Listener = ln
@@ -261,11 +302,21 @@ func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cach
 	if cacheDir != "" {
 		cache, err := sweep.OpenCache(cacheDir)
 		if err != nil {
-			fmt.Fprintf(stderr, "fsbench: %v\n", err)
-			return sweep.Stats{}, 1
+			return sc, err
 		}
 		cache.SetMaxBytes(cacheMaxBytes)
 		sc.Cache = cache
+	}
+	return sc, nil
+}
+
+// runSharded runs the full sweep through the multi-process coordinator.
+// The merged *harness.Results lands in *res.
+func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, replayMode string, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
+	sc, err := sweepConfig(cfg, procs, listenAddr, cacheDir, cacheMaxBytes, cellTimeout, replayMode, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fsbench: %v\n", err)
+		return sweep.Stats{}, 1
 	}
 	out, stats, err := sweep.Run(sc)
 	if err != nil {
@@ -274,6 +325,58 @@ func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cach
 	}
 	*res = out
 	return stats, 0
+}
+
+// runShardedReplay implements -replay-shards: plan contiguous phase
+// ranges over the indexed trace, run each range as an independent
+// `trace:<path>@lo-hi` cell — in-process on up to localWorkers
+// goroutines, or across sweep worker processes when -workers-procs or
+// -listen is set — and print the merged per-shard report. The report is
+// a pure function of the plan and the deterministic per-cell results,
+// so the bytes are identical at any worker count, in-process or not.
+func runShardedReplay(cfg harness.Config, app string, shards, localWorkers, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, replayMode string, stdout, stderr io.Writer) int {
+	plan, err := harness.TraceShardPlan(app, shards, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "fsbench: %v\n", err)
+		return 1
+	}
+	var results map[string]harness.CellResult
+	if procs > 0 || listenAddr != "" {
+		sc, err := sweepConfig(cfg, procs, listenAddr, cacheDir, cacheMaxBytes, cellTimeout, replayMode, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: %v\n", err)
+			return 1
+		}
+		cells := make([]harness.Cell, len(plan))
+		for i := range plan {
+			cells[i] = plan[i].Cell
+		}
+		var stats sweep.Stats
+		results, stats, err = sweep.RunCells(sc, cells)
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "fsbench: sharded replay of %d shards: %d cached, %d executed on %d workers, %d retries, %d respawns\n",
+			stats.Cells, stats.Cached, stats.Executed, stats.Workers, stats.Retries, stats.Respawns)
+	} else {
+		w := localWorkers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		results, err = harness.RunShardsLocal(plan, w)
+		if err != nil {
+			fmt.Fprintf(stderr, "fsbench: %v\n", err)
+			return 1
+		}
+	}
+	out, err := harness.FormatShardedReplay(plan, results)
+	if err != nil {
+		fmt.Fprintf(stderr, "fsbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, out)
+	return 0
 }
 
 // gitCommit resolves the source revision for the bench trajectory:

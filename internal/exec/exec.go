@@ -385,11 +385,19 @@ func (e *Engine) simulate(threads []*thread) {
 		// earliest, to amortize scheduler traffic over compute-heavy
 		// stretches; see the Scheduler docs for the run-in-place contract
 		// each implementation exploits. The schedule is identical either
-		// way — the (vtime, id) order is total.
+		// way — the (vtime, id) order is total. The first op always runs
+		// (Min holds the true (vtime, id) minimum, id tie-break included);
+		// after that the bound is strict: at vtime == limit the thread
+		// must re-enter the scheduler so the id tie-break — not whichever
+		// thread happens to be running — orders the tied work. This keeps
+		// the schedule invariant under compute-op granularity (a single
+		// Compute(n) versus any split summing to n), which trace replay
+		// relies on: recorded traces preserve only instruction deltas, not
+		// the original compute-op boundaries.
 		th := s.Min()
 		limit := s.NextVtime()
 		alive := true
-		for th.vtime <= limit {
+		for {
 			op := th.buf[th.pos]
 			th.pos++
 			e.apply(th, op)
@@ -398,6 +406,9 @@ func (e *Engine) simulate(threads []*thread) {
 					alive = false
 					break
 				}
+			}
+			if th.vtime >= limit {
+				break
 			}
 		}
 		if alive {

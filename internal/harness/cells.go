@@ -9,7 +9,6 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -79,12 +78,14 @@ func TraceContentHash(path string) string {
 
 // traceHashFor derives the TraceHash identity component for a workload
 // name: the content hash for trace pseudo-workloads, "" for everything
-// else.
+// else. Phase-ranged names hash the same underlying file — the range is
+// already part of the workload name, so two shards of one trace share
+// the hash but not the identity.
 func traceHashFor(name string) string {
 	if !workload.IsTraceName(name) {
 		return ""
 	}
-	return TraceContentHash(strings.TrimPrefix(name, workload.TracePrefix))
+	return TraceContentHash(workload.TracePath(name))
 }
 
 // canonSched canonicalizes a scheduler name for cell identity: the

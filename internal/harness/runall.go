@@ -161,14 +161,18 @@ type BenchEntry struct {
 	// (trace.BinaryVersion), so trajectory entries pin which format
 	// recorded/imported traces in that revision's artifacts use.
 	TraceFormat int `json:"trace_format"`
+	// ReplayMode is the trace replay mode the sweep ran under ("auto",
+	// "full" or "stream"), so streamed-replay timing points are
+	// distinguishable in the trajectory.
+	ReplayMode string `json:"replay_mode"`
 	// Metrics holds each experiment's headline quantity.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
 // BenchSchema is the current BenchEntry schema identifier; v2 added the
 // git_commit and timestamp stamps, v3 the engine scheduler, v4 the
-// binary trace framing version.
-const BenchSchema = "cheetah-bench/v4"
+// binary trace framing version, v5 the trace replay mode.
+const BenchSchema = "cheetah-bench/v5"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

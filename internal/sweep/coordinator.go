@@ -107,6 +107,31 @@ const (
 // cache can, farm the rest out to workers, then merge by preloading a
 // runner and replaying the experiment assembly in this process.
 func Run(cfg Config) (*harness.Results, Stats, error) {
+	cells := harness.EnumerateCells(cfg.Harness)
+	results, stats, err := RunCells(cfg, cells)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	r := harness.NewRunner(cfg.Harness.Workers)
+	for _, cell := range cells {
+		res, ok := results[cell.ID()]
+		if !ok {
+			return nil, stats, fmt.Errorf("sweep: cell %s has no result after sweep", cell.ID())
+		}
+		if err := r.Preload(cell, res); err != nil {
+			return nil, stats, fmt.Errorf("sweep: preloading %s: %w", cell.ID(), err)
+		}
+	}
+	return harness.RunAllWith(r, cfg.Harness), stats, nil
+}
+
+// RunCells distributes an explicit cell list over the configured
+// workers and returns the finished results keyed by cell ID — the
+// execution engine of Run, exposed so callers with their own plans
+// (phase-sharded trace replays) get the same cache, retry, respawn and
+// timeout machinery without the experiment-assembly merge.
+func RunCells(cfg Config, cells []harness.Cell) (map[string]harness.CellResult, Stats, error) {
 	var stats Stats
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
@@ -121,7 +146,6 @@ func Run(cfg Config) (*harness.Results, Stats, error) {
 		defer cfg.Listener.Close()
 	}
 
-	cells := harness.EnumerateCells(cfg.Harness)
 	stats.Cells = len(cells)
 	results := make(map[string]harness.CellResult, len(cells))
 	var pending []harness.Cell
@@ -146,18 +170,7 @@ func Run(cfg Config) (*harness.Results, Stats, error) {
 			return nil, stats, err
 		}
 	}
-
-	r := harness.NewRunner(cfg.Harness.Workers)
-	for _, cell := range cells {
-		res, ok := results[cell.ID()]
-		if !ok {
-			return nil, stats, fmt.Errorf("sweep: cell %s has no result after sweep", cell.ID())
-		}
-		if err := r.Preload(cell, res); err != nil {
-			return nil, stats, fmt.Errorf("sweep: preloading %s: %w", cell.ID(), err)
-		}
-	}
-	return harness.RunAllWith(r, cfg.Harness), stats, nil
+	return results, stats, nil
 }
 
 // coordinator holds the moving parts of one sweep's execution phase.

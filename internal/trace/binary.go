@@ -20,8 +20,15 @@ import (
 const (
 	BinaryV1 = 1
 	BinaryV2 = 2
+	// BinaryV3 is v2's record layout plus an optional seekable index
+	// block at end of stream (see index.go). NewIndexedEncoder writes it;
+	// sequential decoding is identical to v2, so a v3 trace replays
+	// through every existing path unchanged.
+	BinaryV3 = 3
 	// BinaryVersion is the framing NewBinaryEncoder writes.
 	BinaryVersion = BinaryV2
+	// binaryMaxVersion is the newest framing the decoder accepts.
+	binaryMaxVersion = BinaryV3
 )
 
 // binaryMagicFor returns the magic opening a binary trace of the given
@@ -37,6 +44,11 @@ type BinaryEncoder struct {
 	buf     []byte
 	err     error
 	version int
+	// written is the logical byte offset past the last record handed to
+	// the bufio writer (buffered or flushed) — the index writer's source
+	// of record offsets, maintained here so no counting wrapper has to
+	// sit under the buffer.
+	written uint64
 	// Per-thread column predictors (v2). Values, not pointers: the map is
 	// bounded by the distinct thread ids of the trace being written.
 	prev map[mem.ThreadID]accessState
@@ -100,7 +112,9 @@ func newBinaryEncoder(w io.Writer, version int) *BinaryEncoder {
 		version: version,
 		prev:    make(map[mem.ThreadID]accessState),
 	}
-	_, e.err = e.w.Write(binaryMagicFor(version))
+	magic := binaryMagicFor(version)
+	_, e.err = e.w.Write(magic)
+	e.written = uint64(len(magic))
 	return e
 }
 
@@ -197,6 +211,7 @@ func (e *BinaryEncoder) Encode(ev Event) error {
 	}
 	e.buf = b[:0]
 	_, e.err = e.w.Write(b)
+	e.written += uint64(len(b))
 	return e.err
 }
 
@@ -236,17 +251,20 @@ type binaryDecoder struct {
 	// prev and meta mirror the encoder's prediction context (v2).
 	prev map[mem.ThreadID]accessState
 	meta metaState
+	// sawIndex records that the stream ended at a valid index block
+	// (v3), for metadata inspection.
+	sawIndex bool
 }
 
 // newBinaryDecoder validates the magic, detects the framing version and
 // returns a streaming decoder.
-func newBinaryDecoder(br *bufio.Reader) (func() (Event, error), error) {
+func newBinaryDecoder(br *bufio.Reader) (*binaryDecoder, error) {
 	head := make([]byte, len(binaryMagicFor(BinaryV1)))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: truncated binary magic: %w", err)
 	}
 	version := 0
-	for v := BinaryV1; v <= BinaryVersion; v++ {
+	for v := BinaryV1; v <= binaryMaxVersion; v++ {
 		if string(head) == string(binaryMagicFor(v)) {
 			version = v
 			break
@@ -256,7 +274,7 @@ func newBinaryDecoder(br *bufio.Reader) (func() (Event, error), error) {
 		return nil, fmt.Errorf("trace: bad binary magic %q", head)
 	}
 	d := &binaryDecoder{br: br, version: version, prev: make(map[mem.ThreadID]accessState)}
-	return d.next, nil
+	return d, nil
 }
 
 // next returns the next event. All errors — including io.EOF — are
@@ -280,6 +298,17 @@ func (d *binaryDecoder) decode() (Event, error) {
 	}
 	if err != nil {
 		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	if kind == kindIndexBlock && d.version >= BinaryV3 {
+		// Sequential readers skip the index: consume the payload,
+		// validate the footer, and require a clean end of file — so an
+		// indexed trace decodes to exactly its record stream, and any
+		// truncation or trailing garbage is a terminal error.
+		if err := d.skipIndexBlock(); err != nil {
+			return Event{}, err
+		}
+		d.sawIndex = true
+		return Event{}, io.EOF
 	}
 	ev := Event{Kind: Kind(kind)}
 	switch ev.Kind {

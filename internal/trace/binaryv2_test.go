@@ -179,22 +179,22 @@ func TestBinaryDecodeErrorsAreSticky(t *testing.T) {
 			b = appendUvarintForTest(b, 0)  // phase
 			b = appendUvarintForTest(b, 42) // instrs
 
-			next, err := newBinaryDecoder(bufio.NewReader(bytes.NewReader(b)))
+			d, err := newBinaryDecoder(bufio.NewReader(bytes.NewReader(b)))
 			if err != nil {
 				t.Fatalf("magic rejected: %v", err)
 			}
-			_, err1 := next()
+			_, err1 := d.next()
 			if err1 == nil {
 				t.Fatal("poisoned record decoded without error")
 			}
-			ev, err2 := next()
+			ev, err2 := d.next()
 			if err2 == nil {
 				t.Fatalf("decoder resynchronized after an error and produced %+v", ev)
 			}
 			if err2 != err1 {
 				t.Errorf("second error %v is not the latched first error %v", err2, err1)
 			}
-			if _, err3 := next(); err3 != err1 {
+			if _, err3 := d.next(); err3 != err1 {
 				t.Errorf("third call returned %v, want the latched error", err3)
 			}
 		})

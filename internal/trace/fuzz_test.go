@@ -3,7 +3,12 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/symtab"
 )
 
 // fuzzSeeds returns representative valid traces in both framings plus
@@ -44,12 +49,36 @@ func fuzzSeeds(t interface{ Helper() }) [][]byte {
 	truncated := append([]byte{}, binSeed[:len(binSeed)-3]...)
 	flipped := append([]byte{}, binSeed...)
 	flipped[len(flipped)/2] ^= 0xFF
+
+	// An indexed v3 trace plus the classic corruptions of its index: the
+	// footer, offsets and payload are all attacker-controlled inputs.
+	var v3 bytes.Buffer
+	idxEnc := NewIndexedEncoder(&v3)
+	for _, ev := range indexableEvents() {
+		if err := idxEnc.Encode(ev); err != nil {
+			panic(err)
+		}
+	}
+	if err := idxEnc.Close(); err != nil {
+		panic(err)
+	}
+	idxSeed := v3.Bytes()
+	idxTruncated := append([]byte{}, idxSeed[:len(idxSeed)-footerSize/2]...)
+	idxFlipped := append([]byte{}, idxSeed...)
+	idxFlipped[len(idxFlipped)-footerSize-2] ^= 0xFF // inside the payload
+	idxBadOffset := append([]byte{}, idxSeed...)
+	idxBadOffset[len(idxBadOffset)-footerSize] ^= 0xFF
+
 	return [][]byte{
 		textSeed,
 		binSeed,
 		binV1.Bytes(),
 		truncated,
 		flipped,
+		idxSeed,
+		idxTruncated,
+		idxFlipped,
+		idxBadOffset,
 		[]byte("#cheetah-trace v1\n"),
 		[]byte("#cheetah-trace v2\n"),
 		[]byte{0x00},
@@ -70,6 +99,35 @@ func FuzzDecode(f *testing.F) {
 			if err == io.EOF || err != nil {
 				return
 			}
+		}
+	})
+}
+
+// FuzzIndexOpen drives the seekable-index reader and the windowed
+// streaming replayer: arbitrary bytes on disk must either open cleanly
+// or error — and when they do open, preparing and loading every phase
+// window must never panic, because the index payload (offsets, counts,
+// prediction snapshots) is untrusted input that the loader seeks by.
+func FuzzIndexOpen(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.trace")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenStream(path)
+		if err != nil {
+			return
+		}
+		if err := s.Prepare(heap.New(heap.Config{}), symtab.New(symtab.Config{})); err != nil {
+			return
+		}
+		for si := range s.sh.segs {
+			// Window loads may fail (the records under a syntactically
+			// valid index can still be garbage) but must not panic.
+			_, _ = s.loadPhase(si)
 		}
 	})
 }

@@ -277,14 +277,21 @@ func (rp *Replay) synthesize(h *heap.Heap, syms *symtab.Table) error {
 		heapRuns[i].mappedTo = h.Malloc(mem.MainThread, heapRuns[i].bytes, site)
 	}
 	rp.eachOp(func(op *replayOp) {
-		j := sort.Search(len(heapRuns), func(j int) bool {
-			return heapRuns[j].start.Add(int(heapRuns[j].bytes)) > op.addr
-		})
-		if j < len(heapRuns) && heapRuns[j].contains(op.addr) {
-			op.addr = heapRuns[j].mappedTo + (op.addr - heapRuns[j].start)
-		}
+		op.addr = remapForeign(heapRuns, op.addr)
 	})
 	return nil
+}
+
+// remapForeign translates an address covered by a synthesized run onto
+// its replacement object; addresses outside every run pass through.
+func remapForeign(runs []lineRun, addr mem.Addr) mem.Addr {
+	j := sort.Search(len(runs), func(j int) bool {
+		return runs[j].start.Add(int(runs[j].bytes)) > addr
+	})
+	if j < len(runs) && runs[j].contains(addr) {
+		return runs[j].mappedTo + (addr - runs[j].start)
+	}
+	return addr
 }
 
 // eachOp visits every access operation in deterministic order.

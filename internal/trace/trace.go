@@ -163,6 +163,8 @@ type Encoder interface {
 type Decoder struct {
 	next func() (Event, error)
 	err  error
+	// bd is set for binary streams, for framing/index introspection.
+	bd *binaryDecoder
 }
 
 // NewDecoder wraps r, detecting text or binary framing from the first
@@ -177,12 +179,31 @@ func NewDecoder(r io.Reader) *Decoder {
 	case head[0] == '#':
 		d.next, d.err = newTextDecoder(br)
 	case head[0] == 0x00:
-		d.next, d.err = newBinaryDecoder(br)
+		d.bd, d.err = newBinaryDecoder(br)
+		if d.err == nil {
+			d.next = d.bd.next
+		}
 	default:
 		d.err = fmt.Errorf("trace: unrecognized framing (first byte %#02x; want '#' for text or 0x00 for binary)", head[0])
 	}
 	return d
 }
+
+// Framing names the detected framing ("text", "binary v1", ...); empty
+// until detection succeeds.
+func (d *Decoder) Framing() string {
+	if d.bd != nil {
+		return fmt.Sprintf("binary v%d", d.bd.version)
+	}
+	if d.next != nil {
+		return "text"
+	}
+	return ""
+}
+
+// Indexed reports whether the stream ended at a valid seekable index
+// block. Meaningful only after Next has returned io.EOF.
+func (d *Decoder) Indexed() bool { return d.bd != nil && d.bd.sawIndex }
 
 // Next returns the next event, or io.EOF at a clean end of stream. After
 // any non-nil error the decoder is exhausted.

@@ -4,7 +4,9 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	cheetah "repro"
 	"repro/internal/trace"
@@ -14,10 +16,84 @@ import (
 // to a workload that replays the trace file at <path>. ByName synthesizes
 // these on demand, so the harness and both commands can sweep replayed
 // traces like any registered cell.
+//
+// A `@<lo>-<hi>` suffix restricts replay to the inclusive phase range —
+// `trace:big.trace@0-63` — the unit of cross-worker trace sharding.
+// Ranged names require an indexed trace (they always stream).
 const TracePrefix = "trace:"
 
 // IsTraceName reports whether name denotes a trace pseudo-workload.
 func IsTraceName(name string) bool { return strings.HasPrefix(name, TracePrefix) }
+
+// splitTraceName splits a trace workload name into its file path and
+// optional phase range. Only a well-formed `@<lo>-<hi>` suffix with
+// lo <= hi is treated as a range; anything else stays part of the path
+// (file names may contain '@').
+func splitTraceName(name string) (path string, lo, hi int, ranged bool) {
+	path = strings.TrimPrefix(name, TracePrefix)
+	at := strings.LastIndexByte(path, '@')
+	if at < 0 {
+		return path, 0, 0, false
+	}
+	spec := path[at+1:]
+	dash := strings.IndexByte(spec, '-')
+	if dash <= 0 {
+		return path, 0, 0, false
+	}
+	l, err1 := strconv.Atoi(spec[:dash])
+	h, err2 := strconv.Atoi(spec[dash+1:])
+	if err1 != nil || err2 != nil || l < 0 || h < l {
+		return path, 0, 0, false
+	}
+	return path[:at], l, h, true
+}
+
+// TracePath returns the trace file path a trace workload name refers
+// to, stripped of any phase-range suffix.
+func TracePath(name string) string {
+	path, _, _, _ := splitTraceName(name)
+	return path
+}
+
+// Replay modes select how trace pseudo-workloads load their file.
+const (
+	// ReplayAuto streams indexed traces and fully loads the rest.
+	ReplayAuto = "auto"
+	// ReplayFull always decodes the whole trace into memory.
+	ReplayFull = "full"
+	// ReplayStream always streams; non-indexed traces fail.
+	ReplayStream = "stream"
+)
+
+var replayMode = struct {
+	sync.Mutex
+	mode string
+}{mode: ReplayAuto}
+
+// SetTraceReplayMode selects the process-wide replay mode for trace
+// pseudo-workloads. The mode is deliberately not part of the workload
+// name: a cell's identity (and so the sweep cache key) is the same
+// whichever way the trace is loaded, because the resulting report is
+// proven byte-identical.
+func SetTraceReplayMode(mode string) error {
+	switch mode {
+	case ReplayAuto, ReplayFull, ReplayStream:
+	default:
+		return fmt.Errorf("workload: unknown replay mode %q (want %s, %s or %s)",
+			mode, ReplayAuto, ReplayFull, ReplayStream)
+	}
+	replayMode.Lock()
+	replayMode.mode = mode
+	replayMode.Unlock()
+	return nil
+}
+
+// TraceReplayMode returns the current process-wide replay mode.
+func TraceReplayMode() string {
+	replayMode.Lock()
+	defer replayMode.Unlock()
+	return replayMode.mode
+}
 
 // traceWorkload synthesizes the pseudo-workload for one trace file. The
 // replayed program's structure (threads, phases, work) comes entirely
@@ -26,23 +102,51 @@ func IsTraceName(name string) bool { return strings.HasPrefix(name, TracePrefix)
 // system's core count and the PMU configuration match the recording
 // (full traces only). Build panics on unreadable or malformed trace
 // files — the same contract as registered workloads, whose Build cannot
-// fail; callers wanting a diagnostic run trace.Validate first.
+// fail; callers wanting a diagnostic run ValidateTraceName first.
 func traceWorkload(name string) *Workload {
-	path := strings.TrimPrefix(name, TracePrefix)
+	path, lo, hi, ranged := splitTraceName(name)
 	return &Workload{
 		Name:           name,
 		Suite:          "trace",
 		DefaultThreads: 16,
 		TotalThreads:   func(perPhase int) int { return perPhase },
 		Build: func(sys *cheetah.System, p Params) cheetah.Program {
-			rp, err := trace.ReadFile(path)
+			mode := TraceReplayMode()
+			stream := ranged || mode == ReplayStream ||
+				(mode == ReplayAuto && trace.FileIsIndexed(path))
+			if !stream {
+				rp, err := trace.ReadFile(path)
+				if err != nil {
+					panic(fmt.Sprintf("workload: opening trace: %v", err))
+				}
+				if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+					panic(fmt.Sprintf("workload: preparing trace %s: %v", path, err))
+				}
+				return rp.Program()
+			}
+			sr, err := trace.OpenStream(path)
 			if err != nil {
 				panic(fmt.Sprintf("workload: opening trace: %v", err))
 			}
-			if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
+			if err := sr.Prepare(sys.Heap(), sys.Globals()); err != nil {
 				panic(fmt.Sprintf("workload: preparing trace %s: %v", path, err))
 			}
-			return rp.Program()
+			if ranged {
+				return sr.ProgramRange(lo, hi)
+			}
+			return sr.Program()
 		},
 	}
+}
+
+// ValidateTraceName rehearses the load path Build would take for the
+// named trace workload under the current replay mode, returning the
+// error Build would panic with.
+func ValidateTraceName(name string) error {
+	path, _, _, ranged := splitTraceName(name)
+	mode := TraceReplayMode()
+	if ranged || mode == ReplayStream || (mode == ReplayAuto && trace.FileIsIndexed(path)) {
+		return trace.ValidateStream(path)
+	}
+	return trace.Validate(path)
 }

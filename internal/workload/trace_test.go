@@ -66,3 +66,60 @@ func TestRegisteredNamesExcludeTracePseudoWorkloads(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitTraceName pins the name grammar: only a well-formed
+// `@<lo>-<hi>` suffix with 0 <= lo <= hi is a phase range; anything
+// else — including '@' inside file names — stays part of the path.
+func TestSplitTraceName(t *testing.T) {
+	cases := []struct {
+		name   string
+		path   string
+		lo, hi int
+		ranged bool
+	}{
+		{"trace:big.trace", "big.trace", 0, 0, false},
+		{"trace:big.trace@0-63", "big.trace", 0, 63, true},
+		{"trace:big.trace@7-7", "big.trace", 7, 7, true},
+		{"trace:dir@v2/big.trace@1-2", "dir@v2/big.trace", 1, 2, true},
+		{"trace:odd@name.trace", "odd@name.trace", 0, 0, false},
+		{"trace:big.trace@5-2", "big.trace@5-2", 0, 0, false},
+		{"trace:big.trace@-1-3", "big.trace@-1-3", 0, 0, false},
+		{"trace:big.trace@a-b", "big.trace@a-b", 0, 0, false},
+		{"trace:big.trace@12", "big.trace@12", 0, 0, false},
+		{"trace:big.trace@-", "big.trace@-", 0, 0, false},
+	}
+	for _, tc := range cases {
+		path, lo, hi, ranged := splitTraceName(tc.name)
+		if path != tc.path || lo != tc.lo || hi != tc.hi || ranged != tc.ranged {
+			t.Errorf("splitTraceName(%q) = (%q, %d, %d, %v), want (%q, %d, %d, %v)",
+				tc.name, path, lo, hi, ranged, tc.path, tc.lo, tc.hi, tc.ranged)
+		}
+	}
+}
+
+// TestSetTraceReplayMode: the three modes round-trip, unknown modes are
+// rejected without clobbering the current one, and the default is auto.
+func TestSetTraceReplayMode(t *testing.T) {
+	defer func() {
+		if err := SetTraceReplayMode(ReplayAuto); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := TraceReplayMode(); got != ReplayAuto {
+		t.Fatalf("default replay mode %q, want %q", got, ReplayAuto)
+	}
+	for _, mode := range []string{ReplayAuto, ReplayFull, ReplayStream} {
+		if err := SetTraceReplayMode(mode); err != nil {
+			t.Fatalf("SetTraceReplayMode(%q): %v", mode, err)
+		}
+		if got := TraceReplayMode(); got != mode {
+			t.Errorf("TraceReplayMode() = %q after setting %q", got, mode)
+		}
+	}
+	if err := SetTraceReplayMode("mmap"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if got := TraceReplayMode(); got != ReplayStream {
+		t.Errorf("failed Set clobbered mode: %q", got)
+	}
+}
