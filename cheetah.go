@@ -167,7 +167,14 @@ func (s *System) RunWith(p Program, probes ...exec.Probe) Result {
 func (s *System) RunTraced(p Program, probes ...exec.Probe) (Result, *cache.Sim) {
 	sim := cache.New(s.cfg.Cache)
 	eng := exec.New(sim, s.cfg.Engine, probes...)
-	return eng.Run(p), sim
+	res := eng.Run(p)
+	// Directory occupancy is sampled once per run, after the fact: each
+	// run gets a fresh machine, so a live per-access gauge would cost hot
+	// cycles for a number that only settles here.
+	lines := int64(sim.DirLines())
+	mDirLines.Set(lines)
+	mDirLinesMax.SetMax(lines)
+	return res, sim
 }
 
 // NewProfiler builds a Cheetah profiler wired to this system's heap and

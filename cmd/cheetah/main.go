@@ -12,7 +12,14 @@
 //	cheetah -synth-trace 1000000 -record big.trace
 //	cheetah -import-perf samples.txt [-record out.trace] [-record-binary] [-replay out.trace]
 //	cheetah -import-ibs samples.csv [-record out.trace] [-record-binary] [-replay out.trace]
+//	cheetah ... [-metrics-addr 127.0.0.1:9137] [-span-log spans.jsonl] [-chrome-trace trace.json]
 //	cheetah -list
+//
+// -metrics-addr serves live Prometheus/JSON metrics and pprof for the
+// duration of the run; -span-log and -chrome-trace record structured
+// spans (JSONL, and Chrome trace-event format for chrome://tracing).
+// All three are opt-in and strictly off the report path: the printed
+// report is byte-identical with or without them.
 //
 // Workloads are the built-in Phoenix/PARSEC analogs, e.g.:
 //
@@ -53,6 +60,7 @@ import (
 
 	cheetah "repro"
 	"repro/internal/atomicfile"
+	"repro/internal/obs"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
@@ -94,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"convert `perf script` output of a perf mem record session into a native trace (written to -record)")
 	importIBS := fs.String("import-ibs", "",
 		"convert an AMD IBS CSV dump into a native trace (written to -record)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve live metrics (Prometheus at /metrics, JSON at /metrics.json) and pprof on this address (e.g. 127.0.0.1:9137, or :0)")
+	spanLog := fs.String("span-log", "", "append structured span/event records (JSONL) to this file")
+	chromeTrace := fs.String("chrome-trace", "", "write a Chrome trace-event file (load in chrome://tracing) to this path")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -120,6 +132,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cheetah: unknown scheduler %q; available: %s\n",
 			*sched, strings.Join(exec.SchedulerNames(), ", "))
 		return 2
+	}
+
+	// Observability is opt-in and strictly off the report path: the
+	// profile output is byte-identical with or without these flags.
+	obsCleanup, obsAddr, err := obs.Setup(*metricsAddr, *spanLog, *chromeTrace)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: %v\n", err)
+		return 1
+	}
+	defer obsCleanup()
+	if obsAddr != "" {
+		fmt.Fprintf(stderr, "cheetah: serving metrics and pprof on http://%s\n", obsAddr)
 	}
 
 	var cfg pmu.Config
@@ -249,8 +273,13 @@ func runImport(perfPath, ibsPath string, rec recordOptions, stderr io.Writer) in
 		fmt.Fprintf(stderr, "cheetah: importing %s: %v\n", inPath, err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "cheetah: imported %d %s samples (%d skipped) as %d threads over %d phases to %s\n",
-		stats.Samples, kind, stats.Skipped, stats.Threads, stats.Phases, outPath)
+	skipped := fmt.Sprintf("%d skipped", stats.Skipped)
+	if stats.Skipped > 0 {
+		skipped = fmt.Sprintf("%d skipped: %d parse, %d non-mem, %d kernel",
+			stats.Skipped, stats.SkippedParse, stats.SkippedNonMem, stats.SkippedKernel)
+	}
+	fmt.Fprintf(stderr, "cheetah: imported %d %s samples (%s) as %d threads over %d phases to %s\n",
+		stats.Samples, kind, skipped, stats.Threads, stats.Phases, outPath)
 	return 0
 }
 
@@ -420,6 +449,9 @@ func runTraceInfo(path string, stdout, stderr io.Writer) int {
 		m.Name, m.Cores, m.Framing, m.Indexed)
 	fmt.Fprintf(stdout, "accesses: %d\nsymbols:  %d\nobjects:  %d\nphases:   %d (max index %d)\nthreads:  %d\n",
 		m.Accesses, m.Symbols, m.Objects, m.Phases, m.MaxPhase, m.Threads)
+	for _, note := range m.Notes {
+		fmt.Fprintf(stdout, "note:     %s\n", note)
+	}
 	return 0
 }
 

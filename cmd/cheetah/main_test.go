@@ -357,3 +357,63 @@ func TestRunStreamReplayGoldens(t *testing.T) {
 		})
 	}
 }
+
+// TestRunMetricsFlagsOffReportPath: the observability flags must not
+// perturb the report — stdout is byte-identical with metrics serving,
+// span logging and Chrome tracing all enabled.
+func TestRunMetricsFlagsOffReportPath(t *testing.T) {
+	var plain, plainErr strings.Builder
+	if code := run([]string{"-threads", "4", "-scale", "0.2", "figure1"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exit code %d, stderr:\n%s", code, plainErr.String())
+	}
+	dir := t.TempDir()
+	var obs, obsErr strings.Builder
+	args := []string{
+		"-metrics-addr", "127.0.0.1:0",
+		"-span-log", filepath.Join(dir, "spans.jsonl"),
+		"-chrome-trace", filepath.Join(dir, "trace.json"),
+		"-threads", "4", "-scale", "0.2", "figure1",
+	}
+	if code := run(args, &obs, &obsErr); code != 0 {
+		t.Fatalf("instrumented run exit code %d, stderr:\n%s", code, obsErr.String())
+	}
+	if plain.String() != obs.String() {
+		t.Error("report changed under -metrics-addr/-span-log/-chrome-trace")
+	}
+	if !strings.Contains(obsErr.String(), "serving metrics and pprof") {
+		t.Errorf("stderr missing metrics endpoint line:\n%s", obsErr.String())
+	}
+	chrome, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome) == 0 || chrome[0] != '[' || !strings.HasSuffix(strings.TrimSpace(string(chrome)), "]") {
+		t.Errorf("chrome trace is not a finalized JSON array:\n%.200s", chrome)
+	}
+}
+
+// TestRunTraceInfoPrintsImportNotes: -trace-info surfaces the skip
+// tally the importer embedded as #note records.
+func TestRunTraceInfoPrintsImportNotes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "imported.trace")
+	var out, errOut strings.Builder
+	if code := run([]string{"-import-perf", perfFixture, "-record", path}, &out, &errOut); code != 0 {
+		t.Fatalf("import exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "2 skipped: 0 parse, 1 non-mem, 1 kernel") {
+		t.Errorf("import summary missing skip breakdown:\n%s", errOut.String())
+	}
+	var info, infoErr strings.Builder
+	if code := run([]string{"-trace-info", path}, &info, &infoErr); code != 0 {
+		t.Fatalf("trace-info exit code %d, stderr:\n%s", code, infoErr.String())
+	}
+	for _, want := range []string{
+		"note:     import.source=perf-script",
+		"note:     import.skipped_nonmem=1",
+		"note:     import.skipped_kernel=1",
+	} {
+		if !strings.Contains(info.String(), want) {
+			t.Errorf("trace-info missing %q:\n%s", want, info.String())
+		}
+	}
+}

@@ -9,6 +9,14 @@
 //	        [-workers-procs 0] [-cache-dir DIR] [-cache-max-bytes N] [-listen ADDR]
 //	fsbench -replay-shards N -app trace:PATH [-workers 0] [-workers-procs 0]
 //	fsbench -worker [-connect ADDR]
+//	fsbench ... [-metrics-addr 127.0.0.1:9137] [-span-log spans.jsonl]
+//	        [-chrome-trace trace.json] [-progress 10s]
+//
+// -metrics-addr serves live Prometheus/JSON metrics and pprof while the
+// sweep runs; -span-log / -chrome-trace record the sweep cell lifecycle
+// as structured spans; -progress prints a periodic done/pending line
+// for sharded sweeps. All are opt-in and off the report path: output is
+// byte-identical with or without them.
 //
 // Each experiment prints the same rows or series the paper reports.
 // Experiment cells run concurrently on a -workers pool (0 = GOMAXPROCS, 1 = serial);
@@ -62,6 +70,7 @@ import (
 	"repro/internal/atomicfile"
 	engine "repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -103,6 +112,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"trace replay mode: auto (stream indexed traces), full, or stream; reports are byte-identical in every mode")
 	replayShards := fs.Int("replay-shards", 0,
 		"with -app trace:PATH: split the indexed trace into this many phase-range shards and print the merged per-shard report")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve live metrics (Prometheus at /metrics, JSON at /metrics.json) and pprof on this address (e.g. 127.0.0.1:9137, or :0)")
+	spanLog := fs.String("span-log", "", "append structured span/event records (JSONL) to this file")
+	chromeTrace := fs.String("chrome-trace", "", "write a Chrome trace-event file (load in chrome://tracing) to this path")
+	progressEvery := fs.Duration("progress", 0,
+		"with a sharded sweep: print a progress line (done/pending/retries, cache hit rate) at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -153,6 +168,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Observability is opt-in and strictly off the report path: sweep
+	// output is byte-identical with or without these flags (CI cmps it).
+	obsCleanup, obsAddr, err := obs.Setup(*metricsAddr, *spanLog, *chromeTrace)
+	if err != nil {
+		fmt.Fprintf(stderr, "fsbench: %v\n", err)
+		return 1
+	}
+	defer obsCleanup()
+	if obsAddr != "" {
+		fmt.Fprintf(stderr, "fsbench: serving metrics and pprof on http://%s\n", obsAddr)
+	}
+
 	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers, Sched: *sched}
 	sharded := *workersProcs > 0 || *listenAddr != ""
 	if sharded && *experiment != "all" && *replayShards == 0 {
@@ -175,6 +202,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fsbench: -cell-timeout requires a sharded sweep (-workers-procs or -listen)\n")
 		return 2
 	}
+	if *progressEvery != 0 && !sharded {
+		fmt.Fprintf(stderr, "fsbench: -progress requires a sharded sweep (-workers-procs or -listen)\n")
+		return 2
+	}
 
 	// Phase-sharded trace replay: split one indexed trace into phase
 	// ranges, run them as independent cells (local goroutines or sweep
@@ -189,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runShardedReplay(cfg, *app, *replayShards, *workers, *workersProcs,
-			*listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *replayMode, stdout, stderr)
+			*listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *progressEvery, *replayMode, stdout, stderr)
 	}
 
 	switch *experiment {
@@ -200,8 +231,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			workersN int
 		)
 		start := time.Now()
+		accessesBefore := obs.Default().CounterValue("cheetah_exec_accesses_total")
 		if sharded {
-			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *replayMode, &res, stderr)
+			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *progressEvery, *replayMode, &res, stderr)
 			if code != 0 {
 				return code
 			}
@@ -224,6 +256,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if schedName == "" {
 				schedName = engine.SchedHeap
 			}
+			accesses := obs.Default().CounterValue("cheetah_exec_accesses_total") - accessesBefore
 			entry := harness.BenchEntry{
 				Schema:      harness.BenchSchema,
 				GitCommit:   gitCommit(),
@@ -236,7 +269,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Sched:       schedName,
 				TraceFormat: trace.BinaryVersion,
 				ReplayMode:  *replayMode,
-				Metrics:     res.Metrics(),
+				// The engine's own access counter over the sweep's wall
+				// clock: simulation throughput, not report content.
+				AccessesPerSec: float64(accesses) / elapsed.Seconds(),
+				Metrics:        res.Metrics(),
 			}
 			b, err := entry.MarshalIndent()
 			if err == nil {
@@ -280,8 +316,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 // loads traces the same way), plus any remote workers that dial
 // listenAddr, with an optional on-disk result cache and per-cell
 // timeout.
-func sweepConfig(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, replayMode string, stderr io.Writer) (sweep.Config, error) {
-	sc := sweep.Config{Harness: cfg, Procs: procs, CellTimeout: cellTimeout, Log: stderr}
+func sweepConfig(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout, progressEvery time.Duration, replayMode string, stderr io.Writer) (sweep.Config, error) {
+	sc := sweep.Config{Harness: cfg, Procs: procs, CellTimeout: cellTimeout, Log: stderr, ProgressEvery: progressEvery}
 	if procs > 0 {
 		self, err := os.Executable()
 		if err != nil {
@@ -312,8 +348,8 @@ func sweepConfig(cfg harness.Config, procs int, listenAddr, cacheDir string, cac
 
 // runSharded runs the full sweep through the multi-process coordinator.
 // The merged *harness.Results lands in *res.
-func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, replayMode string, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
-	sc, err := sweepConfig(cfg, procs, listenAddr, cacheDir, cacheMaxBytes, cellTimeout, replayMode, stderr)
+func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout, progressEvery time.Duration, replayMode string, res **harness.Results, stderr io.Writer) (sweep.Stats, int) {
+	sc, err := sweepConfig(cfg, procs, listenAddr, cacheDir, cacheMaxBytes, cellTimeout, progressEvery, replayMode, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "fsbench: %v\n", err)
 		return sweep.Stats{}, 1
@@ -334,7 +370,7 @@ func runSharded(cfg harness.Config, procs int, listenAddr, cacheDir string, cach
 // -listen is set — and print the merged per-shard report. The report is
 // a pure function of the plan and the deterministic per-cell results,
 // so the bytes are identical at any worker count, in-process or not.
-func runShardedReplay(cfg harness.Config, app string, shards, localWorkers, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout time.Duration, replayMode string, stdout, stderr io.Writer) int {
+func runShardedReplay(cfg harness.Config, app string, shards, localWorkers, procs int, listenAddr, cacheDir string, cacheMaxBytes int64, cellTimeout, progressEvery time.Duration, replayMode string, stdout, stderr io.Writer) int {
 	plan, err := harness.TraceShardPlan(app, shards, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "fsbench: %v\n", err)
@@ -342,7 +378,7 @@ func runShardedReplay(cfg harness.Config, app string, shards, localWorkers, proc
 	}
 	var results map[string]harness.CellResult
 	if procs > 0 || listenAddr != "" {
-		sc, err := sweepConfig(cfg, procs, listenAddr, cacheDir, cacheMaxBytes, cellTimeout, replayMode, stderr)
+		sc, err := sweepConfig(cfg, procs, listenAddr, cacheDir, cacheMaxBytes, cellTimeout, progressEvery, replayMode, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "fsbench: %v\n", err)
 			return 1

@@ -340,3 +340,49 @@ func TestImportedTraceSmoke(t *testing.T) {
 		t.Error("imported-trace fig5 output differs across schedulers")
 	}
 }
+
+// TestRunMetricsFlagsOffReportPath: sweep output must be byte-identical
+// with the observability surface fully enabled — the CLI edge of the
+// "instrumentation off the report path" guarantee.
+func TestRunMetricsFlagsOffReportPath(t *testing.T) {
+	// -workers 2 pins a private runner: the shared default runner
+	// memoizes cells forever, and a memoized hit executes nothing — so
+	// the instrumented run would have no cell spans to log.
+	var plain, plainErr strings.Builder
+	if code := run([]string{"-experiment", "fig1", "-scale", "0.2", "-threads", "4", "-workers", "2"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exit code %d, stderr:\n%s", code, plainErr.String())
+	}
+	dir := t.TempDir()
+	var obs, obsErr strings.Builder
+	args := []string{
+		"-metrics-addr", "127.0.0.1:0",
+		"-span-log", filepath.Join(dir, "spans.jsonl"),
+		"-chrome-trace", filepath.Join(dir, "trace.json"),
+		"-experiment", "fig1", "-scale", "0.2", "-threads", "4", "-workers", "2",
+	}
+	if code := run(args, &obs, &obsErr); code != 0 {
+		t.Fatalf("instrumented run exit code %d, stderr:\n%s", code, obsErr.String())
+	}
+	if plain.String() != obs.String() {
+		t.Error("fig1 output changed under -metrics-addr/-span-log/-chrome-trace")
+	}
+	spans, err := os.ReadFile(filepath.Join(dir, "spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(spans), `"cat":"harness"`) || !strings.Contains(string(spans), `"workload":"figure1"`) {
+		t.Errorf("span log missing harness cell spans:\n%.300s", spans)
+	}
+}
+
+// TestRunProgressFlagRequiresSharding mirrors the other sharded-only
+// flags: -progress without a sharded sweep is a usage error.
+func TestRunProgressFlagRequiresSharding(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "all", "-progress", "5s"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-progress requires a sharded sweep") {
+		t.Errorf("stderr missing diagnostic:\n%s", errOut.String())
+	}
+}

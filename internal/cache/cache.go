@@ -348,6 +348,17 @@ func New(cfg Config) *Sim {
 // Cores returns the number of simulated cores.
 func (s *Sim) Cores() int { return s.cfg.Cores }
 
+// DirLines returns the number of live directory entries — distinct cache
+// lines the simulated program has touched. An occupancy probe for
+// observability; O(shards), no allocation.
+func (s *Sim) DirLines() int {
+	n := 0
+	for i := range s.dir.shards {
+		n += s.dir.shards[i].used
+	}
+	return n
+}
+
 // Stats returns a copy of the aggregate counters.
 func (s *Sim) Stats() Stats { return s.stats }
 

@@ -279,6 +279,7 @@ func (e *Engine) Run(p Program) Result {
 	for _, pr := range e.probes {
 		pr.ProgramEnd(e.clock)
 	}
+	mProgramsRun.Inc()
 	return e.result
 }
 
@@ -334,6 +335,8 @@ func (e *Engine) runPhase(idx int, ph Phase) {
 		threads[i] = th
 	}
 
+	mPhasesRun.Inc()
+	mQueueDepth.Set(int64(len(threads)))
 	e.simulate(threads)
 
 	end := e.clock
@@ -461,4 +464,8 @@ func (e *Engine) finishThread(th *thread) {
 		Start: th.start, End: th.vtime,
 		Instrs: th.instrs, MemAccesses: th.memAccesses, MemCycles: th.memCycles,
 	})
+	mThreadsRun.Inc()
+	mAccesses.Add(th.memAccesses)
+	mMemCycles.Add(th.memCycles)
+	mInstrs.Add(th.instrs)
 }

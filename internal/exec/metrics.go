@@ -1,0 +1,25 @@
+package exec
+
+import "repro/internal/obs"
+
+// Engine observability. Counters are flushed at thread/phase/program
+// boundaries — never inside simulate/apply — so the per-access hot path
+// carries zero instrumentation cost: each completed thread folds its
+// already-tracked totals into the registry with a handful of atomic
+// adds. Metric values never feed back into scheduling or results.
+var (
+	mProgramsRun = obs.GetCounter("cheetah_exec_programs_total",
+		"Programs executed to completion by the engine.")
+	mPhasesRun = obs.GetCounter("cheetah_exec_phases_total",
+		"Program phases executed by the engine.")
+	mThreadsRun = obs.GetCounter("cheetah_exec_threads_total",
+		"Simulated threads run to completion.")
+	mAccesses = obs.GetCounter("cheetah_exec_accesses_total",
+		"Simulated memory accesses executed (flushed per completed thread).")
+	mMemCycles = obs.GetCounter("cheetah_exec_mem_cycles_total",
+		"Simulated cycles spent in memory accesses (flushed per completed thread).")
+	mInstrs = obs.GetCounter("cheetah_exec_instructions_total",
+		"Simulated instructions retired (flushed per completed thread).")
+	mQueueDepth = obs.GetGauge("cheetah_exec_runnable_threads",
+		"Scheduler queue depth at the start of the most recent phase.")
+)

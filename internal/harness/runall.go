@@ -165,14 +165,20 @@ type BenchEntry struct {
 	// "full" or "stream"), so streamed-replay timing points are
 	// distinguishable in the trajectory.
 	ReplayMode string `json:"replay_mode"`
+	// AccessesPerSec is the sweep's simulation throughput: simulated
+	// memory accesses executed in this process divided by wall-clock
+	// time. 0 when the accesses all ran elsewhere (fully sharded or
+	// fully cached sweeps).
+	AccessesPerSec float64 `json:"accesses_per_sec"`
 	// Metrics holds each experiment's headline quantity.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
 // BenchSchema is the current BenchEntry schema identifier; v2 added the
 // git_commit and timestamp stamps, v3 the engine scheduler, v4 the
-// binary trace framing version, v5 the trace replay mode.
-const BenchSchema = "cheetah-bench/v5"
+// binary trace framing version, v5 the trace replay mode, v6 the
+// accesses/sec throughput stamp.
+const BenchSchema = "cheetah-bench/v6"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	cheetah "repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/workload"
 )
@@ -165,9 +167,21 @@ func (r *Runner) submit(k cellKey) *cell {
 		go func() {
 			r.sem <- struct{}{}
 			defer func() { <-r.sem }()
+			start := time.Now()
 			c.out = r.run(c.key)
+			end := time.Now()
+			mCellsExecuted.Inc()
+			mCellSeconds.Observe(end.Sub(start).Seconds())
+			if obs.TracingEnabled() {
+				obs.Span("harness", "cell", start, end, 0, map[string]any{
+					"workload": c.key.workload, "kind": int(c.key.kind),
+					"threads": c.key.threads, "cores": c.key.cores,
+				})
+			}
 			close(c.done)
 		}()
+	} else {
+		mCellsMemoized.Inc()
 	}
 	r.mu.Unlock()
 	return c

@@ -1,0 +1,356 @@
+// Package obs is the runtime observability layer: a zero-dependency
+// registry of counters, gauges and histograms, rendered as both
+// expvar-style JSON and Prometheus text exposition; a structured
+// span/event tracer emitting JSONL and Chrome trace-event files; and an
+// opt-in HTTP endpoint serving the metrics next to net/http/pprof.
+//
+// Design constraints, in order:
+//
+//  1. Instrumentation must be strictly off the report path. Nothing in
+//     this package feeds back into simulation, cell identity or the
+//     content-addressed result cache; every byte-identical determinism
+//     suite passes with metrics enabled because metrics cannot reach the
+//     bytes being compared.
+//  2. Hot-path cost is one atomic add, no allocations, no locks. Metric
+//     handles are resolved once at package init (or per subsystem
+//     setup); Counter.Add / Gauge.Set are plain atomics. Registry locks
+//     are taken only at registration and render time.
+//  3. Output is deterministic: metrics render in sorted name order with
+//     stable float formatting, so snapshots golden-pin cleanly.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable but unregistered; obtain registered counters from a Registry.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+// Add increments the counter by n. One atomic add; safe and alloc-free
+// on hot paths.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Stored as an int64.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v is larger, for high-water marks.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// gaugeFunc is a gauge sampled at render time (runtime/GC/RSS probes).
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: Observe is a bucket search plus two atomics.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default histogram bucketing for second-valued
+// durations: 1ms to ~100s in powers of ~4.
+var DurationBuckets = []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 30, 120}
+
+// metric is the registry's uniform view of one registered metric.
+type metric struct {
+	kind string // "counter", "gauge", "gaugefunc", "histogram"
+	c    *Counter
+	g    *Gauge
+	gf   *gaugeFunc
+	h    *Histogram
+	help string
+}
+
+// Registry holds a flat namespace of metrics. All methods are safe for
+// concurrent use; registration is idempotent (re-registering a name
+// returns the existing metric, and panics only on a kind mismatch,
+// which is a programming error).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// defaultRegistry is the process-wide registry package-level helpers
+// use; subsystems register their metrics here at init.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// validName reports whether name is a legal Prometheus metric name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, kind string, m metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[name]; ok {
+		if old.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, old.kind))
+		}
+		return old
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	return r.register(name, "counter", metric{kind: "counter", c: c, help: help}).c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	return r.register(name, "gauge", metric{kind: "gauge", g: g, help: help}).g
+}
+
+// GaugeFunc registers a gauge whose value is sampled by fn at render
+// time. Re-registering a name keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	gf := &gaugeFunc{name: name, help: help, fn: fn}
+	r.register(name, "gaugefunc", metric{kind: "gaugefunc", gf: gf, help: help})
+}
+
+// Histogram registers (or returns the existing) histogram under name
+// with the given ascending upper bounds (nil uses DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return r.register(name, "histogram", metric{kind: "histogram", h: h, help: help}).h
+}
+
+// Counter registers a counter on the default registry.
+func GetCounter(name, help string) *Counter { return defaultRegistry.Counter(name, help) }
+
+// GetGauge registers a gauge on the default registry.
+func GetGauge(name, help string) *Gauge { return defaultRegistry.Gauge(name, help) }
+
+// GetHistogram registers a histogram on the default registry.
+func GetHistogram(name, help string, bounds []float64) *Histogram {
+	return defaultRegistry.Histogram(name, help, bounds)
+}
+
+// CounterValue returns the named counter's current value (0 if absent
+// or not a counter) — the hook bench stamping and monotonicity tests
+// read through.
+func (r *Registry) CounterValue(name string) uint64 {
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok || m.c == nil {
+		return 0
+	}
+	return m.c.Value()
+}
+
+// names returns the registered metric names sorted.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Registry) get(name string) (metric, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	return m, ok
+}
+
+// formatFloat renders a float the same way everywhere: shortest
+// round-trippable representation, so golden snapshots are stable.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range r.names() {
+		m, ok := r.get(name)
+		if !ok {
+			continue
+		}
+		typ := m.kind
+		if typ == "gaugefunc" {
+			typ = "gauge"
+		}
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, strings.ReplaceAll(m.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+		switch m.kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s %d\n", name, m.c.Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%s %d\n", name, m.g.Value())
+		case "gaugefunc":
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(m.gf.fn()))
+		case "histogram":
+			h := m.h
+			var cum uint64
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+			fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders every metric as one JSON object keyed by metric
+// name (expvar style), sorted, with histograms as nested objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	for _, name := range r.names() {
+		m, ok := r.get(name)
+		if !ok {
+			continue
+		}
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "\n  %q: ", name)
+		switch m.kind {
+		case "counter":
+			fmt.Fprintf(&b, "%d", m.c.Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%d", m.g.Value())
+		case "gaugefunc":
+			b.WriteString(jsonFloat(m.gf.fn()))
+		case "histogram":
+			h := m.h
+			fmt.Fprintf(&b, "{\"count\": %d, \"sum\": %s, \"buckets\": {", h.Count(), jsonFloat(h.Sum()))
+			var cum uint64
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%q: %d, ", formatFloat(ub), cum)
+			}
+			fmt.Fprintf(&b, "\"+Inf\": %d}}", h.Count())
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonFloat renders a float as a JSON number (NaN/Inf become null,
+// which JSON cannot represent as numbers).
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return formatFloat(v)
+}

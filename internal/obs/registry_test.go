@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenSnapshot pins the exact rendered output of a small registry
+// in both exposition formats. If this changes, scrapers and dashboards
+// see the change too — update deliberately.
+func TestGoldenSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cheetah_test_ops_total", "Test operations.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("cheetah_test_depth", "Test queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("cheetah_test_ratio", "Test sampled ratio.", func() float64 { return 0.25 })
+	h := r.Histogram("cheetah_test_seconds", "Test durations.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	wantProm := `# HELP cheetah_test_depth Test queue depth.
+# TYPE cheetah_test_depth gauge
+cheetah_test_depth 5
+# HELP cheetah_test_ops_total Test operations.
+# TYPE cheetah_test_ops_total counter
+cheetah_test_ops_total 42
+# HELP cheetah_test_ratio Test sampled ratio.
+# TYPE cheetah_test_ratio gauge
+cheetah_test_ratio 0.25
+# HELP cheetah_test_seconds Test durations.
+# TYPE cheetah_test_seconds histogram
+cheetah_test_seconds_bucket{le="0.1"} 1
+cheetah_test_seconds_bucket{le="1"} 3
+cheetah_test_seconds_bucket{le="10"} 3
+cheetah_test_seconds_bucket{le="+Inf"} 4
+cheetah_test_seconds_sum 101.05
+cheetah_test_seconds_count 4
+`
+	if prom.String() != wantProm {
+		t.Errorf("prometheus snapshot mismatch:\ngot:\n%s\nwant:\n%s", prom.String(), wantProm)
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{
+  "cheetah_test_depth": 5,
+  "cheetah_test_ops_total": 42,
+  "cheetah_test_ratio": 0.25,
+  "cheetah_test_seconds": {"count": 4, "sum": 101.05, "buckets": {"0.1": 1, "1": 3, "10": 3, "+Inf": 4}}
+}
+`
+	if js.String() != wantJSON {
+		t.Errorf("json snapshot mismatch:\ngot:\n%s\nwant:\n%s", js.String(), wantJSON)
+	}
+	// The JSON rendering must also be valid JSON.
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &parsed); err != nil {
+		t.Fatalf("rendered JSON does not parse: %v", err)
+	}
+	if parsed["cheetah_test_ops_total"].(float64) != 42 {
+		t.Errorf("parsed counter = %v, want 42", parsed["cheetah_test_ops_total"])
+	}
+}
+
+// TestPrometheusConformance checks the text exposition against the
+// format rules a real Prometheus scraper enforces: every sample line
+// matches the grammar, every metric has exactly one TYPE line appearing
+// before its samples, counters end in _total, histograms expose
+// cumulative non-decreasing buckets with a trailing +Inf equal to
+// _count, and no name is emitted twice.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_events_total", "Events.").Add(3)
+	r.Gauge("app_depth", "Depth.").Set(-4)
+	r.GaugeFunc("app_frac", "Fraction.", func() float64 { return 1.5e-3 })
+	h := r.Histogram("app_lat_seconds", "Latency.", nil)
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+	RegisterRuntimeMetrics(r) // conformance must hold with runtime gauges too
+
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (-?[0-9.eE+]+|\+Inf|NaN)$`)
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpRe := regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+
+	typed := map[string]string{}
+	seenSample := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("duplicate TYPE for %s", m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if !helpRe.MatchString(line) {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("sample line does not match exposition grammar: %q", line)
+		}
+		name := m[1]
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if bt := strings.TrimSuffix(name, suf); bt != name && typed[bt] == "histogram" {
+				base = bt
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE line", line)
+		}
+		if seenSample[name] && typed[base] != "histogram" {
+			t.Fatalf("metric %s emitted twice", name)
+		}
+		seenSample[name] = true
+		if typed[base] == "counter" && !strings.HasSuffix(base, "_total") {
+			t.Errorf("counter %s does not end in _total", base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Histogram invariants: buckets cumulative and non-decreasing,
+	// +Inf bucket == _count.
+	var lastCum uint64
+	var infVal, countVal uint64
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "app_lat_seconds_bucket{le=\"+Inf\"}") {
+			v, _ := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+			infVal = v
+			if v < lastCum {
+				t.Errorf("+Inf bucket %d below prior cumulative %d", v, lastCum)
+			}
+		} else if strings.HasPrefix(line, "app_lat_seconds_bucket") {
+			v, _ := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+			if v < lastCum {
+				t.Errorf("bucket sequence not cumulative: %d after %d", v, lastCum)
+			}
+			lastCum = v
+		} else if strings.HasPrefix(line, "app_lat_seconds_count ") {
+			countVal, _ = strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	if infVal != countVal || countVal != 50 {
+		t.Errorf("+Inf bucket %d, count %d, want both 50", infVal, countVal)
+	}
+}
+
+func TestRegistryIdempotentAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	a.Add(5)
+	if r.CounterValue("x_total") != 5 {
+		t.Errorf("CounterValue = %d, want 5", r.CounterValue("x_total"))
+	}
+	if r.CounterValue("missing") != 0 {
+		t.Error("CounterValue(missing) != 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch did not panic")
+			}
+		}()
+		r.Gauge("x_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name did not panic")
+			}
+		}()
+		r.Counter("9bad name", "x")
+	}()
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.SetMax(5)
+	if g.Value() != 10 {
+		t.Errorf("SetMax lowered gauge to %d", g.Value())
+	}
+	g.SetMax(20)
+	if g.Value() != 20 {
+		t.Errorf("SetMax failed to raise gauge: %d", g.Value())
+	}
+}
+
+func TestHistogramSumPrecision(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s_seconds", "", []float64{1})
+	h.Observe(0.1)
+	h.Observe(0.2)
+	if math.Abs(h.Sum()-0.3) > 1e-12 {
+		t.Errorf("Sum = %v, want 0.3", h.Sum())
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+var runtimeOnce sync.Once
+
+// RegisterRuntimeMetrics adds sampled Go-runtime and process gauges to
+// reg: goroutines, heap alloc/sys, cumulative GC cycles and pause time,
+// and (on Linux) resident set size read from /proc/self/statm. Values
+// are sampled lazily at render time, so registration costs nothing on
+// any hot path. Idempotent; StartServer calls it automatically.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == defaultRegistry {
+		// Guard the common case against racing first registrations.
+		runtimeOnce.Do(func() { registerRuntimeMetrics(reg) })
+		return
+	}
+	registerRuntimeMetrics(reg)
+}
+
+func registerRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	reg.GaugeFunc("go_heap_sys_bytes", "Bytes of heap obtained from the OS.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapSys)
+	})
+	reg.GaugeFunc("go_gc_cycles", "Completed GC cycles since process start.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+	reg.GaugeFunc("go_gc_pause_seconds", "Cumulative GC stop-the-world pause time.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
+	})
+	if runtime.GOOS == "linux" {
+		reg.GaugeFunc("process_resident_memory_bytes", "Resident set size from /proc/self/statm.", func() float64 {
+			return float64(residentBytes())
+		})
+	}
+}
+
+// residentBytes reads RSS from /proc/self/statm (second field, pages).
+func residentBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

@@ -1,0 +1,30 @@
+package obs
+
+// Setup wires the opt-in CLI observability surface in one call: a
+// metrics/pprof HTTP server when metricsAddr is non-empty, and the
+// global span tracer when either trace path is. addr is the bound
+// listen address ("" when no server was requested), so callers can
+// print the live URL even for ":0". The returned cleanup — never nil —
+// stops the server, detaches the tracer, and finalizes the trace
+// files; call it once on exit.
+func Setup(metricsAddr, spanLog, chromeTrace string) (cleanup func(), addr string, err error) {
+	var srv *Server
+	if metricsAddr != "" {
+		if srv, err = StartServer(metricsAddr, Default()); err != nil {
+			return func() {}, "", err
+		}
+	}
+	tr, err := OpenTracer(spanLog, chromeTrace)
+	if err != nil {
+		srv.Close()
+		return func() {}, "", err
+	}
+	SetTracer(tr)
+	return func() {
+		SetTracer(nil)
+		if tr != nil {
+			tr.Close()
+		}
+		srv.Close()
+	}, srv.Addr(), nil
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerJSONLAndChrome(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "spans.jsonl")
+	chromePath := filepath.Join(dir, "trace.json")
+	tr, err := OpenTracer(jsonlPath, chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	tr.Span("sweep", "cell", base, base.Add(1500*time.Microsecond), 3,
+		map[string]any{"id": "c1", "attempt": 1})
+	tr.Event("sweep", "requeue", 0, map[string]any{"id": "c2"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSONL: one valid object per line with the trace-event fields.
+	raw, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	var span TraceEvent
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if span.Ph != "X" || span.Name != "cell" || span.Cat != "sweep" || span.TID != 3 {
+		t.Errorf("span fields wrong: %+v", span)
+	}
+	if span.Dur < 1400 || span.Dur > 1600 {
+		t.Errorf("span dur = %dµs, want ~1500", span.Dur)
+	}
+	if span.Args["id"] != "c1" {
+		t.Errorf("span args = %v", span.Args)
+	}
+	var inst TraceEvent
+	if err := json.Unmarshal([]byte(lines[1]), &inst); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if inst.Ph != "i" || inst.S != "t" {
+		t.Errorf("instant fields wrong: %+v", inst)
+	}
+
+	// Chrome file: a single well-formed JSON array of the same events.
+	rawC, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []TraceEvent
+	if err := json.Unmarshal(rawC, &arr); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v", err)
+	}
+	if len(arr) != 2 || arr[0].Name != "cell" || arr[1].Name != "requeue" {
+		t.Errorf("chrome trace contents wrong: %+v", arr)
+	}
+}
+
+func TestTracerEmptyChromeStillValidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	tr, err := OpenTracer("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	var arr []TraceEvent
+	if err := json.Unmarshal(raw, &arr); err != nil {
+		t.Fatalf("empty chrome trace not valid JSON: %v", err)
+	}
+	if len(arr) != 0 {
+		t.Errorf("expected empty array, got %d events", len(arr))
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Span("a", "b", time.Now(), time.Now(), 0, nil) // must not panic
+	tr.Event("a", "b", 0, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr2, err := OpenTracer("", ""); err != nil || tr2 != nil {
+		t.Fatalf("OpenTracer(\"\",\"\") = %v, %v; want nil, nil", tr2, err)
+	}
+
+	// Global helpers with no tracer installed are no-ops too.
+	SetTracer(nil)
+	Span("a", "b", time.Now(), time.Now(), 0, nil)
+	Event("a", "b", 0, nil)
+	if TracingEnabled() {
+		t.Error("TracingEnabled with nil tracer")
+	}
+}
+
+func TestGlobalTracerInstall(t *testing.T) {
+	jsonlPath := filepath.Join(t.TempDir(), "g.jsonl")
+	tr, err := OpenTracer(jsonlPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetTracer(tr)
+	defer SetTracer(nil)
+	if !TracingEnabled() {
+		t.Fatal("TracingEnabled false after SetTracer")
+	}
+	Event("t", "ping", 0, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(jsonlPath)
+	if !strings.Contains(string(raw), `"ping"`) {
+		t.Errorf("global event not written: %q", raw)
+	}
+}
+
+func TestStartServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_hits_total", "Hits.").Add(9)
+	s, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "srv_hits_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "go_goroutines") {
+		t.Errorf("/metrics missing runtime gauges")
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	body, ct = get("/metrics.json")
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if parsed["srv_hits_total"].(float64) != 9 {
+		t.Errorf("/metrics.json counter = %v", parsed["srv_hits_total"])
+	}
+	if !strings.Contains(ct, "application/json") {
+		t.Errorf("/metrics.json content-type = %q", ct)
+	}
+
+	body, _ = get("/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}

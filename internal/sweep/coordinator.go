@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // Stats summarizes what a sharded sweep actually did, for logs and the
@@ -72,6 +73,10 @@ type Config struct {
 	CellTimeout time.Duration
 	// Log receives human-readable progress diagnostics (optional).
 	Log io.Writer
+	// ProgressEvery emits a periodic progress line to Log while the
+	// sweep runs (done/pending/requeued counts and the cache hit rate).
+	// 0 disables it — the default, so batch logs stay quiet.
+	ProgressEvery time.Duration
 }
 
 // event is what worker goroutines report to the coordinator loop.
@@ -154,6 +159,7 @@ func RunCells(cfg Config, cells []harness.Cell) (map[string]harness.CellResult, 
 			if res, ok := cfg.Cache.Get(cell); ok {
 				results[cell.ID()] = res
 				stats.Cached++
+				mCellsCached.Inc()
 				continue
 			}
 		}
@@ -165,6 +171,7 @@ func RunCells(cfg Config, cells []harness.Cell) (map[string]harness.CellResult, 
 		events: make(chan event),
 		done:   make(chan struct{}),
 	}
+	mCellsEnqueued.Add(uint64(len(pending)))
 	if len(pending) > 0 {
 		if err := co.execute(pending, results, &stats); err != nil {
 			return nil, stats, err
@@ -184,6 +191,9 @@ type coordinator struct {
 
 	mu         sync.Mutex
 	transports []io.Closer
+	// nextWorker numbers workers for span attribution (the tid column
+	// of cell spans in the Chrome trace).
+	nextWorker int
 	// closed refuses new workers: set on abort and by the cleanup path
 	// before wg.Wait (wg.Add racing Wait is WaitGroup misuse).
 	closed bool
@@ -241,19 +251,41 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 	attempts := make(map[string]int, len(pending))
 	live := 0
 	remaining := len(pending)
+	var progress <-chan time.Time
+	if co.cfg.ProgressEvery > 0 {
+		tick := time.NewTicker(co.cfg.ProgressEvery)
+		defer tick.Stop()
+		progress = tick.C
+	}
+	mQueueDepth.Set(int64(remaining))
 	for remaining > 0 {
-		ev := <-co.events
+		var ev event
+		select {
+		case ev = <-co.events:
+		case <-progress:
+			co.logf("sweep: progress: %d/%d cells done (%d cached, %.0f%% hit rate), %d pending, %d retries, %d workers live",
+				stats.Cells-remaining, stats.Cells, stats.Cached,
+				100*float64(stats.Cached)/float64(stats.Cells),
+				remaining, stats.Retries, live)
+			continue
+		}
 		switch ev.kind {
 		case evUp:
 			joining--
 			live++
 			stats.Workers++
+			mWorkersSpawned.Inc()
+			mWorkersLive.Set(int64(live))
+			obs.Event("sweep", "worker-up", 0, nil)
 		case evDown:
 			if ev.err != nil {
 				co.logf("sweep: worker lost: %v", ev.err)
+				mWorkersLost.Inc()
+				obs.Event("sweep", "worker-down", 0, nil)
 			}
 			if ev.wasLive {
 				live--
+				mWorkersLive.Set(int64(live))
 			} else {
 				joining--
 			}
@@ -270,6 +302,8 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 			if ev.local && co.cfg.Spawn != nil && remaining > 0 && stats.Respawns < respawnBudget {
 				if spawn() {
 					stats.Respawns++
+					mWorkersRespawned.Inc()
+					obs.Event("sweep", "worker-respawn", 0, nil)
 					co.logf("sweep: re-spawned worker %d to replace a dead one (%d/%d respawns used)",
 						spawnIdx-1, stats.Respawns, respawnBudget)
 				}
@@ -286,6 +320,8 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 			results[id] = ev.res
 			stats.Executed++
 			remaining--
+			mCellsCompleted.Inc()
+			mQueueDepth.Set(int64(remaining))
 			if co.cfg.Cache != nil {
 				if err := co.cfg.Cache.Put(ev.cell, ev.res); err != nil {
 					co.logf("sweep: caching %s: %v", id, err)
@@ -299,6 +335,7 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 			}
 		}
 	}
+	mWorkersLive.Set(0)
 	return nil
 }
 
@@ -311,6 +348,12 @@ func (co *coordinator) requeue(cell harness.Cell, attempts map[string]int, cause
 		return fmt.Errorf("sweep: cell %s failed %d times, last: %v", id, attempts[id], cause)
 	}
 	co.logf("sweep: retrying %s (%v)", id, cause)
+	mCellsRequeued.Inc()
+	if obs.TracingEnabled() {
+		obs.Event("sweep", "cell-requeue", 0, map[string]any{
+			"cell": id, "attempt": attempts[id], "cause": cause.Error(),
+		})
+	}
 	co.queue <- cell
 	return nil
 }
@@ -338,9 +381,11 @@ func (co *coordinator) addWorker(t io.ReadWriteCloser, local bool) {
 		return
 	}
 	co.transports = append(co.transports, t)
+	co.nextWorker++
+	id := co.nextWorker
 	co.wg.Add(1)
 	co.mu.Unlock()
-	go co.runWorker(t, local)
+	go co.runWorker(t, local, id)
 }
 
 // acceptLoop turns incoming TCP connections into workers until the
@@ -368,7 +413,7 @@ func (co *coordinator) send(ev event) {
 // queue one at a time until the queue closes or the worker fails. Any
 // transport or protocol failure retires the worker; an in-flight cell
 // rides along on the evDown event for requeueing.
-func (co *coordinator) runWorker(t io.ReadWriteCloser, local bool) {
+func (co *coordinator) runWorker(t io.ReadWriteCloser, local bool, id int) {
 	defer co.wg.Done()
 	defer t.Close()
 	br := bufio.NewReader(t)
@@ -389,6 +434,7 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser, local bool) {
 	seq := uint64(0)
 	for cell := range co.queue {
 		seq++
+		start := time.Now()
 		err := WriteMessage(bw, &Message{Type: MsgRun, Seq: seq, Cell: &cell})
 		if err == nil {
 			err = bw.Flush()
@@ -396,6 +442,11 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser, local bool) {
 		var m *Message
 		if err == nil {
 			m, err = co.readReply(br, t)
+		}
+		if obs.TracingEnabled() {
+			obs.Span("sweep", "cell", start, time.Now(), id, map[string]any{
+				"cell": cell.ID(), "ok": err == nil && m != nil && m.Type == MsgResult,
+			})
 		}
 		if err == nil && (m.Seq != seq || (m.Type != MsgResult && m.Type != MsgError)) {
 			err = fmt.Errorf("protocol violation: %q frame seq %d, want reply to seq %d", m.Type, m.Seq, seq)
@@ -405,6 +456,7 @@ func (co *coordinator) runWorker(t io.ReadWriteCloser, local bool) {
 			return
 		}
 		if m.Type == MsgResult {
+			mCellSeconds.Observe(time.Since(start).Seconds())
 			co.send(event{kind: evResult, cell: cell, res: *m.Result})
 		} else {
 			co.send(event{kind: evCellError, cell: cell, errText: m.Error})
@@ -444,6 +496,8 @@ func (co *coordinator) readReply(br *bufio.Reader, t io.Closer) (*Message, error
 	case <-timer.C:
 		t.Close()
 		<-ch // the closed transport unblocks the reader goroutine
+		mCellTimeouts.Inc()
+		obs.Event("sweep", "cell-timeout", 0, nil)
 		return nil, fmt.Errorf("no reply within the %v cell timeout", co.cfg.CellTimeout)
 	}
 }

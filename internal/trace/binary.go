@@ -53,6 +53,10 @@ type BinaryEncoder struct {
 	// bounded by the distinct thread ids of the trace being written.
 	prev map[mem.ThreadID]accessState
 	meta metaState
+	// onRecord, when set, observes the exact bytes of each encoded record
+	// after it is written. The index writer hooks it to checksum record
+	// payloads span by span without re-reading the stream.
+	onRecord func([]byte)
 }
 
 // accessState is one thread's last-seen access columns, the prediction
@@ -168,6 +172,8 @@ func (e *BinaryEncoder) Encode(ev Event) error {
 		b = binary.AppendUvarint(b, uint64(ev.TID))
 		b = binary.AppendUvarint(b, uint64(ev.Phase))
 		b = binary.AppendUvarint(b, ev.Instrs)
+	case KindNote:
+		b = appendString(b, ev.Name)
 	case KindAccess:
 		b = binary.AppendUvarint(b, uint64(ev.TID))
 		if e.version >= BinaryV2 {
@@ -212,6 +218,9 @@ func (e *BinaryEncoder) Encode(ev Event) error {
 	e.buf = b[:0]
 	_, e.err = e.w.Write(b)
 	e.written += uint64(len(b))
+	if e.err == nil && e.onRecord != nil {
+		e.onRecord(b)
+	}
 	return e.err
 }
 
@@ -401,6 +410,11 @@ func (d *binaryDecoder) decode() (Event, error) {
 			field{"phase index", MaxPhaseIndex, func(v uint64) { ev.Phase = int(v) }},
 			field{"instrs", MaxInstrs, func(v uint64) { ev.Instrs = v }},
 		); err != nil {
+			return Event{}, err
+		}
+	case KindNote:
+		var err error
+		if ev.Name, err = d.string("note"); err != nil {
 			return Event{}, err
 		}
 	case KindAccess:

@@ -42,9 +42,9 @@ func ImportIBS(r io.Reader, enc trace.Encoder, o Options) (Stats, error) {
 	)
 	sc := lineScanner(r)
 	var (
+		st      Stats
 		cols    *ibsColumns
 		samples []sample
-		skipped int
 		lineno  int
 	)
 	for sc.Scan() {
@@ -61,24 +61,23 @@ func ImportIBS(r io.Reader, enc trace.Encoder, o Options) (Stats, error) {
 			cols = c
 			continue
 		}
-		s, ok := cols.parseRow(line)
-		if !ok {
-			skipped++
+		s, skip := cols.parseRow(line)
+		if skip != skipNone {
+			st.count(skip)
 			continue
 		}
 		if len(samples) >= MaxSamples {
-			return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: more than %d samples", lineno, MaxSamples)
+			return st, fmt.Errorf("import: line %d: more than %d samples", lineno, MaxSamples)
 		}
 		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
-		return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: %w", lineno+1, err)
+		return st, fmt.Errorf("import: line %d: %w", lineno+1, err)
 	}
 	if cols == nil {
 		return Stats{}, fmt.Errorf("import: no IBS header row found")
 	}
-	st, err := convert(samples, enc, o, defaultName, defaultScale, defaultGapTSC)
-	st.Skipped += skipped
+	err := convert(samples, enc, o, defaultName, "ibs-csv", defaultScale, defaultGapTSC, &st)
 	return st, err
 }
 
@@ -154,11 +153,11 @@ func parseIBSHeader(line string) (*ibsColumns, error) {
 	return c, nil
 }
 
-// parseRow converts one data row; ok is false for rows that are not
-// convertible memory samples.
-func (c *ibsColumns) parseRow(line string) (sample, bool) {
+// parseRow converts one data row; a non-skipNone reason marks a row
+// that is not a convertible memory sample.
+func (c *ibsColumns) parseRow(line string) (sample, skipReason) {
 	if n := strings.Count(line, ","); n+1 < c.n || n >= maxIBSColumns {
-		return sample{}, false
+		return sample{}, skipParse
 	}
 	fields := strings.Split(line, ",")
 	cell := func(i int) string { return strings.TrimSpace(fields[i]) }
@@ -172,13 +171,13 @@ func (c *ibsColumns) parseRow(line string) (sample, bool) {
 		case "st", "store", "s", "w":
 			write = true
 		default:
-			return sample{}, false
+			return sample{}, skipNonMem
 		}
 	default:
 		ld, err1 := parseIBSUint(cell(c.ld), false)
 		st, err2 := parseIBSUint(cell(c.st), false)
 		if err1 != nil || err2 != nil {
-			return sample{}, false
+			return sample{}, skipParse
 		}
 		switch {
 		case st != 0:
@@ -186,21 +185,24 @@ func (c *ibsColumns) parseRow(line string) (sample, bool) {
 		case ld != 0:
 			write = false
 		default:
-			return sample{}, false // non-memory op row
+			return sample{}, skipNonMem // neither flag set
 		}
 	}
 
 	tid, err := parseIBSUint(cell(c.tid), false)
 	if err != nil || tid > 1<<31 {
-		return sample{}, false
+		return sample{}, skipParse
 	}
 	t, err := parseIBSUint(cell(c.time), false)
 	if err != nil {
-		return sample{}, false
+		return sample{}, skipParse
 	}
 	addr, err := parseIBSUint(cell(c.addr), true)
-	if err != nil || !usableAddr(addr) {
-		return sample{}, false
+	if err != nil {
+		return sample{}, skipParse
+	}
+	if !usableAddr(addr) {
+		return sample{}, skipKernel
 	}
 	s := sample{tid: tid, t: float64(t), addr: addr, write: write}
 	if c.lat != -1 {
@@ -216,7 +218,7 @@ func (c *ibsColumns) parseRow(line string) (sample, bool) {
 			s.size = uint8(v)
 		}
 	}
-	return s, true
+	return s, skipNone
 }
 
 // parseIBSUint parses a numeric cell: decimal or 0x-prefixed hex, plus

@@ -94,13 +94,66 @@ type Options struct {
 type Stats struct {
 	// Samples is the number of memory samples converted.
 	Samples int
-	// Skipped counts input rows that were recognized but not convertible
-	// (non-memory events, kernel or out-of-range addresses).
+	// Skipped counts input rows that were recognized but not convertible.
+	// It is the sum of the three reason counters below.
 	Skipped int
+	// SkippedParse counts rows whose fields did not parse (malformed
+	// timestamps, truncated lines, bad numeric cells).
+	SkippedParse int
+	// SkippedNonMem counts well-formed rows that are not memory
+	// loads/stores (e.g. plain cycles: samples, non-memory IBS ops).
+	SkippedNonMem int
+	// SkippedKernel counts memory rows with kernel-half, null, or
+	// out-of-range data addresses.
+	SkippedKernel int
 	// Threads is the number of distinct sampled threads.
 	Threads int
 	// Phases is the number of synthesized phases.
 	Phases int
+}
+
+// skipReason classifies why a parser rejected one input row.
+type skipReason int
+
+const (
+	skipNone   skipReason = iota // row converted
+	skipParse                    // malformed fields
+	skipNonMem                   // not a memory load/store
+	skipKernel                   // kernel-half, null, or out-of-range address
+)
+
+// count folds one rejection into the Stats tally.
+func (st *Stats) count(r skipReason) {
+	st.Skipped++
+	switch r {
+	case skipParse:
+		st.SkippedParse++
+	case skipNonMem:
+		st.SkippedNonMem++
+	case skipKernel:
+		st.SkippedKernel++
+	}
+}
+
+// notes renders the skip tally as `key=value` provenance notes for the
+// output trace, so a converted file carries its own loss accounting
+// (`cheetah -trace-info` prints them). The source tag is always
+// present; zero counters are omitted.
+func (st *Stats) notes(source string) []string {
+	notes := []string{"import.source=" + source}
+	for _, c := range []struct {
+		key string
+		n   int
+	}{
+		{"import.skipped_parse", st.SkippedParse},
+		{"import.skipped_nonmem", st.SkippedNonMem},
+		{"import.skipped_kernel", st.SkippedKernel},
+	} {
+		if c.n > 0 {
+			notes = append(notes, fmt.Sprintf("%s=%d", c.key, c.n))
+		}
+	}
+	return notes
 }
 
 // sample is one parsed memory sample in format-independent form.
@@ -113,18 +166,20 @@ type sample struct {
 	write bool
 }
 
-// convert turns parsed samples into the native event stream.
-func convert(samples []sample, enc trace.Encoder, o Options, defaultName string, defaultScale, defaultGap float64) (Stats, error) {
-	var st Stats
+// convert turns parsed samples into the native event stream, filling
+// st's conversion counters in place (its skip tally, already final —
+// the caller parses every row before converting — is stamped into the
+// stream as provenance notes).
+func convert(samples []sample, enc trace.Encoder, o Options, defaultName, source string, defaultScale, defaultGap float64, st *Stats) error {
 	if len(samples) == 0 {
-		return st, fmt.Errorf("import: no usable memory samples in input")
+		return fmt.Errorf("import: no usable memory samples in input")
 	}
 	scale := o.TimeScale
 	if scale == 0 {
 		scale = defaultScale
 	}
 	if scale < 0 {
-		return st, fmt.Errorf("import: negative TimeScale %v", o.TimeScale)
+		return fmt.Errorf("import: negative TimeScale %v", o.TimeScale)
 	}
 	gap := o.PhaseGap
 	if gap == 0 {
@@ -160,7 +215,12 @@ func convert(samples []sample, enc trace.Encoder, o Options, defaultName string,
 		}
 	}
 	if err := enc.Encode(trace.Event{Kind: trace.KindProgram, Name: name, Cores: cores}); err != nil {
-		return st, err
+		return err
+	}
+	for _, note := range st.notes(source) {
+		if err := enc.Encode(trace.Event{Kind: trace.KindNote, Name: note}); err != nil {
+			return err
+		}
 	}
 
 	// Walk the timeline, opening a new phase at every over-gap jump and
@@ -207,7 +267,7 @@ func convert(samples []sample, enc trace.Encoder, o Options, defaultName string,
 	for i, s := range samples {
 		if i == 0 || (gap > 0 && s.t-lastT > gap) {
 			if err := openPhase(s.t); err != nil {
-				return st, err
+				return err
 			}
 		}
 		lastT = s.t
@@ -226,7 +286,7 @@ func convert(samples []sample, enc trace.Encoder, o Options, defaultName string,
 			ip = p.ip + 1
 		}
 		if ip > trace.MaxInstrs {
-			return st, fmt.Errorf("import: synthesized instruction count %d exceeds %d; lower Options.TimeScale", ip, uint64(trace.MaxInstrs))
+			return fmt.Errorf("import: synthesized instruction count %d exceeds %d; lower Options.TimeScale", ip, uint64(trace.MaxInstrs))
 		}
 		p.ip = ip
 		if err := enc.Encode(trace.Event{
@@ -234,18 +294,19 @@ func convert(samples []sample, enc trace.Encoder, o Options, defaultName string,
 			Addr: mem.Addr(s.addr), Size: uint64(s.size), IP: ip,
 			Lat: s.lat, Phase: phase,
 		}); err != nil {
-			return st, err
+			return err
 		}
 		st.Samples++
 	}
 	if err := endPhase(); err != nil {
-		return st, err
+		return err
 	}
 	st.Phases = phase + 1
 	if err := enc.Close(); err != nil {
-		return st, err
+		return err
 	}
-	return st, nil
+	recordMetrics(st)
+	return nil
 }
 
 // lineScanner wraps input with the shared line limit.

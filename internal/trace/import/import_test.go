@@ -56,9 +56,11 @@ func TestImportPerfScriptFixture(t *testing.T) {
 	if st.Phases != 3 {
 		t.Errorf("Phases = %d, want 3", st.Phases)
 	}
-	// The cycles: event and the kernel-address sample must be skipped.
-	if st.Skipped != 2 {
-		t.Errorf("Skipped = %d, want 2", st.Skipped)
+	// The cycles: event and the kernel-address sample must be skipped,
+	// each under its own reason.
+	if st.Skipped != 2 || st.SkippedNonMem != 1 || st.SkippedKernel != 1 || st.SkippedParse != 0 {
+		t.Errorf("skip tally = %d (parse %d, nonmem %d, kernel %d), want 2 (0, 1, 1)",
+			st.Skipped, st.SkippedParse, st.SkippedNonMem, st.SkippedKernel)
 	}
 	if st.Samples != 114 {
 		t.Errorf("Samples = %d, want 114", st.Samples)
@@ -75,6 +77,21 @@ func TestImportPerfScriptFixture(t *testing.T) {
 	if rp.Cores != 4 {
 		t.Errorf("cores = %d, want 4 (one per sampled thread)", rp.Cores)
 	}
+
+	// The skip tally must ride along in the trace itself as notes, so
+	// `cheetah -trace-info` can report it long after the import.
+	m, err := trace.ReadMeta(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("ReadMeta on imported trace: %v", err)
+	}
+	wantNotes := []string{
+		"import.source=perf-script",
+		"import.skipped_nonmem=1",
+		"import.skipped_kernel=1",
+	}
+	if fmt.Sprint(m.Notes) != fmt.Sprint(wantNotes) {
+		t.Errorf("Notes = %v, want %v", m.Notes, wantNotes)
+	}
 }
 
 // TestImportIBSFixture pins the IBS importer on its fixture.
@@ -87,8 +104,9 @@ func TestImportIBSFixture(t *testing.T) {
 		t.Errorf("Phases = %d, want 2", st.Phases)
 	}
 	// 10 non-memory op rows plus the kernel-address row.
-	if st.Skipped != 11 {
-		t.Errorf("Skipped = %d, want 11", st.Skipped)
+	if st.Skipped != 11 || st.SkippedNonMem != 10 || st.SkippedKernel != 1 || st.SkippedParse != 0 {
+		t.Errorf("skip tally = %d (parse %d, nonmem %d, kernel %d), want 11 (0, 10, 1)",
+			st.Skipped, st.SkippedParse, st.SkippedNonMem, st.SkippedKernel)
 	}
 	compareGolden(t, "ibs-samples.golden.trace", got)
 

@@ -1,0 +1,27 @@
+package traceimport
+
+import "repro/internal/obs"
+
+// Import observability: converted-sample and per-reason skip counters,
+// labeled by name only (one process rarely imports both formats, and
+// the per-trace breakdown lives in the output's provenance notes).
+// Imports run once per invocation, so everything here is off any hot
+// path.
+var (
+	mSamples = obs.GetCounter("cheetah_import_samples_total",
+		"PMU dump rows converted into trace accesses.")
+	mSkipParse = obs.GetCounter("cheetah_import_skipped_parse_total",
+		"PMU dump rows dropped because their fields did not parse.")
+	mSkipNonMem = obs.GetCounter("cheetah_import_skipped_nonmem_total",
+		"PMU dump rows dropped because they are not memory loads/stores.")
+	mSkipKernel = obs.GetCounter("cheetah_import_skipped_kernel_total",
+		"PMU dump rows dropped for kernel-half, null, or out-of-range addresses.")
+)
+
+// recordMetrics publishes one finished import's tally.
+func recordMetrics(st *Stats) {
+	mSamples.Add(uint64(st.Samples))
+	mSkipParse.Add(uint64(st.SkippedParse))
+	mSkipNonMem.Add(uint64(st.SkippedNonMem))
+	mSkipKernel.Add(uint64(st.SkippedKernel))
+}

@@ -48,8 +48,8 @@ func ImportPerfScript(r io.Reader, enc trace.Encoder, o Options) (Stats, error) 
 	)
 	sc := lineScanner(r)
 	var (
+		st      Stats
 		samples []sample
-		skipped int
 		comm    string
 		lineno  int
 	)
@@ -59,22 +59,22 @@ func ImportPerfScript(r io.Reader, enc trace.Encoder, o Options) (Stats, error) 
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		s, rowComm, ok := parsePerfLine(line)
-		if !ok {
-			skipped++
+		s, rowComm, skip := parsePerfLine(line)
+		if skip != skipNone {
+			st.count(skip)
 			continue
 		}
 		if comm == "" {
 			comm = rowComm
 		}
 		if len(samples) >= MaxSamples {
-			return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: more than %d samples", lineno, MaxSamples)
+			return st, fmt.Errorf("import: line %d: more than %d samples", lineno, MaxSamples)
 		}
 		s.t *= nsPerSec
 		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
-		return Stats{Skipped: skipped}, fmt.Errorf("import: line %d: %w", lineno+1, err)
+		return st, fmt.Errorf("import: line %d: %w", lineno+1, err)
 	}
 	name := comm
 	if name == "" {
@@ -83,15 +83,15 @@ func ImportPerfScript(r io.Reader, enc trace.Encoder, o Options) (Stats, error) 
 	if o.ProgramName == "" {
 		o.ProgramName = name
 	}
-	st, err := convert(samples, enc, o, name, defaultScale, defaultGapNs)
-	st.Skipped += skipped
+	err := convert(samples, enc, o, name, "perf-script", defaultScale, defaultGapNs, &st)
 	return st, err
 }
 
-// parsePerfLine parses one perf script sample line. ok is false for
-// lines that are recognizable but not convertible (wrong event kind,
-// unusable address, missing fields) — the caller counts them skipped.
-func parsePerfLine(line string) (s sample, comm string, ok bool) {
+// parsePerfLine parses one perf script sample line. A non-skipNone
+// reason marks a line that is recognizable but not convertible (wrong
+// event kind, unusable address, missing fields) — the caller tallies
+// it by reason instead of failing the import.
+func parsePerfLine(line string) (s sample, comm string, skip skipReason) {
 	toks := strings.Fields(line)
 	// Locate the timestamp: the first `seconds.fraction:` token.
 	timeIdx := -1
@@ -104,7 +104,7 @@ func parsePerfLine(line string) (s sample, comm string, ok bool) {
 		}
 	}
 	if timeIdx < 0 {
-		return sample{}, "", false
+		return sample{}, "", skipParse
 	}
 	// The tid precedes the timestamp, possibly as `pid/tid`, with an
 	// optional bracketed cpu between them; the comm precedes the tid.
@@ -119,13 +119,13 @@ func parsePerfLine(line string) (s sample, comm string, ok bool) {
 		}
 		v, err := strconv.ParseUint(tok, 10, 32)
 		if err != nil {
-			return sample{}, "", false
+			return sample{}, "", skipParse
 		}
 		tid, tidIdx = v, i
 		break
 	}
 	if tidIdx < 0 {
-		return sample{}, "", false
+		return sample{}, "", skipParse
 	}
 	if tidIdx > 0 {
 		comm = strings.Join(toks[:tidIdx], " ")
@@ -140,7 +140,7 @@ func parsePerfLine(line string) (s sample, comm string, ok bool) {
 			continue // period
 		}
 		if !strings.HasSuffix(tok, ":") {
-			return sample{}, "", false
+			return sample{}, "", skipParse
 		}
 		name := strings.ToLower(strings.TrimSuffix(tok, ":"))
 		switch {
@@ -149,13 +149,13 @@ func parsePerfLine(line string) (s sample, comm string, ok bool) {
 		case strings.Contains(name, "store"):
 			write = true
 		default:
-			return sample{}, "", false // not a memory event
+			return sample{}, "", skipNonMem
 		}
 		evIdx = i
 		break
 	}
 	if evIdx < 0 {
-		return sample{}, "", false
+		return sample{}, "", skipParse
 	}
 	// After the event: the first two bare-hex tokens are ip and addr
 	// (symbol decorations between and after them are skipped), then the
@@ -169,14 +169,14 @@ func parsePerfLine(line string) (s sample, comm string, ok bool) {
 		}
 	}
 	if len(hexes) < 2 {
-		return sample{}, "", false
+		return sample{}, "", skipParse
 	}
 	// hexes[0] is the instruction pointer; the simulated ip column is a
 	// retired-instruction count synthesized from timestamps, so the real
 	// code address is not carried into the trace.
 	addr := hexes[1]
 	if !usableAddr(addr) {
-		return sample{}, "", false
+		return sample{}, "", skipKernel
 	}
 	weight := uint64(0)
 	for i := addrIdx + 1; i < len(toks); i++ {
@@ -188,7 +188,7 @@ func parsePerfLine(line string) (s sample, comm string, ok bool) {
 	if weight > 1<<32-1 {
 		weight = 1<<32 - 1
 	}
-	return sample{tid: tid, t: t, addr: addr, lat: uint32(weight), write: write}, comm, true
+	return sample{tid: tid, t: t, addr: addr, lat: uint32(weight), write: write}, comm, skipNone
 }
 
 // parsePerfTime parses a `seconds.fraction:` timestamp token.

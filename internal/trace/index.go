@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -50,8 +51,40 @@ var footerMagic = []byte("CHTRIX1\n")
 
 const footerSize = 16
 
-// indexFormat versions the payload layout itself.
-const indexFormat = 1
+// indexFormat versions the payload layout itself. Format 2 adds a
+// CRC32-Castagnoli checksum per layout region and per phase segment,
+// covering the span's raw record bytes, so corrupt payloads under a
+// structurally valid index fail at load instead of decoding to garbage.
+// Format-1 indexes (pre-checksum corpus files) still parse; they simply
+// skip verification.
+const (
+	indexFormatV1 = 1
+	indexFormat   = 2
+)
+
+// castagnoli is the CRC32C table shared by the index writer and the
+// span verifiers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptPayloadError reports a span whose record bytes fail their
+// indexed checksum: the index is structurally valid but the payload
+// under it was damaged. Callers distinguish it with errors.As.
+type CorruptPayloadError struct {
+	Path  string
+	Phase int // -1 for a layout region
+	Off   uint64
+	Want  uint32
+	Got   uint32
+}
+
+func (e *CorruptPayloadError) Error() string {
+	span := "layout region"
+	if e.Phase >= 0 {
+		span = fmt.Sprintf("phase %d segment", e.Phase)
+	}
+	return fmt.Sprintf("trace: %s: %s at offset %d fails its checksum (want %08x, got %08x)",
+		e.Path, span, e.Off, e.Want, e.Got)
+}
 
 // maxIndexPayload bounds the index block before any allocation is sized
 // from it; generous for ~65k phases with wide thread sets.
@@ -76,6 +109,8 @@ type layoutRegion struct {
 	// meta is the symbol/object delta-prediction state at the region's
 	// first byte.
 	meta metaState
+	// crc is the CRC32C of the region's record bytes (format ≥ 2).
+	crc uint32
 }
 
 // segThread is one thread's entry in a phase segment.
@@ -102,6 +137,8 @@ type indexSegment struct {
 	// the simulated segments.
 	addrMin, addrMax uint64
 	meta             metaState
+	// crc is the CRC32C of the segment's record bytes (format ≥ 2).
+	crc uint32
 	// threads lists every thread with records in the segment, ascending.
 	threads []segThread
 }
@@ -111,6 +148,9 @@ type traceIndex struct {
 	accesses uint64
 	regions  []layoutRegion
 	segs     []indexSegment
+	// hasCRC reports whether the index carries span checksums (payload
+	// format ≥ 2); format-1 indexes load without verification.
+	hasCRC bool
 }
 
 // IndexedEncoder writes the v3 framing: a v2-compatible record stream
@@ -133,6 +173,9 @@ type IndexedEncoder struct {
 	curRegion  layoutRegion
 	curSeg     indexSegment
 	curThreads map[mem.ThreadID]*segThread
+	// curCRC accumulates the open span's record-byte checksum, fed by
+	// the encoder's onRecord hook so no bytes are hashed twice.
+	curCRC uint32
 
 	// reason latches why the stream cannot be indexed ("" = indexable).
 	reason string
@@ -145,6 +188,9 @@ func NewIndexedEncoder(w io.Writer) *IndexedEncoder {
 		b:      newBinaryEncoder(w, BinaryV3),
 		phases: make(map[int]bool),
 	}
+	e.b.onRecord = func(rec []byte) {
+		e.curCRC = crc32.Update(e.curCRC, castagnoli, rec)
+	}
 	e.openRegion()
 	return e
 }
@@ -152,6 +198,7 @@ func NewIndexedEncoder(w io.Writer) *IndexedEncoder {
 func (e *IndexedEncoder) openRegion() {
 	e.inSeg = false
 	e.curRegion = layoutRegion{off: e.b.written, meta: e.b.meta}
+	e.curCRC = 0
 }
 
 // closeCurrent finalizes the open region or segment at the current
@@ -160,6 +207,7 @@ func (e *IndexedEncoder) closeCurrent() {
 	if e.inSeg {
 		seg := e.curSeg
 		seg.length = e.b.written - seg.off
+		seg.crc = e.curCRC
 		seg.threads = make([]segThread, 0, len(e.curThreads))
 		for _, t := range e.curThreads {
 			seg.threads = append(seg.threads, *t)
@@ -170,6 +218,7 @@ func (e *IndexedEncoder) closeCurrent() {
 	}
 	r := e.curRegion
 	r.length = e.b.written - r.off
+	r.crc = e.curCRC
 	if r.length > 0 {
 		e.idx.regions = append(e.idx.regions, r)
 	}
@@ -209,6 +258,13 @@ func (e *IndexedEncoder) observe(ev Event) {
 		} else {
 			e.curRegion.objs++
 		}
+	case KindNote:
+		// Notes are layout metadata: uncounted, but they must live in a
+		// region so segments keep containing only their phase's records.
+		if e.inSeg {
+			e.closeCurrent()
+			e.openRegion()
+		}
 	case KindPhase:
 		e.closeCurrent()
 		if e.phases[ev.Phase] {
@@ -218,6 +274,7 @@ func (e *IndexedEncoder) observe(ev Event) {
 		e.inSeg = true
 		e.curSeg = indexSegment{phase: ev.Phase, off: e.b.written, meta: e.b.meta}
 		e.curThreads = make(map[mem.ThreadID]*segThread)
+		e.curCRC = 0
 	case KindThreadEnd:
 		if !e.inSeg || ev.Phase != e.curSeg.phase {
 			e.fail("thread-end record outside its phase's segment")
@@ -292,6 +349,7 @@ func appendIndexPayload(b []byte, idx *traceIndex) []byte {
 		for _, v := range []uint64{r.off, r.length, r.syms, r.objs, r.meta.symAddr, r.meta.objAddr, r.meta.objSeq} {
 			b = binary.AppendUvarint(b, v)
 		}
+		b = binary.AppendUvarint(b, uint64(r.crc))
 	}
 	b = binary.AppendUvarint(b, uint64(len(idx.segs)))
 	for _, s := range idx.segs {
@@ -299,6 +357,7 @@ func appendIndexPayload(b []byte, idx *traceIndex) []byte {
 			s.maxSize, s.addrMin, s.addrMax, s.meta.symAddr, s.meta.objAddr, s.meta.objSeq} {
 			b = binary.AppendUvarint(b, v)
 		}
+		b = binary.AppendUvarint(b, uint64(s.crc))
 		b = binary.AppendUvarint(b, uint64(len(s.threads)))
 		for _, t := range s.threads {
 			for _, v := range []uint64{uint64(t.tid), t.accesses,
@@ -334,11 +393,11 @@ const maxOffset = 1 << 62
 // consistency (tiling, count sums) is checked by validate.
 func parseIndexPayload(p []byte) (*traceIndex, error) {
 	c := &byteCursor{p: p}
-	if len(p) == 0 || p[0] != indexFormat {
+	if len(p) == 0 || (p[0] != indexFormatV1 && p[0] != indexFormat) {
 		return nil, fmt.Errorf("trace: index: unknown payload format")
 	}
 	c.i = 1
-	idx := &traceIndex{}
+	idx := &traceIndex{hasCRC: p[0] >= indexFormat}
 	var err error
 	if idx.accesses, err = c.uvarint("total accesses", maxOffset); err != nil {
 		return nil, err
@@ -365,6 +424,13 @@ func parseIndexPayload(p []byte) (*traceIndex, error) {
 			if *f.dst, err = c.uvarint(f.what, f.max); err != nil {
 				return nil, err
 			}
+		}
+		if idx.hasCRC {
+			crc, err := c.uvarint("region checksum", 1<<32-1)
+			if err != nil {
+				return nil, err
+			}
+			r.crc = uint32(crc)
 		}
 		idx.regions = append(idx.regions, r)
 	}
@@ -396,6 +462,13 @@ func parseIndexPayload(p []byte) (*traceIndex, error) {
 			}
 		}
 		s.phase = int(phase)
+		if idx.hasCRC {
+			crc, err := c.uvarint("segment checksum", 1<<32-1)
+			if err != nil {
+				return nil, err
+			}
+			s.crc = uint32(crc)
+		}
 		nthreads, err := c.uvarint("segment thread count", MaxThreadID+1)
 		if err != nil {
 			return nil, err
@@ -598,6 +671,36 @@ func FileIsIndexed(path string) bool {
 		return false
 	}
 	return bytes.Equal(foot[8:], footerMagic)
+}
+
+// crcReader computes a running CRC32C over everything read through it,
+// so span verification rides along with decoding instead of re-reading
+// the bytes.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// verifySpanCRC drains cr to the span's end and compares the checksum.
+// On mismatch it returns a CorruptPayloadError — preferred over cause
+// (the decode error, if any), since a failed checksum explains why
+// decoding went wrong. With verification disabled (format-1 index) or a
+// matching checksum, cause passes through.
+func verifySpanCRC(path string, phase int, off uint64, cr *crcReader, want uint32, enabled bool, cause error) error {
+	if !enabled {
+		return cause
+	}
+	io.Copy(io.Discard, cr)
+	if cr.crc != want {
+		return &CorruptPayloadError{Path: path, Phase: phase, Off: off, Want: want, Got: cr.crc}
+	}
+	return cause
 }
 
 // newSeededDecoder returns a record decoder whose delta-prediction

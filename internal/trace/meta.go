@@ -31,6 +31,9 @@ type Meta struct {
 	// Threads counts distinct thread ids with access or thread-end
 	// records.
 	Threads int
+	// Notes are the trace's provenance notes (`key=value` text) in
+	// stream order; the importers record skip/drop tallies here.
+	Notes []string
 }
 
 // ReadMeta scans a whole trace stream for its metadata, retaining
@@ -81,6 +84,8 @@ func ReadMeta(r io.Reader) (*Meta, error) {
 			m.Accesses++
 			threads[int64(ev.TID)] = true
 			phase(ev.Phase)
+		case KindNote:
+			m.Notes = append(m.Notes, ev.Name)
 		}
 	}
 	if !sawProgram {
@@ -107,6 +112,7 @@ func ReadMetaFile(path string) (*Meta, error) {
 				Accesses: sh.idx.accesses, Symbols: sh.symbols, Objects: sh.objects,
 				Phases: len(sh.segs), MaxPhase: sh.maxPhase,
 				Threads: len(threadUnion(sh)),
+				Notes:   sh.notes,
 			}
 			return m, nil
 		}

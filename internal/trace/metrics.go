@@ -1,0 +1,15 @@
+package trace
+
+import "repro/internal/obs"
+
+// Streaming-replay observability: window churn counters mirror what
+// WindowStats reports per replay, aggregated process-wide. Loads are
+// rare (one per phase per replay), so the cost is off any hot path.
+var (
+	mWindowLoads = obs.GetCounter("cheetah_trace_window_loads_total",
+		"Streaming-replay phase windows loaded from disk.")
+	mWindowOps = obs.GetCounter("cheetah_trace_window_ops_total",
+		"Operations decoded into streaming-replay windows.")
+	mWindowOpsMax = obs.GetGauge("cheetah_trace_window_ops_max",
+		"Largest operation count ever resident in one streaming window.")
+)

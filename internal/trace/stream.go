@@ -28,6 +28,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/heap"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/symtab"
 )
 
@@ -59,6 +60,7 @@ type streamShared struct {
 
 	name             string
 	cores            int
+	notes            []string
 	symbols, objects uint64
 	segs             []streamSeg
 	phaseSeg         map[int]int // phase index -> position in idx.segs
@@ -154,7 +156,8 @@ func openShared(path string) (*streamShared, error) {
 	sawProgram := false
 	for ri := range idx.regions {
 		r := &idx.regions[ri]
-		d := newSeededDecoder(io.NewSectionReader(f, int64(r.off), int64(r.length)), nil, r.meta)
+		cr := &crcReader{r: io.NewSectionReader(f, int64(r.off), int64(r.length))}
+		d := newSeededDecoder(cr, nil, r.meta)
 		var nsyms, nobjs uint64
 		for {
 			ev, err := d.next()
@@ -162,7 +165,7 @@ func openShared(path string) (*streamShared, error) {
 				break
 			}
 			if err != nil {
-				return nil, err
+				return nil, verifySpanCRC(path, -1, r.off, cr, r.crc, idx.hasCRC, err)
 			}
 			switch ev.Kind {
 			case KindProgram:
@@ -175,9 +178,14 @@ func openShared(path string) (*streamShared, error) {
 				nsyms++
 			case KindObject:
 				nobjs++
+			case KindNote:
+				sh.notes = append(sh.notes, ev.Name)
 			default:
 				return nil, fmt.Errorf("trace: index: layout region at %d contains a kind-%d record", r.off, ev.Kind)
 			}
+		}
+		if err := verifySpanCRC(path, -1, r.off, cr, r.crc, idx.hasCRC, nil); err != nil {
+			return nil, err
 		}
 		if nsyms != r.syms || nobjs != r.objs {
 			return nil, fmt.Errorf("trace: index: region at %d claims %d symbols / %d objects, stream has %d / %d",
@@ -439,7 +447,14 @@ func (s *StreamReplay) loadPhase(si int) (map[mem.ThreadID]*replayThread, error)
 		return nil, err
 	}
 	defer f.Close()
-	d := newSeededDecoder(io.NewSectionReader(f, int64(seg.off), int64(seg.length)), seg.threads, seg.meta)
+	cr := &crcReader{r: io.NewSectionReader(f, int64(seg.off), int64(seg.length))}
+	d := newSeededDecoder(cr, seg.threads, seg.meta)
+	// checked wraps every failure so a corrupt payload under a valid
+	// index surfaces as CorruptPayloadError rather than whatever decode
+	// or count error the damage happens to trip first.
+	checked := func(cause error) error {
+		return verifySpanCRC(sh.path, seg.phase, seg.off, cr, seg.crc, sh.idx.hasCRC, cause)
+	}
 
 	win := make(map[mem.ThreadID]*replayThread, len(seg.threads))
 	counts := make(map[mem.ThreadID]uint64, len(seg.threads))
@@ -448,10 +463,10 @@ func (s *StreamReplay) loadPhase(si int) (map[mem.ThreadID]*replayThread, error)
 	}
 	ev, err := d.next()
 	if err != nil {
-		return nil, err
+		return nil, checked(err)
 	}
 	if ev.Kind != KindPhase || ev.Phase != seg.phase {
-		return nil, fmt.Errorf("trace: segment for phase %d does not start at its phase record", seg.phase)
+		return nil, checked(fmt.Errorf("trace: segment for phase %d does not start at its phase record", seg.phase))
 	}
 	var total uint64
 	for {
@@ -460,17 +475,17 @@ func (s *StreamReplay) loadPhase(si int) (map[mem.ThreadID]*replayThread, error)
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, checked(err)
 		}
 		if ev.Kind != KindAccess && ev.Kind != KindThreadEnd {
-			return nil, fmt.Errorf("trace: phase %d segment contains a kind-%d record", seg.phase, ev.Kind)
+			return nil, checked(fmt.Errorf("trace: phase %d segment contains a kind-%d record", seg.phase, ev.Kind))
 		}
 		if ev.Phase != seg.phase {
-			return nil, fmt.Errorf("trace: phase %d segment contains a record for phase %d", seg.phase, ev.Phase)
+			return nil, checked(fmt.Errorf("trace: phase %d segment contains a record for phase %d", seg.phase, ev.Phase))
 		}
 		rt := win[ev.TID]
 		if rt == nil {
-			return nil, fmt.Errorf("trace: phase %d segment has records for unindexed thread %d", seg.phase, ev.TID)
+			return nil, checked(fmt.Errorf("trace: phase %d segment has records for unindexed thread %d", seg.phase, ev.TID))
 		}
 		if ev.Kind == KindThreadEnd {
 			rt.endInstrs = ev.Instrs
@@ -478,7 +493,7 @@ func (s *StreamReplay) loadPhase(si int) (map[mem.ThreadID]*replayThread, error)
 			continue
 		}
 		if ev.Size > 255 {
-			return nil, fmt.Errorf("trace: access size %d unsupported (max 255)", ev.Size)
+			return nil, checked(fmt.Errorf("trace: access size %d unsupported (max 255)", ev.Size))
 		}
 		var gap uint64
 		if ev.IP > rt.lastIP {
@@ -494,13 +509,16 @@ func (s *StreamReplay) loadPhase(si int) (map[mem.ThreadID]*replayThread, error)
 		total++
 	}
 	if total != seg.accesses {
-		return nil, fmt.Errorf("trace: phase %d segment has %d accesses, index claims %d", seg.phase, total, seg.accesses)
+		return nil, checked(fmt.Errorf("trace: phase %d segment has %d accesses, index claims %d", seg.phase, total, seg.accesses))
 	}
 	for _, t := range seg.threads {
 		if counts[t.tid] != t.accesses {
-			return nil, fmt.Errorf("trace: phase %d thread %d has %d accesses, index claims %d",
-				seg.phase, t.tid, counts[t.tid], t.accesses)
+			return nil, checked(fmt.Errorf("trace: phase %d thread %d has %d accesses, index claims %d",
+				seg.phase, t.tid, counts[t.tid], t.accesses))
 		}
+	}
+	if err := checked(nil); err != nil {
+		return nil, err
 	}
 	return win, nil
 }
@@ -529,6 +547,14 @@ func (s *StreamReplay) acquire(si int, tid mem.ThreadID) *replayThread {
 		}
 		if ops > s.maxWindowOps {
 			s.maxWindowOps = ops
+		}
+		mWindowLoads.Inc()
+		mWindowOps.Add(ops)
+		mWindowOpsMax.SetMax(int64(ops))
+		if obs.TracingEnabled() {
+			obs.Event("trace", "window-load", 0, map[string]any{
+				"path": s.sh.path, "phase": s.sh.idx.segs[si].phase, "ops": ops,
+			})
 		}
 	}
 	return s.win[tid]

@@ -50,6 +50,8 @@ func (e *TextEncoder) Encode(ev Event) error {
 		e.err = e.writeNamed("#phase %d "+mode+" %s\n", ev.Phase, ev.Name)
 	case KindThreadEnd:
 		_, e.err = fmt.Fprintf(e.w, "#threadend %d %d %d\n", ev.TID, ev.Phase, ev.Instrs)
+	case KindNote:
+		e.err = e.writeNamed("#note %s\n", ev.Name)
 	case KindAccess:
 		op := byte('r')
 		if ev.Write {
@@ -370,6 +372,8 @@ func parseDirective(line string) (Event, error) {
 			return Event{}, err
 		}
 		return Event{Kind: KindThreadEnd, TID: tid, Phase: phase, Instrs: instrs}, nil
+	case "#note":
+		return Event{Kind: KindNote, Name: strings.TrimSpace(rest)}, nil
 	default:
 		return Event{}, fmt.Errorf("unknown directive %q", word)
 	}

@@ -82,6 +82,12 @@ const (
 	// KindAccess is one memory access: the `tid op addr size ip lat
 	// phase` data row.
 	KindAccess
+	// KindNote is free-form provenance metadata (`key=value` text): the
+	// importers record skip/drop tallies and source descriptions here.
+	// Notes never influence replay; decoders that predate them reject
+	// the trace (schema growth is versioned by presence, not by bumping
+	// Version — old corpus files never carry notes).
+	KindNote
 )
 
 // Decoder sanity caps. Traces are external input, so structural fields
@@ -109,8 +115,8 @@ const (
 type Event struct {
 	Kind Kind
 
-	// Name is the program name (KindProgram), symbol name (KindSymbol)
-	// or phase name (KindPhase).
+	// Name is the program name (KindProgram), symbol name (KindSymbol),
+	// phase name (KindPhase) or note text (KindNote).
 	Name string
 	// Cores is the recorded machine size (KindProgram).
 	Cores int

@@ -1,0 +1,12 @@
+package cheetah
+
+import "repro/internal/obs"
+
+// Directory-occupancy gauges, sampled once per completed run in
+// RunTraced — see the comment there for why this is not live.
+var (
+	mDirLines = obs.GetGauge("cheetah_cache_dir_lines",
+		"Distinct cache lines touched by the most recently completed run.")
+	mDirLinesMax = obs.GetGauge("cheetah_cache_dir_lines_max",
+		"High-water mark of distinct cache lines touched by any run in this process.")
+)
