@@ -10,12 +10,20 @@
 package cheetah_test
 
 import (
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/workload"
 )
+
+// batchGC applies cmd/fsbench's batch-job GC setting for the duration of
+// a benchmark, so sweep-level numbers here match what the tool measures.
+func batchGC(b *testing.B) {
+	old := debug.SetGCPercent(400)
+	b.Cleanup(func() { debug.SetGCPercent(old) })
+}
 
 // benchConfig is the reduced-scale configuration for benchmarks.
 // Workers -1 selects a private full-width runner per call: benchmarks
@@ -157,6 +165,7 @@ func BenchmarkAblationRule(b *testing.B) {
 // revisions. Cells shared between experiments are executed once; the
 // dedup ratio is reported alongside.
 func BenchmarkRunAll(b *testing.B) {
+	batchGC(b)
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(0)
 		res := harness.RunAllWith(r, benchConfig())
@@ -174,6 +183,7 @@ func BenchmarkRunAll(b *testing.B) {
 // the scheduler's share of end-to-end sweep time — the number the
 // BENCH_harness.json trajectory tracks via `fsbench -sched`.
 func BenchmarkExecSchedRunAll(b *testing.B) {
+	batchGC(b)
 	for _, sched := range exec.SchedulerNames() {
 		b.Run(sched, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -191,6 +201,7 @@ func BenchmarkExecSchedRunAll(b *testing.B) {
 // BenchmarkRunAllSerial is the forced-serial baseline for BenchmarkRunAll:
 // the ratio of the two is the runner's parallel speedup on this machine.
 func BenchmarkRunAllSerial(b *testing.B) {
+	batchGC(b)
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig()
 		cfg.Workers = 1
@@ -201,6 +212,7 @@ func BenchmarkRunAllSerial(b *testing.B) {
 // BenchmarkEngineThroughput measures the simulator substrate itself:
 // simulated memory operations per second on the flagship workload.
 func BenchmarkEngineThroughput(b *testing.B) {
+	batchGC(b)
 	w, _ := workload.ByName("linear_regression")
 	for i := 0; i < b.N; i++ {
 		sys := newBenchSystem()

@@ -90,10 +90,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 16, "worker threads per parallel phase")
 	workers := fs.Int("workers", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	sched := fs.String("sched", "",
-		"engine thread scheduler: heap (default) or calendar; results are byte-identical either way")
+		"engine thread scheduler: sorted (default), heap or calendar; results are byte-identical either way")
 	app := fs.String("app", "linear_regression", "application for fig5 (case study report)")
 	benchOut := fs.String("bench-out", "",
 		"path for the machine-readable bench trajectory entry (with -experiment all)")
+	benchGate := fs.String("bench-gate", "",
+		"baseline BENCH_harness.json to gate against: exit non-zero when this sweep's accesses_per_sec regresses more than 20% below it (with -experiment all)")
 	worker := fs.Bool("worker", false,
 		"run as a sweep worker serving cells on stdin/stdout (or via -connect)")
 	connect := fs.String("connect", "",
@@ -124,6 +126,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+
+	// A sweep is a batch job: relax the GC target so the simulator spends
+	// its cycles simulating instead of collecting (worth a few percent of
+	// end-to-end wall time). Peak memory stays modest at paper scale, and
+	// every mode — coordinator, worker, serial — benefits alike.
+	debug.SetGCPercent(400)
 
 	// The replay mode is process-wide: it must be set before any trace
 	// cell builds, including in worker mode (the coordinator forwards the
@@ -229,21 +237,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res      *harness.Results
 			cellsRun int
 			workersN int
+			accesses uint64
 		)
 		start := time.Now()
-		accessesBefore := obs.Default().CounterValue("cheetah_exec_accesses_total")
 		if sharded {
 			stats, code := runSharded(cfg, *workersProcs, *listenAddr, *cacheDir, *cacheMaxBytes, *cellTimeout, *progressEvery, *replayMode, &res, stderr)
 			if code != 0 {
 				return code
 			}
 			cellsRun, workersN = stats.Executed, stats.Workers
+			// Worker processes report per-cell access counts over the wire
+			// (and the cache preserves them), so the throughput stamp is
+			// real even when no simulation ran in this process.
+			accesses = stats.Accesses
 			fmt.Fprintf(stderr, "fsbench: sweep of %d cells: %d cached, %d executed on %d workers, %d retries, %d respawns\n",
 				stats.Cells, stats.Cached, stats.Executed, stats.Workers, stats.Retries, stats.Respawns)
 		} else {
 			r := harness.NewRunner(cfg.Workers)
 			res = harness.RunAllWith(r, cfg)
 			cellsRun = r.CellsRun()
+			accesses = r.Accesses()
 			workersN = cfg.Workers
 			if workersN <= 0 {
 				workersN = runtime.GOMAXPROCS(0)
@@ -251,12 +264,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		elapsed := time.Since(start)
 		fmt.Fprint(stdout, res.Format())
-		if *benchOut != "" {
+		if *benchOut != "" || *benchGate != "" {
 			schedName := *sched
 			if schedName == "" {
-				schedName = engine.SchedHeap
+				schedName = engine.SchedSorted
 			}
-			accesses := obs.Default().CounterValue("cheetah_exec_accesses_total") - accessesBefore
 			entry := harness.BenchEntry{
 				Schema:      harness.BenchSchema,
 				GitCommit:   gitCommit(),
@@ -269,21 +281,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Sched:       schedName,
 				TraceFormat: trace.BinaryVersion,
 				ReplayMode:  *replayMode,
-				// The engine's own access counter over the sweep's wall
-				// clock: simulation throughput, not report content.
+				// The per-cell access counts over the sweep's wall clock:
+				// simulation throughput, not report content.
+				Accesses:       accesses,
 				AccessesPerSec: float64(accesses) / elapsed.Seconds(),
 				Metrics:        res.Metrics(),
 			}
-			b, err := entry.MarshalIndent()
-			if err == nil {
-				err = writeFileAtomic(*benchOut, b)
+			if *benchOut != "" {
+				b, err := entry.MarshalIndent()
+				if err == nil {
+					err = writeFileAtomic(*benchOut, b)
+				}
+				if err != nil {
+					fmt.Fprintf(stderr, "fsbench: writing %s: %v\n", *benchOut, err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "\nwrote bench trajectory entry to %s (%d cells, %.1fs)\n",
+					*benchOut, entry.CellsRun, entry.WallSeconds)
 			}
-			if err != nil {
-				fmt.Fprintf(stderr, "fsbench: writing %s: %v\n", *benchOut, err)
-				return 1
+			if *benchGate != "" {
+				baseline, err := harness.LoadBenchBaseline(*benchGate)
+				if err != nil {
+					fmt.Fprintf(stderr, "fsbench: bench gate: %v\n", err)
+					return 1
+				}
+				verdict := harness.CheckBenchGate(baseline, entry, harness.DefaultMaxRegression)
+				fmt.Fprintf(stderr, "fsbench: bench gate: %s\n", verdict.Reason)
+				if !verdict.OK {
+					return 1
+				}
 			}
-			fmt.Fprintf(stdout, "\nwrote bench trajectory entry to %s (%d cells, %.1fs)\n",
-				*benchOut, entry.CellsRun, entry.WallSeconds)
 		}
 	case "fig1":
 		fmt.Fprint(stdout, harness.FormatFigure1(harness.Figure1(cfg)))

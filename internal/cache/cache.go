@@ -142,31 +142,41 @@ func (s lineState) String() string {
 	}
 }
 
-// dirEntry tracks, for one cache line, which cores hold a copy and in what
-// state, plus all other per-line simulator state. Entries live inline in
-// the directory table's slots (dir.go), parallel to the key array.
-type dirEntry struct {
-	state   lineState
-	owner   int32 // valid when state == modified
+// dirHot is the per-line state every access reads: which cores hold a
+// copy and in what state, when ownership can next transfer, and whether
+// transfers are in flight. It lives in the directory's dense hot array
+// (dir.go), parallel to the key array; everything only coherence events
+// touch is banished to dirCold so the hot slots pack tight.
+type dirHot struct {
 	sharers sharerSet
 	// availableAt is the earliest time the line's ownership can next be
 	// transferred; steals arriving earlier stall (Hold semantics).
 	availableAt uint64
+	owner       int32 // valid when state == modified
+	state       lineState
+	// pend mirrors "the cold pending queue is non-empty", so the access
+	// fast path never touches the cold array.
+	pend bool
+}
+
+// dirCold is the per-line state only coherence events and report
+// generation touch, kept out of the access fast path's cache lines.
+type dirCold struct {
 	// invals is the ground-truth count of invalidation events on the line.
 	invals uint64
-	// contention is the number of in-window contention-tracker events on
-	// the line (maintained by noteContention/evictContention).
-	contention int32
-	// pendHead indexes the first live element of pending; the queue pops
-	// by advancing it and resets to reuse the backing array, so the
-	// steady state allocates nothing.
-	pendHead int32
 	// pending holds in-flight transfers in completion-time order: a steal
 	// is granted at its effective time, and until then the current owner
 	// keeps servicing its own accesses from L1. This is what bounds the
 	// false-sharing ping-pong rate on real machines: owners batch cheap
 	// accesses while a remote request is in flight.
 	pending []pendingTransfer
+	// pendHead indexes the first live element of pending; the queue pops
+	// by advancing it and resets to reuse the backing array, so the
+	// steady state allocates nothing.
+	pendHead int32
+	// contention is the number of in-window contention-tracker events on
+	// the line (maintained by noteContention/evictContention).
+	contention int32
 }
 
 // pendingTransfer is one in-flight ownership change.
@@ -217,14 +227,24 @@ type Sim struct {
 	// as on real machines where streaming loads and stores do not pay
 	// full memory latency.
 	lastMiss []uint64
-	// hintLine and hintEntry cache each core's last directory lookup:
-	// accesses are bursty per line (sixteen 4-byte words per streamed
-	// line), so most lookups can skip the table probe. hintGen guards
-	// against entry movement: a directory grow bumps dir.gen, voiding
-	// every hint.
-	hintLine  []uint64
-	hintEntry []*dirEntry
-	hintGen   uint64
+	// hints caches each core's last two directory lookups: accesses are
+	// bursty per line (sixteen 4-byte words per streamed line), and many
+	// bodies alternate between two lines (streamed data plus a private
+	// accumulator), which would thrash a single-entry hint. hintGen
+	// guards against slot movement: a directory grow bumps dir.gen,
+	// voiding every hint.
+	hints   []dirHint
+	hintGen uint64
+}
+
+// dirHint is one core's two most recent directory lookups. A miss
+// shifts way 0 into way 1 and installs the new line at way 0; a hit in
+// either way is served in place (no promotion), so a strict two-line
+// alternation settles with each line in its own way and zero traffic.
+type dirHint struct {
+	line [2]uint64
+	hot  [2]*dirHot
+	cold [2]*dirCold
 }
 
 // contentionTracker measures the machine-wide rate of coherence traffic:
@@ -293,23 +313,23 @@ func (s *Sim) evictContention(now uint64) {
 		}
 		c.head = (c.head + 1) & (len(c.events) - 1)
 		c.size--
-		if e := s.dir.find(ev.line); e != nil {
-			e.contention--
+		if _, cold := s.dir.find(ev.line); cold != nil {
+			cold.contention--
 		}
 	}
 }
 
-// noteContention records a coherence event on e's line at time now and
+// noteContention records a coherence event on the line at time now and
 // returns the extra latency due to in-flight transfers of other lines.
-func (s *Sim) noteContention(now uint64, line uint64, e *dirEntry) uint32 {
+func (s *Sim) noteContention(now uint64, line uint64, cold *dirCold) uint32 {
 	c := &s.contention
 	if c.window == 0 {
 		return 0
 	}
 	s.evictContention(now)
-	others := c.size - int(e.contention)
+	others := c.size - int(cold.contention)
 	c.push(contentionEvent{time: now, line: line})
-	e.contention++
+	cold.contention++
 	if others > c.cap {
 		others = c.cap
 	}
@@ -337,11 +357,10 @@ func New(cfg Config) *Sim {
 	for i := range s.lastMiss {
 		s.lastMiss[i] = ^uint64(0)
 	}
-	s.hintLine = make([]uint64, cfg.Cores)
-	for i := range s.hintLine {
-		s.hintLine[i] = ^uint64(0)
+	s.hints = make([]dirHint, cfg.Cores)
+	for i := range s.hints {
+		s.hints[i].line = [2]uint64{^uint64(0), ^uint64(0)}
 	}
-	s.hintEntry = make([]*dirEntry, cfg.Cores)
 	return s
 }
 
@@ -351,13 +370,7 @@ func (s *Sim) Cores() int { return s.cfg.Cores }
 // DirLines returns the number of live directory entries — distinct cache
 // lines the simulated program has touched. An occupancy probe for
 // observability; O(shards), no allocation.
-func (s *Sim) DirLines() int {
-	n := 0
-	for i := range s.dir.shards {
-		n += s.dir.shards[i].used
-	}
-	return n
-}
+func (s *Sim) DirLines() int { return s.dir.used }
 
 // Stats returns a copy of the aggregate counters.
 func (s *Sim) Stats() Stats { return s.stats }
@@ -365,8 +378,8 @@ func (s *Sim) Stats() Stats { return s.stats }
 // LineInvalidations returns the ground-truth number of invalidation events
 // observed on the cache line containing addr.
 func (s *Sim) LineInvalidations(addr mem.Addr) uint64 {
-	if e := s.dir.find(addr.Line()); e != nil {
-		return e.invals
+	if _, cold := s.dir.find(addr.Line()); cold != nil {
+		return cold.invals
 	}
 	return 0
 }
@@ -377,9 +390,9 @@ func (s *Sim) LineInvalidations(addr mem.Addr) uint64 {
 // result rather than call in a loop.
 func (s *Sim) TotalLineInvalidations() map[uint64]uint64 {
 	out := make(map[uint64]uint64)
-	s.dir.forEach(func(line uint64, e *dirEntry) {
-		if e.invals > 0 {
-			out[line] = e.invals
+	s.dir.forEach(func(line uint64, h *dirHot, c *dirCold) {
+		if c.invals > 0 {
+			out[line] = c.invals
 		}
 	})
 	return out
@@ -399,47 +412,85 @@ func (s *Sim) Access(core int, addr mem.Addr, write bool, now uint64) uint32 {
 		s.l2[core] = newSetAssoc(s.cfg.L2Sets, s.cfg.L2Ways)
 	}
 	line := addr.Line()
-	var e *dirEntry
-	if s.hintGen == s.dir.gen && s.hintLine[core] == line {
-		e = s.hintEntry[core]
-	} else {
-		e = s.dir.entry(line)
+	var h *dirHot
+	var c *dirCold
+	hint := &s.hints[core]
+	if s.hintGen == s.dir.gen {
+		if hint.line[0] == line {
+			h, c = hint.hot[0], hint.cold[0]
+		} else if hint.line[1] == line {
+			h, c = hint.hot[1], hint.cold[1]
+		}
+	}
+	if h == nil {
+		h, c = s.dir.entry(line, core)
 		if s.hintGen != s.dir.gen {
-			// A grow moved entries; every cached pointer is void.
-			for i := range s.hintEntry {
-				s.hintEntry[i] = nil
-				s.hintLine[i] = ^uint64(0)
+			// A grow moved slots; every cached pointer is void.
+			for i := range s.hints {
+				s.hints[i] = dirHint{line: [2]uint64{^uint64(0), ^uint64(0)}}
 			}
 			s.hintGen = s.dir.gen
 		}
-		s.hintLine[core] = line
-		s.hintEntry[core] = e
+		hint.line[1], hint.hot[1], hint.cold[1] = hint.line[0], hint.hot[0], hint.cold[0]
+		hint.line[0], hint.hot[0], hint.cold[0] = line, h, c
 	}
-	if int(e.pendHead) < len(e.pending) {
-		s.commitPending(e, line, now)
+	if h.pend {
+		s.commitPending(h, c, line, now)
+	}
+
+	// Fast path for the private-satisfiable cases that dominate every
+	// workload: the dirty owner re-accessing its line, or a sharer
+	// re-reading a clean one. Exactly mirrors the corresponding read/write
+	// branches below, minus their switch and call overhead.
+	priv := false
+	if h.state == modified {
+		priv = int(h.owner) == core
+	} else if h.state == shared {
+		priv = !write && h.sharers.get(core)
+	}
+	if priv {
+		var lat uint32
+		// First-way probe inlined: touch swaps hits to way 0, so a bursty
+		// re-access matches here without the full touch call.
+		l1 := s.l1[core]
+		if base := l1.setFor(line) * l1.ways; l1.keys[base] == line+1 {
+			l1.clock++
+			l1.lru[base] = l1.clock
+			s.stats.L1Hits++
+			lat = s.cfg.Lat.L1Hit
+		} else if l1.touch(line) {
+			s.stats.L1Hits++
+			lat = s.cfg.Lat.L1Hit
+		} else {
+			lat = s.privateFill(core, line)
+		}
+		s.stats.Accesses++
+		s.stats.Cycles += uint64(lat)
+		return lat
 	}
 
 	var lat uint32
 	if write {
-		lat = s.write(core, line, e, now)
+		lat = s.write(core, line, h, c, now)
 	} else {
-		lat = s.read(core, line, e, now)
+		lat = s.read(core, line, h, c, now)
 	}
 	s.stats.Accesses++
 	s.stats.Cycles += uint64(lat)
 	return lat
 }
 
-// read services a load.
-func (s *Sim) read(core int, line uint64, e *dirEntry, now uint64) uint32 {
-	inL1 := s.l1[core].touch(line)
-	holds := e.sharers.get(core)
-
+// read services a load. The L1 probe is deferred into the branches that
+// can actually hold a private copy: coherence invariantly evicts a line
+// from a core's private caches whenever the core leaves the sharer set
+// or loses ownership, so probing L1 on the remote/invalid paths is a
+// guaranteed miss — pure wasted walk on the hottest ping-pong branches.
+func (s *Sim) read(core int, line uint64, e *dirHot, c *dirCold, now uint64) uint32 {
 	switch e.state {
 	case modified:
 		if int(e.owner) == core {
 			// Local dirty copy.
-			if inL1 {
+			if s.l1[core].touch(line) {
 				s.stats.L1Hits++
 				return s.cfg.Lat.L1Hit
 			}
@@ -449,10 +500,10 @@ func (s *Sim) read(core int, line uint64, e *dirEntry, now uint64) uint32 {
 		// transfer. It completes after the owner's hold expires; until
 		// then the owner keeps servicing its own accesses from L1.
 		s.stats.RemoteTransfers++
-		return s.enqueueTransfer(e, line, core, true, now)
+		return s.enqueueTransfer(e, c, line, core, true, now)
 	case shared:
-		if holds {
-			if inL1 {
+		if e.sharers.get(core) {
+			if s.l1[core].touch(line) {
 				s.stats.L1Hits++
 				return s.cfg.Lat.L1Hit
 			}
@@ -471,14 +522,12 @@ func (s *Sim) read(core int, line uint64, e *dirEntry, now uint64) uint32 {
 	}
 }
 
-// write services a store.
-func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
-	inL1 := s.l1[core].touch(line)
-
+// write services a store. The L1 probe is deferred exactly as in read.
+func (s *Sim) write(core int, line uint64, e *dirHot, c *dirCold, now uint64) uint32 {
 	switch e.state {
 	case modified:
 		if int(e.owner) == core {
-			if inL1 {
+			if s.l1[core].touch(line) {
 				s.stats.L1Hits++
 				return s.cfg.Lat.L1Hit
 			}
@@ -488,15 +537,15 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 		// false-sharing ping-pong step. The steal is granted only after
 		// the current owner's hold expires and earlier in-flight
 		// transfers complete.
-		s.recordInvalidation(e, 1)
+		s.recordInvalidation(c, 1)
 		s.stats.RemoteTransfers++
-		return s.enqueueTransfer(e, line, core, false, now)
+		return s.enqueueTransfer(e, c, line, core, false, now)
 	case shared:
 		others := e.sharers.countExcept(core)
 		holds := e.sharers.get(core)
 		if others > 0 {
 			// Upgrade: invalidate every other sharer.
-			s.recordInvalidation(e, others)
+			s.recordInvalidation(c, others)
 			e.sharers.forEach(func(c int) {
 				if c != core {
 					s.evictRemote(c, line)
@@ -508,7 +557,7 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 			e.sharers.set(core)
 			s.fill(core, line)
 			lat := s.cfg.Lat.Upgrade + uint32(others-1)*s.cfg.Lat.PerSharer +
-				s.noteContention(now, line, e)
+				s.noteContention(now, line, c)
 			e.availableAt = now + uint64(lat) + uint64(s.cfg.Lat.Hold)
 			return lat
 		}
@@ -516,7 +565,7 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 		e.state = modified
 		e.owner = int32(core)
 		if holds {
-			if inL1 {
+			if s.l1[core].touch(line) {
 				s.stats.L1Hits++
 				return s.cfg.Lat.L1Hit
 			}
@@ -534,15 +583,15 @@ func (s *Sim) write(core int, line uint64, e *dirEntry, now uint64) uint32 {
 	}
 }
 
-// recordInvalidation logs n remote-copy invalidations of e's line as a
+// recordInvalidation logs n remote-copy invalidations of the line as a
 // single coherence event for ground-truth purposes (one event per
 // invalidating write, matching the detector's counting rule).
-func (s *Sim) recordInvalidation(e *dirEntry, n int) {
+func (s *Sim) recordInvalidation(c *dirCold, n int) {
 	if n <= 0 {
 		return
 	}
 	s.stats.Invalidations++
-	e.invals++
+	c.invals++
 }
 
 // evictRemote removes a line from another core's private caches.
@@ -596,28 +645,29 @@ func (s *Sim) llcFetch(core int, line uint64) uint32 {
 // interconnect-queueing term, and takes effect at its completion time via
 // the pending queue. The line becomes stealable again a full Hold after
 // this transfer completes.
-func (s *Sim) enqueueTransfer(e *dirEntry, line uint64, core int, read bool, now uint64) uint32 {
+func (s *Sim) enqueueTransfer(e *dirHot, c *dirCold, line uint64, core int, read bool, now uint64) uint32 {
 	start := now
 	if e.availableAt > start {
 		start = e.availableAt
 	}
-	end := start + uint64(s.cfg.Lat.Remote) + uint64(s.noteContention(now, line, e))
+	end := start + uint64(s.cfg.Lat.Remote) + uint64(s.noteContention(now, line, c))
 	e.availableAt = end + uint64(s.cfg.Lat.Hold)
 	// Drained queue: rewind so the backing array is reused.
-	if n := int(e.pendHead); n > 0 && n == len(e.pending) {
-		e.pending = e.pending[:0]
-		e.pendHead = 0
+	if n := int(c.pendHead); n > 0 && n == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.pendHead = 0
 	}
-	e.pending = append(e.pending, pendingTransfer{core: int32(core), read: read, effectiveAt: end})
+	c.pending = append(c.pending, pendingTransfer{core: int32(core), read: read, effectiveAt: end})
+	e.pend = true
 	return uint32(end - now)
 }
 
 // commitPending applies every in-flight transfer that has completed by
-// time now, in completion order.
-func (s *Sim) commitPending(e *dirEntry, line uint64, now uint64) {
-	for int(e.pendHead) < len(e.pending) && e.pending[e.pendHead].effectiveAt <= now {
-		p := e.pending[e.pendHead]
-		e.pendHead++
+// time now, in completion order, and refreshes the hot pend mirror.
+func (s *Sim) commitPending(e *dirHot, c *dirCold, line uint64, now uint64) {
+	for int(c.pendHead) < len(c.pending) && c.pending[c.pendHead].effectiveAt <= now {
+		p := c.pending[c.pendHead]
+		c.pendHead++
 		dst := int(p.core)
 		if p.read {
 			// Downgrade: the previous owner keeps a clean shared copy,
@@ -648,11 +698,12 @@ func (s *Sim) commitPending(e *dirEntry, line uint64, now uint64) {
 		e.sharers.set(dst)
 		s.fill(dst, line)
 	}
+	e.pend = int(c.pendHead) < len(c.pending)
 }
 
 // directoryState exposes a line's MESI state for tests.
 func (s *Sim) directoryState(line uint64) (lineState, int, int) {
-	e := s.dir.find(line)
+	e, _ := s.dir.find(line)
 	if e == nil {
 		return invalid, -1, 0
 	}

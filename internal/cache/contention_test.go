@@ -16,7 +16,8 @@ func contentionSim(window uint64, cap int, penalty uint32) (*Sim, func(now, line
 	cfg.Lat.ContentionPenalty = penalty
 	s := New(cfg)
 	return s, func(now, line uint64) uint32 {
-		return s.noteContention(now, line, s.dir.entry(line))
+		_, cold := s.dir.entry(line, 0)
+		return s.noteContention(now, line, cold)
 	}
 }
 
@@ -68,8 +69,8 @@ func TestContentionTrackerCompaction(t *testing.T) {
 		t.Errorf("tracker ring grew to %d slots, want eviction to bound it", len(s.contention.events))
 	}
 	stale := 0
-	s.dir.forEach(func(line uint64, e *dirEntry) {
-		if e.contention > 0 {
+	s.dir.forEach(func(line uint64, h *dirHot, c *dirCold) {
+		if c.contention > 0 {
 			stale++
 		}
 	})

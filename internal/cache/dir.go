@@ -1,136 +1,153 @@
 package cache
 
-// This file holds the directory's storage layer: a sharded open-addressed
-// hash table mapping cache lines to directory entries, plus the inline
-// sharer set. The directory lookup is the hottest operation in the whole
-// reproduction — every simulated memory access performs one — so entries
-// are stored inline in the probe array (no per-line pointer chasing or
-// allocation) and the table never deletes, which keeps probing tombstone-
-// free. Sharding bounds the cost of a rehash to one shard's entries and
-// keeps probe chains short as the touched-line set grows.
+import "sort"
 
-// dirShardBits selects the shard from the top of the mixed hash; 64
-// shards keep rehash pauses small without bloating empty simulators.
-const dirShardBits = 6
+// This file holds the directory's storage layer: a paged table mapping
+// cache lines to directory entries, plus the inline sharer set. The
+// directory lookup is the hottest operation in the whole reproduction —
+// every simulated memory access performs one — so the layout is built
+// around how simulated programs actually touch memory: they stream
+// through mostly-contiguous line ranges. Lines are grouped into pages of
+// 256; a page is one flat pair of hot/cold arrays indexed directly by
+// the low line bits, so a lookup is a page-hint check (or one map access
+// on a page switch) plus an array index — no hashing, no probe walk —
+// and consecutive lines land in adjacent memory, which the hardware
+// prefetcher rides along a stream. Pages never move once allocated, so
+// entry pointers (and the simulator's per-core hints) stay valid for the
+// simulation's lifetime; the table's gen counter therefore never ticks.
 
-// dirShards is the shard count.
-const dirShards = 1 << dirShardBits
+// dirPageShift sets the page granule: 256 lines (16 KiB of simulated
+// memory) balances per-page allocation cost against density for sparse
+// access patterns.
+const dirPageShift = 8
 
-// dirInitialSlots is the initial per-shard capacity (power of two).
-const dirInitialSlots = 64
+// dirPageLines is the number of cache lines covered by one page.
+const dirPageLines = 1 << dirPageShift
 
-// mix64 is a Murmur3-style finalizer: full-avalanche, so sequential line
-// numbers spread evenly over shards and slots.
-func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
+// dirPage is the directory state for one aligned 256-line range. The
+// per-line payload is split by temperature — hot[i] holds the
+// MESI/sharer/availability state every access reads, cold[i] the
+// ground-truth counters and pending-transfer queue only coherence events
+// touch. touched marks lines the program has actually accessed: the
+// zero value of a slot already encodes the pristine state (invalid, no
+// sharers, zero counters), so first use only sets a bit.
+type dirPage struct {
+	hot     [dirPageLines]dirHot
+	cold    [dirPageLines]dirCold
+	touched [dirPageLines / 64]uint64
 }
 
-// dirShard is one open-addressed slice of the directory. Keys (line+1;
-// zero marks a free slot) live in their own compact array so a probe
-// touches eight keys per cache line instead of striding over full
-// entries; slots[i] holds the entry for keys[i].
-type dirShard struct {
-	mask  uint64
-	used  int
-	keys  []uint64
-	slots []dirEntry
-}
-
-// probe returns the slot index for key: either its entry or the free slot
-// where it would be inserted. Linear probing; the load factor stays under
-// 3/4 so chains are short.
-func (sh *dirShard) probe(h, key uint64) int {
-	i := (h >> dirShardBits) & sh.mask
-	for {
-		k := sh.keys[i]
-		if k == key || k == 0 {
-			return int(i)
-		}
-		i = (i + 1) & sh.mask
-	}
-}
-
-// grow rehashes the shard into n slots (a power of two).
-func (sh *dirShard) grow(n int) {
-	oldKeys, oldSlots := sh.keys, sh.slots
-	sh.keys = make([]uint64, n)
-	sh.slots = make([]dirEntry, n)
-	sh.mask = uint64(n - 1)
-	for i, k := range oldKeys {
-		if k != 0 {
-			j := sh.probe(mix64(k-1), k)
-			sh.keys[j] = k
-			sh.slots[j] = oldSlots[i]
-		}
-	}
-}
-
-// dirTable is the sharded directory.
+// dirTable is the paged directory.
 type dirTable struct {
 	cores int
-	// gen increments whenever a grow moves entries, invalidating any
-	// cached entry pointers (the simulator's per-core hints).
-	gen    uint64
-	shards [dirShards]dirShard
+	// gen is the hint-invalidation epoch. Paged storage never relocates
+	// entries, so it stays zero; the field remains so the simulator's
+	// hint contract (compare against gen) is explicit.
+	gen   uint64
+	pages map[uint64]*dirPage
+	used  int
+	// hints caches each core's last two page lookups. One way covers a
+	// core streaming within a page; the second covers the other common
+	// shape, a loop alternating between two regions (two arrays, or an
+	// array and a shared accumulator), which would thrash a single-entry
+	// hint on every access.
+	hints []pageHint
+}
+
+// pageHint is a two-way page cache: way 0 is the most recent miss fill,
+// hits are served in place, a miss shifts way 0 into way 1.
+type pageHint struct {
+	pg [2]uint64
+	p  [2]*dirPage
 }
 
 func newDirTable(cores int) *dirTable {
-	return &dirTable{cores: cores}
+	t := &dirTable{
+		cores: cores,
+		pages: make(map[uint64]*dirPage),
+		hints: make([]pageHint, cores),
+	}
+	for i := range t.hints {
+		t.hints[i].pg[0] = ^uint64(0)
+		t.hints[i].pg[1] = ^uint64(0)
+	}
+	return t
 }
 
-// entry returns the directory entry for line, creating it on first use.
-// Returned pointers are valid until the next entry() call (a grow moves
-// entries); the simulator never holds one across accesses.
-func (t *dirTable) entry(line uint64) *dirEntry {
-	h := mix64(line)
-	sh := &t.shards[h&(dirShards-1)]
-	if sh.keys == nil {
-		sh.grow(dirInitialSlots)
+func (t *dirTable) newPage() *dirPage {
+	p := &dirPage{}
+	if t.cores > 64 {
+		// The inline sharer word only covers 64 cores; larger machines
+		// need the spill slice allocated up front so the zero-value
+		// slot invariant holds.
+		for i := range p.hot {
+			p.hot[i].sharers = newSharerSet(t.cores)
+		}
 	}
-	key := line + 1
-	i := sh.probe(h, key)
-	if sh.keys[i] == key {
-		return &sh.slots[i]
-	}
-	if (sh.used+1)*4 > len(sh.keys)*3 {
-		sh.grow(len(sh.keys) * 2)
-		t.gen++
-		i = sh.probe(h, key)
-	}
-	sh.used++
-	sh.keys[i] = key
-	e := &sh.slots[i]
-	e.state = invalid
-	e.sharers = newSharerSet(t.cores)
-	return e
+	return p
 }
 
-// find returns the entry for line, or nil if the line was never touched.
-func (t *dirTable) find(line uint64) *dirEntry {
-	h := mix64(line)
-	sh := &t.shards[h&(dirShards-1)]
-	if sh.keys == nil {
-		return nil
+// entry returns the hot and cold state for line, creating its page on
+// first use. core selects the per-core page hint; it is a locality key
+// only and has no semantic effect. Returned pointers stay valid for the
+// table's lifetime.
+func (t *dirTable) entry(line uint64, core int) (*dirHot, *dirCold) {
+	pg := line >> dirPageShift
+	h := &t.hints[core]
+	var p *dirPage
+	switch pg {
+	case h.pg[0]:
+		p = h.p[0]
+	case h.pg[1]:
+		p = h.p[1]
+	default:
+		p = t.pages[pg]
+		if p == nil {
+			p = t.newPage()
+			t.pages[pg] = p
+		}
+		h.pg[1], h.p[1] = h.pg[0], h.p[0]
+		h.pg[0], h.p[0] = pg, p
 	}
-	i := sh.probe(h, line+1)
-	if sh.keys[i] == 0 {
-		return nil
+	i := int(line) & (dirPageLines - 1)
+	if w, b := i>>6, uint64(1)<<uint(i&63); p.touched[w]&b == 0 {
+		p.touched[w] |= b
+		t.used++
 	}
-	return &sh.slots[i]
+	return &p.hot[i], &p.cold[i]
 }
 
-// forEach visits every live entry with its line number.
-func (t *dirTable) forEach(fn func(line uint64, e *dirEntry)) {
-	for s := range t.shards {
-		sh := &t.shards[s]
-		for i, k := range sh.keys {
-			if k != 0 {
-				fn(k-1, &sh.slots[i])
+// find returns the state for line, or nils if the line was never touched.
+func (t *dirTable) find(line uint64) (*dirHot, *dirCold) {
+	p := t.pages[line>>dirPageShift]
+	if p == nil {
+		return nil, nil
+	}
+	i := int(line) & (dirPageLines - 1)
+	if p.touched[i>>6]&(1<<uint(i&63)) == 0 {
+		return nil, nil
+	}
+	return &p.hot[i], &p.cold[i]
+}
+
+// forEach visits every touched line with its state, in increasing line
+// order — page keys are sorted so the walk is deterministic regardless
+// of map iteration order. It runs once per simulation teardown, so the
+// sort is off the access path.
+func (t *dirTable) forEach(fn func(line uint64, h *dirHot, c *dirCold)) {
+	keys := make([]uint64, 0, len(t.pages))
+	for pg := range t.pages {
+		keys = append(keys, pg)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, pg := range keys {
+		p := t.pages[pg]
+		base := pg << dirPageShift
+		for w, bits := range p.touched {
+			for bits != 0 {
+				i := w*64 + trailingZeros(bits)
+				bits &= bits - 1
+				fn(base+uint64(i), &p.hot[i], &p.cold[i])
 			}
 		}
 	}

@@ -25,12 +25,17 @@ func newSetAssoc(sets, ways int) *setAssoc {
 	if sets <= 0 || ways <= 0 {
 		panic("cache: set-associative structure needs positive sets and ways")
 	}
+	// One backing allocation serves both arrays: simulators are built per
+	// experiment cell, and halving the allocation count (and zeroing
+	// passes) measurably cuts cell setup cost.
+	n := sets * ways
+	backing := make([]uint64, 2*n)
 	c := &setAssoc{
 		sets: sets,
 		ways: ways,
 		mask: -1,
-		keys: make([]uint64, sets*ways),
-		lru:  make([]uint64, sets*ways),
+		keys: backing[:n:n],
+		lru:  backing[n:],
 	}
 	if sets&(sets-1) == 0 {
 		c.mask = sets - 1

@@ -142,6 +142,13 @@ func (p *Profiler) Probes() []exec.Probe {
 	return []exec.Probe{p.pmu, p}
 }
 
+// AccessPace implements exec.AccessPacer: the profiler observes accesses
+// only through PMU samples (its own Access is the embedded no-op), so it
+// never needs the engine's per-access probe call.
+func (p *Profiler) AccessPace(mem.ThreadID) (instrPace, cyclePace uint64) {
+	return ^uint64(0), ^uint64(0)
+}
+
 // PMUStats exposes the underlying PMU counters.
 func (p *Profiler) PMUStats() pmu.Stats { return p.pmu.Stats() }
 

@@ -126,6 +126,14 @@ func (q *calendarQueue) NextVtime() uint64 {
 	return q.cachedKey.vt
 }
 
+func (q *calendarQueue) NextKey() (uint64, mem.ThreadID) {
+	if q.rest == 0 {
+		return ^uint64(0), maxThreadID
+	}
+	q.findRestMin()
+	return q.cachedKey.vt, q.cachedKey.id
+}
+
 func (q *calendarQueue) FixMin() {
 	q.minKey.vt = q.min.vtime
 	if q.rest == 0 {

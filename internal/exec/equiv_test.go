@@ -8,6 +8,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/exec/progen"
 	"repro/internal/mem"
+	"repro/internal/pmu"
 )
 
 // equivSeed pins the randomized suite: failures reproduce from
@@ -39,50 +40,107 @@ func (r *clockRecorder) Access(a mem.Access, instrs uint64) uint64 {
 
 func (r *clockRecorder) ThreadEnd(th exec.ThreadInfo) { r.threads = append(r.threads, th) }
 
-// runUnder executes prog on a fresh 8-core cache simulator under the
-// named scheduler.
-func runUnder(sched string, prog exec.Program) (exec.Result, *clockRecorder) {
-	sim := cache.New(cache.DefaultConfig(8))
-	rec := &clockRecorder{}
+// equivEngineConfig is the engine configuration every suite run shares,
+// apart from the dimension under test.
+func equivEngineConfig(sched string, unbatched bool) exec.Config {
 	cfg := exec.DefaultConfig()
 	cfg.OpBuffer = 64 // small buffers exercise refill boundaries
 	cfg.Sched = sched
-	e := exec.New(sim, cfg, rec)
+	cfg.Unbatched = unbatched
+	return cfg
+}
+
+// runWith executes prog on a fresh 8-core cache simulator under cfg,
+// recording the complete observable execution.
+func runWith(cfg exec.Config, prog exec.Program, probes ...exec.Probe) (exec.Result, *clockRecorder) {
+	sim := cache.New(cache.DefaultConfig(8))
+	rec := &clockRecorder{}
+	e := exec.New(sim, cfg, append([]exec.Probe{rec}, probes...)...)
 	return e.Run(prog), rec
+}
+
+// runUnder executes prog under the named scheduler with the batched
+// runner (the production configuration).
+func runUnder(sched string, prog exec.Program) (exec.Result, *clockRecorder) {
+	return runWith(equivEngineConfig(sched, false), prog)
+}
+
+// mustMatch fails the case unless two runs produced the identical
+// execution: same Result (total cycles, phase boundaries, per-thread
+// start/end/instruction counts), same thread lifetimes, and the same
+// access stream in the same global order.
+func mustMatch(t *testing.T, i int, refName, gotName string,
+	refRes, gotRes exec.Result, refRec, gotRec *clockRecorder) {
+	t.Helper()
+	if !reflect.DeepEqual(refRes, gotRes) {
+		t.Fatalf("case %d: Result diverges\n%s: %+v\n%s: %+v",
+			i, refName, refRes, gotName, gotRes)
+	}
+	if !reflect.DeepEqual(refRec.threads, gotRec.threads) {
+		t.Fatalf("case %d: thread lifetimes diverge\n%s: %+v\n%s: %+v",
+			i, refName, refRec.threads, gotName, gotRec.threads)
+	}
+	if len(refRec.accesses) != len(gotRec.accesses) {
+		t.Fatalf("case %d: %d accesses under %s, %d under %s",
+			i, len(refRec.accesses), refName, len(gotRec.accesses), gotName)
+	}
+	for j := range refRec.accesses {
+		if refRec.accesses[j] != gotRec.accesses[j] {
+			t.Fatalf("case %d: access %d diverges\n%s: %+v\n%s: %+v",
+				i, j, refName, refRec.accesses[j], gotName, gotRec.accesses[j])
+		}
+	}
 }
 
 // TestSchedulerEquivalence is the engine half of the cross-scheduler
 // equivalence suite: every randomized program must produce an identical
-// execution under the heap and calendar schedulers — same Result (total
-// cycles, phase boundaries, per-thread start/end/instruction counts) and
-// the same access stream in the same global order with the same
-// per-thread clock trajectories. ≥200 cases in -short, ≥2000 nightly;
-// cases grow from trivially small, so the first failing index is already
-// near-minimal.
+// execution under the sorted (default), heap and calendar schedulers.
+// ≥200 cases in -short, ≥2000 nightly; cases grow from trivially small,
+// so the first failing index is already near-minimal (reproduce from
+// equivSeed and the index).
 func TestSchedulerEquivalence(t *testing.T) {
 	addrs := []mem.Addr{0x1000, 0x1040, 0x2040, 0x8000}
 	for i := 0; i < equivCases(); i++ {
 		cfg := progen.Config{Seed: equivSeed, Case: i, Addrs: addrs, MaxThreads: 12}
-		heapRes, heapRec := runUnder(exec.SchedHeap, progen.Generate(cfg))
-		calRes, calRec := runUnder(exec.SchedCalendar, progen.Generate(cfg))
+		refRes, refRec := runUnder(exec.SchedSorted, progen.Generate(cfg))
+		for _, sched := range []string{exec.SchedHeap, exec.SchedCalendar} {
+			res, rec := runUnder(sched, progen.Generate(cfg))
+			mustMatch(t, i, exec.SchedSorted, sched, refRes, res, refRec, rec)
+		}
+	}
+}
 
-		if !reflect.DeepEqual(heapRes, calRes) {
-			t.Fatalf("case %d (seed %#x): Result diverges\nheap:     %+v\ncalendar: %+v",
-				i, equivSeed, heapRes, calRes)
-		}
-		if !reflect.DeepEqual(heapRec.threads, calRec.threads) {
-			t.Fatalf("case %d (seed %#x): thread lifetimes diverge\nheap:     %+v\ncalendar: %+v",
-				i, equivSeed, heapRec.threads, calRec.threads)
-		}
-		if len(heapRec.accesses) != len(calRec.accesses) {
-			t.Fatalf("case %d (seed %#x): %d accesses under heap, %d under calendar",
-				i, equivSeed, len(heapRec.accesses), len(calRec.accesses))
-		}
-		for j := range heapRec.accesses {
-			if heapRec.accesses[j] != calRec.accesses[j] {
-				t.Fatalf("case %d (seed %#x): access %d diverges\nheap:     %+v\ncalendar: %+v",
-					i, equivSeed, j, heapRec.accesses[j], calRec.accesses[j])
-			}
+// equivPMU returns a fresh sampling probe for the paced half of the
+// batched/unbatched suite: an AccessPacer makes the batched runner's
+// compute run-ahead earn its keep (probe calls must happen at exactly
+// the paced accesses), so pacing is where a stop-rule bug would hide.
+// The prime period and jitter avoid lockstep with generated loop bodies.
+func equivPMU() *pmu.PMU {
+	return pmu.New(pmu.Config{Period: 97, Jitter: 13, HandlerCycles: 40, SetupCycles: 300},
+		pmu.HandlerFunc(func(mem.Access, uint64) {}))
+}
+
+// TestBatchedUnbatchedEquivalence proves the batched timeslice runner
+// against its per-op reference loop: every randomized program must
+// produce the identical execution batched and unbatched, under all
+// three schedulers, both free-running and paced by a sampling PMU.
+// The unbatched loop (Config.Unbatched) is the oracle the batched
+// hot path is measured against. ≥200 cases in -short, ≥2000 nightly.
+func TestBatchedUnbatchedEquivalence(t *testing.T) {
+	addrs := []mem.Addr{0x1000, 0x1040, 0x2040, 0x8000}
+	for i := 0; i < equivCases(); i++ {
+		cfg := progen.Config{Seed: equivSeed + 2, Case: i, Addrs: addrs, MaxThreads: 12}
+		refRes, refRec := runUnder(exec.SchedSorted, progen.Generate(cfg))
+		pacedRes, pacedRec := runWith(equivEngineConfig(exec.SchedSorted, false),
+			progen.Generate(cfg), equivPMU())
+		for _, sched := range exec.SchedulerNames() {
+			res, rec := runWith(equivEngineConfig(sched, true), progen.Generate(cfg))
+			mustMatch(t, i, "batched/"+exec.SchedSorted, "unbatched/"+sched,
+				refRes, res, refRec, rec)
+
+			res, rec = runWith(equivEngineConfig(sched, true), progen.Generate(cfg), equivPMU())
+			mustMatch(t, i, "paced batched/"+exec.SchedSorted, "paced unbatched/"+sched,
+				pacedRes, res, pacedRec, rec)
 		}
 	}
 }

@@ -215,6 +215,18 @@ type Result struct {
 	Threads []ThreadRecord
 }
 
+// Accesses returns the total simulated memory accesses across all
+// threads. The per-thread counts are part of the result payload, so the
+// sum survives serialization — sweep coordinators aggregate it from
+// worker-produced and cached results alike for throughput accounting.
+func (r Result) Accesses() uint64 {
+	var n uint64
+	for _, th := range r.Threads {
+		n += th.MemAccesses
+	}
+	return n
+}
+
 // Config tunes engine costs.
 type Config struct {
 	// ThreadCreateCycles is the serial cost, on the spawning timeline, of
@@ -227,12 +239,19 @@ type Config struct {
 	// OpBuffer is the size of each thread's operation buffer; generation
 	// runs ahead of simulation by at most one buffer.
 	OpBuffer int
-	// Sched selects the thread scheduler: SchedHeap (the default, also
-	// selected by the empty string) or SchedCalendar. Every scheduler
+	// Sched selects the thread scheduler: SchedSorted (the default, also
+	// selected by the empty string), SchedHeap or SchedCalendar. Every
+	// scheduler
 	// produces the identical deterministic schedule — the (vtime, id)
 	// order is total — so Sched trades only engine time; the
 	// cross-scheduler equivalence suite enforces byte-identical results.
 	Sched string
+	// Unbatched selects the per-op reference loop instead of the batched
+	// timeslice runner (see runSlice). Both produce byte-identical
+	// results — TestBatchedUnbatchedEquivalence enforces it — so the flag
+	// trades only engine time; it exists as the oracle for that suite and
+	// for bisecting hot-path regressions.
+	Unbatched bool
 }
 
 // DefaultConfig returns the engine defaults used by the evaluation.
@@ -253,6 +272,9 @@ type Engine struct {
 	pool    []mem.ThreadID
 	clock   uint64
 	result  Result
+	// spare pools retired threads' op buffers (cfg.OpBuffer-sized, the
+	// engine's dominant allocation) for reuse by later phases and runs.
+	spare [][]op
 }
 
 // New creates an engine. Probes observe every execution run on it.
@@ -297,6 +319,11 @@ func (e *Engine) runPhase(idx int, ph Phase) {
 	}
 
 	threads := make([]*thread, len(ph.Bodies))
+	// Thread and generator-context structs come from two per-phase slabs
+	// (and op buffers from the engine's pool), so a phase costs O(1)
+	// allocations regardless of thread count.
+	slab := make([]thread, len(ph.Bodies))
+	tslab := make([]T, len(ph.Bodies))
 	// Probe setup costs (PMU register programming) run in the creating
 	// thread, so they serialize: every thread's start is pushed back by
 	// the setup of the threads created before it. This is why the paper's
@@ -329,7 +356,8 @@ func (e *Engine) runPhase(idx int, ph Phase) {
 		for _, pr := range e.probes {
 			charge += pr.ThreadStart(ThreadInfo{ID: tid, Core: core, Phase: idx, Start: start, Reused: reused})
 		}
-		th := newThread(tid, core, idx, i, start, e.cfg.OpBuffer, body)
+		th := &slab[i]
+		initThread(th, &tslab[i], tid, core, idx, i, start, e.takeBuf(), e.takeBuf(), body)
 		th.vtime += charge
 		setupDelay += charge
 		threads[i] = th
@@ -383,6 +411,29 @@ func (e *Engine) simulate(threads []*thread) {
 			e.finishThread(th)
 		}
 	}
+	if e.cfg.Unbatched {
+		e.simulateRef(s)
+		return
+	}
+	// Dispatch on the concrete scheduler type so the per-slice scheduler
+	// calls bind directly (Go's gcshape generics would share one
+	// dictionary-based instantiation across pointer types and keep the
+	// calls indirect).
+	switch s := s.(type) {
+	case *sortedQueue:
+		e.driveSorted(s)
+	case *threadHeap:
+		e.driveHeap(s)
+	case *calendarQueue:
+		e.driveCalendar(s)
+	default:
+		e.driveSched(s)
+	}
+}
+
+// simulateRef is the per-op reference loop, kept as the oracle the
+// batched-vs-unbatched equivalence suite checks runSlice against.
+func (e *Engine) simulateRef(s Scheduler) {
 	for s.Len() > 0 {
 		// Run the earliest thread in place until it ceases to be the
 		// earliest, to amortize scheduler traffic over compute-heavy
@@ -468,4 +519,33 @@ func (e *Engine) finishThread(th *thread) {
 	mAccesses.Add(th.memAccesses)
 	mMemCycles.Add(th.memCycles)
 	mInstrs.Add(th.instrs)
+	// Reclaim the thread's op buffers. The generator has exited — refill
+	// saw out closed, which the goroutine does after its final flush — so
+	// its last buffer and anything parked in free are quiescent.
+	if b := th.t.buf; b != nil {
+		e.spare = append(e.spare, b)
+		th.t.buf = nil
+	}
+drain:
+	for {
+		select {
+		case b := <-th.free:
+			e.spare = append(e.spare, b)
+		default:
+			break drain
+		}
+	}
+}
+
+// takeBuf returns an empty op buffer of the engine's configured size,
+// reusing a retired thread's buffer when one is pooled.
+func (e *Engine) takeBuf() []op {
+	if n := len(e.spare); n > 0 {
+		b := e.spare[n-1]
+		e.spare = e.spare[:n-1]
+		if cap(b) >= e.cfg.OpBuffer {
+			return b[:0]
+		}
+	}
+	return make([]op, 0, e.cfg.OpBuffer)
 }

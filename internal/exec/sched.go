@@ -1,11 +1,25 @@
 package exec
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
 
 // Scheduler names accepted by Config.Sched and the CLIs' -sched flag.
 const (
-	// SchedHeap is the binary min-heap scheduler, the default until the
-	// calendar queue has proven parity everywhere.
+	// SchedSorted is the sorted-array run queue, the default: runnable
+	// threads in one descending-sorted slice, so peeking the minimum and
+	// the second-earliest key are plain loads and a reschedule is an
+	// insertion walk from the tail. An advancing thread almost always
+	// lands within a few positions of where it left (thread clocks
+	// cluster within one access latency), so the walk beats the heap's
+	// fixed 2·log n comparisons at every realistic thread count.
+	SchedSorted = "sorted"
+	// SchedHeap is the binary min-heap scheduler: O(log n) worst-case
+	// reschedules, the robust choice for heavily oversubscribed phases
+	// (hundreds of threads) where the sorted queue's insertion walk can
+	// degenerate.
 	SchedHeap = "heap"
 	// SchedCalendar is the calendar-queue (ladder) scheduler: O(1) on the
 	// common advance-and-reinsert path instead of O(log n).
@@ -14,13 +28,13 @@ const (
 
 // SchedulerNames lists the available scheduler implementations, in the
 // order CLIs should present them.
-func SchedulerNames() []string { return []string{SchedHeap, SchedCalendar} }
+func SchedulerNames() []string { return []string{SchedSorted, SchedHeap, SchedCalendar} }
 
 // ValidScheduler reports whether name selects a scheduler. The empty
-// string is valid and means the default (SchedHeap).
+// string is valid and means the default (SchedSorted).
 func ValidScheduler(name string) bool {
 	switch name {
-	case "", SchedHeap, SchedCalendar:
+	case "", SchedSorted, SchedHeap, SchedCalendar:
 		return true
 	}
 	return false
@@ -54,19 +68,30 @@ type Scheduler interface {
 	// point up to which Min may run unchallenged — or ^uint64(0) when
 	// Min is alone.
 	NextVtime() uint64
+	// NextKey returns the full (vtime, id) key of the second-earliest
+	// thread, or (^uint64(0), maxThreadID) when Min is alone. The batched
+	// engine loop uses the id to run Min through exact-vtime ties it wins
+	// by id order without a scheduler round per op.
+	NextKey() (uint64, mem.ThreadID)
 	// FixMin restores order after Min's vtime has increased in place.
 	FixMin()
 	// PopMin removes and returns the earliest thread.
 	PopMin() *thread
 }
 
+// maxThreadID is the NextKey id sentinel when Min is alone: no real
+// thread id compares at or above it.
+const maxThreadID = mem.ThreadID(1<<31 - 1)
+
 // newSchedulerFor builds the scheduler selected by name (see Sched*
-// constants); the empty string selects the heap. Callers validate
-// user-supplied names with ValidScheduler first — an unknown name here
-// is a programming error.
+// constants); the empty string selects the sorted queue. Callers
+// validate user-supplied names with ValidScheduler first — an unknown
+// name here is a programming error.
 func newSchedulerFor(name string, capacity int) Scheduler {
 	switch name {
-	case "", SchedHeap:
+	case "", SchedSorted:
+		return newSortedQueue(capacity)
+	case SchedHeap:
 		return newThreadHeap(capacity)
 	case SchedCalendar:
 		return newCalendarQueue(capacity)

@@ -130,6 +130,16 @@ func (r *refSched) NextVtime() uint64 {
 	}
 	return next
 }
+func (r *refSched) NextKey() (uint64, mem.ThreadID) {
+	mi := r.minIndex()
+	vt, id := ^uint64(0), maxThreadID
+	for i, th := range r.ths {
+		if i != mi && (th.vtime < vt || (th.vtime == vt && th.id < id)) {
+			vt, id = th.vtime, th.id
+		}
+	}
+	return vt, id
+}
 func (r *refSched) FixMin() {}
 func (r *refSched) PopMin() *thread {
 	mi := r.minIndex()
@@ -169,6 +179,7 @@ func TestSchedulerMatchesReference(t *testing.T) {
 
 			type trace struct {
 				mins, nexts []uint64
+				nextIDs     []mem.ThreadID
 				pops        []mem.ThreadID
 			}
 			runScript := func(s Scheduler) trace {
@@ -184,7 +195,12 @@ func TestSchedulerMatchesReference(t *testing.T) {
 					default:
 						th := s.Min()
 						tr.mins = append(tr.mins, th.vtime)
-						tr.nexts = append(tr.nexts, s.NextVtime())
+						nvt, nid := s.NextKey()
+						if nvt != s.NextVtime() {
+							t.Fatalf("NextKey vt %d != NextVtime %d", nvt, s.NextVtime())
+						}
+						tr.nexts = append(tr.nexts, nvt)
+						tr.nextIDs = append(tr.nextIDs, nid)
 						th.vtime += op.adv
 						s.FixMin()
 					}

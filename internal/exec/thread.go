@@ -108,20 +108,29 @@ type thread struct {
 
 	buf []op
 	pos int
+
+	// Probe pace cache (see AccessPacer): the folded thresholds for this
+	// thread, refreshed by runSlice only after a dispatched probe call.
+	// paceState: 0 = not yet queried, 1 = all probes pace, 2 = at least
+	// one probe must see every access. Caching here keeps the per-probe
+	// interface assertions out of the slice hot path.
+	paceInstr uint64
+	paceCycle uint64
+	paceState uint8
 }
 
-// newThread builds a thread whose virtual clock starts at start. index is
-// the thread's position within its phase.
-func newThread(id mem.ThreadID, core, phase, index int, start uint64, bufSize int, body Body) *thread {
+// initThread initializes a slab-allocated thread whose virtual clock
+// starts at start. index is the thread's position within its phase;
+// genBuf and engBuf are the two (possibly pooled) op buffers that rotate
+// between generator and engine.
+func initThread(th *thread, t *T, id mem.ThreadID, core, phase, index int, start uint64, genBuf, engBuf []op, body Body) {
 	out := make(chan []op, 1)
 	free := make(chan []op, 2)
-	// Two buffers rotate between generator and engine.
-	free <- make([]op, 0, bufSize)
-	return &thread{
+	free <- engBuf
+	*t = T{id: id, index: index, buf: genBuf, out: out, free: free}
+	*th = thread{
 		id: id, core: core, phase: phase, start: start, vtime: start,
-		body: body,
-		t:    &T{id: id, index: index, buf: make([]op, 0, bufSize), out: out, free: free},
-		out:  out, free: free,
+		body: body, t: t, out: out, free: free,
 	}
 }
 
@@ -195,6 +204,24 @@ func (h *threadHeap) NextVtime() uint64 {
 			v = w
 		}
 		return v
+	}
+}
+
+// NextKey returns the full (vtime, id) key of the second-earliest
+// thread — the smaller-keyed root child — or the sentinel maximum when
+// the root is alone.
+func (h *threadHeap) NextKey() (uint64, mem.ThreadID) {
+	switch len(h.items) {
+	case 1:
+		return ^uint64(0), maxThreadID
+	case 2:
+		return h.items[1].vt, h.items[1].id
+	default:
+		it := h.items[1]
+		if h.items[2].less(it) {
+			it = h.items[2]
+		}
+		return it.vt, it.id
 	}
 }
 

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file is the throughput regression gate: CI runs a sweep, stamps
+// a BenchEntry, and compares its accesses_per_sec against the committed
+// BENCH_harness.json baseline. The gate is deliberately tolerant — CI
+// hardware is shared and noisy — so it fails only on regressions past
+// DefaultMaxRegression, and it skips (passes with a reason) when either
+// side cannot produce a meaningful number rather than flaking.
+
+// DefaultMaxRegression is the gate's tolerance: a sweep may run up to
+// this fraction slower than the committed baseline before the gate
+// fails. 20% comfortably exceeds shared-runner noise while still
+// catching any real hot-path regression (the batched-engine work this
+// gate protects was a >2× swing).
+const DefaultMaxRegression = 0.20
+
+// minGateWall is the shortest sweep wall time the gate trusts: below
+// this, startup costs dominate and the throughput number is noise (a
+// -short or tiny-scale sweep), so the gate skips instead of judging.
+const minGateWall = 1.0 // seconds
+
+// GateVerdict is the outcome of one gate check.
+type GateVerdict struct {
+	// OK is false only on a confirmed regression; skipped checks pass.
+	OK bool
+	// Skipped marks a check that could not compare meaningfully and
+	// passed by default (unstamped baseline, unstable current number).
+	Skipped bool
+	// Reason is the human-readable one-line verdict for CI logs.
+	Reason string
+}
+
+// LoadBenchBaseline reads and validates a committed bench trajectory
+// entry (BENCH_harness.json). Any cheetah-bench schema version is
+// accepted — older baselines simply lack fields — but a file that is
+// not a bench entry at all is an error, not a silent pass: a gate
+// pointed at the wrong file must say so.
+func LoadBenchBaseline(path string) (BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	var e BenchEntry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&e); err != nil {
+		return BenchEntry{}, fmt.Errorf("harness: parsing bench baseline %s: %w", path, err)
+	}
+	if !strings.HasPrefix(e.Schema, "cheetah-bench/") {
+		return BenchEntry{}, fmt.Errorf("harness: %s has schema %q, not a cheetah-bench entry", path, e.Schema)
+	}
+	return e, nil
+}
+
+// CheckBenchGate compares a freshly-measured entry against the
+// committed baseline. maxRegression is the tolerated fractional
+// slowdown (DefaultMaxRegression for CI). The check skips — passes
+// with an explanatory reason — when the baseline carries no throughput
+// stamp (pre-v6 schema) or the current sweep is too small or empty to
+// yield a stable number.
+func CheckBenchGate(baseline, current BenchEntry, maxRegression float64) GateVerdict {
+	if baseline.AccessesPerSec <= 0 {
+		return GateVerdict{OK: true, Skipped: true,
+			Reason: fmt.Sprintf("skipped: baseline (%s) has no accesses_per_sec stamp", baseline.Schema)}
+	}
+	if current.Accesses == 0 || current.AccessesPerSec <= 0 {
+		return GateVerdict{OK: true, Skipped: true,
+			Reason: "skipped: sweep simulated no accesses (fully stubbed or empty run)"}
+	}
+	if current.WallSeconds < minGateWall {
+		return GateVerdict{OK: true, Skipped: true,
+			Reason: fmt.Sprintf("skipped: %.2fs sweep is too short for a stable throughput number (need >= %.0fs)",
+				current.WallSeconds, minGateWall)}
+	}
+	ratio := current.AccessesPerSec / baseline.AccessesPerSec
+	verdict := fmt.Sprintf("%.3gM accesses/sec vs baseline %.3gM (%+.1f%%)",
+		current.AccessesPerSec/1e6, baseline.AccessesPerSec/1e6, 100*(ratio-1))
+	if ratio < 1-maxRegression {
+		return GateVerdict{OK: false,
+			Reason: fmt.Sprintf("FAIL: %s exceeds the %.0f%% regression budget", verdict, 100*maxRegression)}
+	}
+	return GateVerdict{OK: true, Reason: "pass: " + verdict}
+}

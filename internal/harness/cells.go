@@ -48,8 +48,8 @@ type Cell struct {
 	Fixed    bool       `json:"fixed,omitempty"`
 	PMU      pmu.Config `json:"pmu"`
 	// Sched is the engine scheduler the cell runs under; empty means the
-	// default heap scheduler (and is the canonical spelling for it, so
-	// heap cells keep their pre-scheduler IDs and cache entries).
+	// default sorted scheduler (and is the canonical spelling for it, so
+	// default-scheduler cells keep scheduler-free IDs and cache entries).
 	Sched string `json:"sched,omitempty"`
 	// TraceHash is the sha256 of the trace file's content for `trace:`
 	// pseudo-workloads (empty otherwise, or when the file is unreadable
@@ -89,10 +89,10 @@ func traceHashFor(name string) string {
 }
 
 // canonSched canonicalizes a scheduler name for cell identity: the
-// default heap scheduler is spelled "" so that runs which don't care
+// default sorted scheduler is spelled "" so that runs which don't care
 // about the scheduler (the overwhelming majority) share one identity.
 func canonSched(s string) string {
-	if s == exec.SchedHeap {
+	if s == exec.SchedSorted {
 		return ""
 	}
 	return s

@@ -40,7 +40,8 @@ type Config struct {
 	// trades only wall-clock time and caching.
 	Workers int
 	// Sched selects the engine's thread scheduler for every cell
-	// (exec.SchedHeap or exec.SchedCalendar; empty = heap). Schedulers
+	// (exec.SchedSorted, exec.SchedHeap or exec.SchedCalendar; empty =
+	// sorted). Schedulers
 	// produce byte-identical results — the cross-scheduler equivalence
 	// suite proves it — so, like Workers, Sched trades only wall-clock
 	// time.

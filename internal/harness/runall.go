@@ -154,7 +154,7 @@ type BenchEntry struct {
 	// Scale and Threads record the sweep configuration.
 	Scale   float64 `json:"scale"`
 	Threads int     `json:"threads"`
-	// Sched is the engine scheduler the sweep ran under ("heap" when
+	// Sched is the engine scheduler the sweep ran under ("sorted" when
 	// unset), so scheduler wall-clock comparisons land in the trajectory.
 	Sched string `json:"sched"`
 	// TraceFormat is the binary trace framing version the build writes
@@ -165,10 +165,17 @@ type BenchEntry struct {
 	// "full" or "stream"), so streamed-replay timing points are
 	// distinguishable in the trajectory.
 	ReplayMode string `json:"replay_mode"`
-	// AccessesPerSec is the sweep's simulation throughput: simulated
-	// memory accesses executed in this process divided by wall-clock
-	// time. 0 when the accesses all ran elsewhere (fully sharded or
-	// fully cached sweeps).
+	// Accesses is the total simulated memory accesses behind the sweep's
+	// results. The count is summed from the per-thread records every cell
+	// result carries, so it is complete regardless of where the cells ran:
+	// in this process, in worker processes, or in an earlier sweep whose
+	// results the cache served.
+	Accesses uint64 `json:"accesses"`
+	// AccessesPerSec is the sweep's simulation throughput: Accesses
+	// divided by wall-clock time. On a cold sweep this measures the
+	// engine (the CI regression gate runs it cold); on a warm re-sweep it
+	// measures cache speedup instead, since the accesses behind cached
+	// results were simulated earlier.
 	AccessesPerSec float64 `json:"accesses_per_sec"`
 	// Metrics holds each experiment's headline quantity.
 	Metrics map[string]float64 `json:"metrics"`
@@ -177,8 +184,10 @@ type BenchEntry struct {
 // BenchSchema is the current BenchEntry schema identifier; v2 added the
 // git_commit and timestamp stamps, v3 the engine scheduler, v4 the
 // binary trace framing version, v5 the trace replay mode, v6 the
-// accesses/sec throughput stamp.
-const BenchSchema = "cheetah-bench/v6"
+// accesses/sec throughput stamp, v7 the raw access count (aggregated
+// across worker processes and cache hits, where v6 stamped 0) and the
+// batched engine's throughput baseline for the CI regression gate.
+const BenchSchema = "cheetah-bench/v7"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

@@ -61,7 +61,7 @@ type cellKey struct {
 	// native and baseline cells, so runs that differ only in profiler
 	// configuration share their native baselines.
 	pmu pmu.Config
-	// sched is the engine scheduler, canonicalized ("" = heap). Results
+	// sched is the engine scheduler, canonicalized ("" = sorted). Results
 	// are scheduler-independent by proven invariant, but the key stays
 	// honest: a cell records every input of the run that produced it.
 	sched string
@@ -151,6 +151,30 @@ func (r *Runner) CellsRun() int {
 	return len(r.cells)
 }
 
+// Accesses returns the total simulated memory accesses behind this
+// runner's finished cells — executed locally or preloaded from worker
+// processes and result caches (the per-thread counts ride exec.Result,
+// so the sum is deterministic and survives the wire). Cells still in
+// flight are skipped; call after the sweep completes for the full
+// total.
+func (r *Runner) Accesses() uint64 {
+	r.mu.Lock()
+	cells := make([]*cell, 0, len(r.cells))
+	for _, c := range r.cells {
+		cells = append(cells, c)
+	}
+	r.mu.Unlock()
+	var n uint64
+	for _, c := range cells {
+		select {
+		case <-c.done:
+			n += c.out.res.Accesses()
+		default:
+		}
+	}
+	return n
+}
+
 // submit returns the memoized cell for k, launching it on the pool the
 // first time the key is seen. Trace workloads get their content hash
 // folded into the key here, so every path that submits cells — the
@@ -233,12 +257,15 @@ func runCell(k cellKey) cellOut {
 	case cellRule:
 		two := newTwoEntryCounter(sys)
 		own := baseline.NewOwnership()
-		_, sim := sys.RunTraced(prog, two, own)
+		// The engine result rides along even though rule rows don't use
+		// it: its per-thread access counts join the sweep's throughput
+		// accounting like every other cell's.
+		res, sim := sys.RunTraced(prog, two, own)
 		var truth uint64
 		for _, n := range sim.TotalLineInvalidations() {
 			truth += n
 		}
-		return cellOut{rule: RuleRow{
+		return cellOut{res: res, rule: RuleRow{
 			App:            k.workload,
 			GroundTruth:    truth,
 			TwoEntry:       two.invalidations,

@@ -1,12 +1,26 @@
 package obs
 
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
 // Setup wires the opt-in CLI observability surface in one call: a
 // metrics/pprof HTTP server when metricsAddr is non-empty, and the
 // global span tracer when either trace path is. addr is the bound
 // listen address ("" when no server was requested), so callers can
-// print the live URL even for ":0". The returned cleanup — never nil —
-// stops the server, detaches the tracer, and finalizes the trace
-// files; call it once on exit.
+// print the live URL even for ":0". The returned cleanup — never nil,
+// idempotent — stops the server, detaches the tracer, and finalizes the
+// trace files; call it once on exit.
+//
+// Setup also finalizes on SIGINT/SIGTERM: an interrupted sweep is
+// precisely the run whose traces are worth reading, so teardown runs
+// before the process dies and the files stay loadable (the Chrome trace
+// in particular needs its closing bracket). The signal is then
+// re-raised so the process still reports the conventional
+// killed-by-signal exit status.
 func Setup(metricsAddr, spanLog, chromeTrace string) (cleanup func(), addr string, err error) {
 	var srv *Server
 	if metricsAddr != "" {
@@ -20,11 +34,46 @@ func Setup(metricsAddr, spanLog, chromeTrace string) (cleanup func(), addr strin
 		return func() {}, "", err
 	}
 	SetTracer(tr)
-	return func() {
-		SetTracer(nil)
-		if tr != nil {
-			tr.Close()
+
+	var once sync.Once
+	finalize := func() {
+		once.Do(func() {
+			SetTracer(nil)
+			if tr != nil {
+				tr.Close()
+			}
+			srv.Close()
+		})
+	}
+	sigc := make(chan os.Signal, 1)
+	quit := make(chan struct{})
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-sigc:
+			finalize()
+			signal.Stop(sigc)
+			// With the handler stopped, re-sending restores the default
+			// disposition: the process dies with the signal's status.
+			// The Exit below is the fallback for the window before the
+			// re-raised signal is delivered.
+			if p, perr := os.FindProcess(os.Getpid()); perr == nil {
+				_ = p.Signal(sig)
+			}
+			if s, ok := sig.(syscall.Signal); ok {
+				os.Exit(128 + int(s))
+			}
+			os.Exit(1)
+		case <-quit:
 		}
-		srv.Close()
+	}()
+
+	var stop sync.Once
+	return func() {
+		stop.Do(func() {
+			signal.Stop(sigc)
+			close(quit)
+		})
+		finalize()
 	}, srv.Addr(), nil
 }

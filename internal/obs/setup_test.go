@@ -1,0 +1,114 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// signalHelperEnv re-execs this test binary as a process that wires
+// Setup and then spins emitting spans until killed — the only way to
+// exercise the SIGINT/SIGTERM path for real, since the handler has to
+// terminate its process.
+const signalHelperEnv = "OBS_TEST_SIGNAL_HELPER"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(signalHelperEnv); dir != "" {
+		signalHelperMain(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func signalHelperMain(dir string) {
+	cleanup, _, err := obs.Setup("", filepath.Join(dir, "spans.jsonl"), filepath.Join(dir, "trace.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cleanup()
+	start := time.Now()
+	obs.Span("test", "warmup", start, start.Add(time.Millisecond), 0, nil)
+	fmt.Println("ready") // parent waits for this before signalling
+	for i := 0; ; i++ {
+		s := time.Now()
+		obs.Span("test", fmt.Sprintf("spin-%d", i), s, s.Add(time.Microsecond), 0, nil)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSetupFinalizesTracesOnSignal: killing a traced run mid-flight must
+// still leave a loadable Chrome trace (closed JSON array) and a span
+// log of complete lines — the interrupted sweep is exactly the one
+// whose traces get read.
+func TestSetupFinalizesTracesOnSignal(t *testing.T) {
+	for _, sig := range []syscall.Signal{syscall.SIGINT, syscall.SIGTERM} {
+		t.Run(sig.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), signalHelperEnv+"="+dir)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.StdoutPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer cmd.Process.Kill()
+
+			// Wait until the helper is actively tracing, then kill it.
+			line, err := bufio.NewReader(out).ReadString('\n')
+			if err != nil || strings.TrimSpace(line) != "ready" {
+				t.Fatalf("helper never became ready: %q, %v", line, err)
+			}
+			if err := cmd.Process.Signal(sig); err != nil {
+				t.Fatal(err)
+			}
+			werr := cmd.Wait()
+			if ee, ok := werr.(*exec.ExitError); !ok || ee.Success() {
+				t.Fatalf("helper should die from the signal, got %v", werr)
+			}
+
+			// The Chrome trace must parse as a complete JSON array with
+			// the helper's spans in it.
+			data, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []map[string]any
+			if err := json.Unmarshal(data, &events); err != nil {
+				t.Fatalf("chrome trace left unloadable after %v: %v\n%s", sig, err, data)
+			}
+			if len(events) == 0 {
+				t.Fatalf("chrome trace finalized empty after %v", sig)
+			}
+
+			// Every span-log line must be complete JSON (a torn final
+			// line means the writer was not flushed).
+			raw, err := os.ReadFile(filepath.Join(dir, "spans.jsonl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+			if len(lines) == 0 || lines[0] == "" {
+				t.Fatalf("span log empty after %v", sig)
+			}
+			for i, ln := range lines {
+				var span map[string]any
+				if err := json.Unmarshal([]byte(ln), &span); err != nil {
+					t.Fatalf("span log line %d torn after %v: %v\n%q", i+1, sig, err, ln)
+				}
+			}
+		})
+	}
+}

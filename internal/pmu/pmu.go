@@ -214,6 +214,22 @@ func (p *PMU) Access(a mem.Access, instrs uint64) uint64 {
 	return charge
 }
 
+// AccessPace implements exec.AccessPacer: Access is a no-op below the
+// thread's next tag point — in instruction mode while the retired count
+// stays under nextTag, in cycle mode while the access completes before
+// it — and the early exit above changes no state, so the engine may skip
+// the calls wholesale.
+func (p *PMU) AccessPace(id mem.ThreadID) (instrPace, cyclePace uint64) {
+	tc := p.counter(id)
+	if tc == nil {
+		return ^uint64(0), ^uint64(0)
+	}
+	if p.cfg.Mode == CountCycles {
+		return ^uint64(0), tc.nextTag
+	}
+	return tc.nextTag, ^uint64(0)
+}
+
 // counter returns the sampling state for a thread, or nil when the thread
 // is not monitored.
 func (p *PMU) counter(id mem.ThreadID) *threadCounter {

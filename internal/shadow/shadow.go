@@ -242,6 +242,11 @@ func (l *Line) trackWords(a mem.Access) {
 // Memory is the shadow map over all tracked cache lines.
 type Memory struct {
 	lines map[uint64]*Line
+	// last caches the most recently recorded line: sampled accesses are
+	// bursty per line (sixteen words per line), so most Records repeat
+	// the previous lookup. Lines are heap-allocated, so the pointer
+	// stays valid across map growth.
+	last *Line
 }
 
 // NewMemory creates an empty shadow memory.
@@ -253,11 +258,15 @@ func NewMemory() *Memory {
 // cache invalidation under the detection rules.
 func (m *Memory) Record(a mem.Access) bool {
 	line := a.Addr.Line()
+	if l := m.last; l != nil && l.Index == line {
+		return l.record(a)
+	}
 	l := m.lines[line]
 	if l == nil {
 		l = &Line{Index: line}
 		m.lines[line] = l
 	}
+	m.last = l
 	return l.record(a)
 }
 
@@ -279,4 +288,7 @@ func (m *Memory) ForEach(fn func(*Line)) {
 }
 
 // Reset drops all state.
-func (m *Memory) Reset() { m.lines = make(map[uint64]*Line) }
+func (m *Memory) Reset() {
+	m.lines = make(map[uint64]*Line)
+	m.last = nil
+}

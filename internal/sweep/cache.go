@@ -20,8 +20,10 @@ import (
 
 // CacheSchema versions the on-disk entry layout; it is folded into every
 // content hash, so a format change orphans old entries instead of
-// misreading them.
-const CacheSchema = "cheetah-sweep-cache/v1"
+// misreading them. v2 entries carry the engine result on rule cells too
+// (the sweep's access accounting sums it), where v1 stored rule cells
+// without one.
+const CacheSchema = "cheetah-sweep-cache/v2"
 
 // Cache is an on-disk store of finished cell results, content-addressed
 // by the hash of the cache schema and the cell's canonical ID. Re-sweeps
@@ -29,9 +31,12 @@ const CacheSchema = "cheetah-sweep-cache/v1"
 // already-finished work is never re-run.
 //
 // A cache may be size-capped with SetMaxBytes: when the stored entries
-// exceed the cap, the least-recently-used ones (oldest access time) are
-// evicted — except entries this Cache instance wrote or served, which
-// belong to the running sweep and are never evicted, even over budget.
+// exceed the cap, the least-recently-used ones are evicted — except
+// entries this Cache instance wrote or served, which belong to the
+// running sweep and are never evicted, even over budget. Recency is
+// tracked by modification time, which Get bumps explicitly on every hit:
+// access times are untrustworthy for LRU, since relatime and noatime
+// mounts leave them stale.
 type Cache struct {
 	dir      string
 	maxBytes int64
@@ -101,9 +106,10 @@ func (c *Cache) Get(cell harness.Cell) (harness.CellResult, bool) {
 	if err != nil {
 		return harness.CellResult{}, false
 	}
-	// A hit joins the running sweep's working set: touch the entry so
-	// its recency survives relatime/noatime mounts, and protect it from
-	// eviction for this sweep's lifetime.
+	// A hit joins the running sweep's working set: bump the entry's
+	// mtime (the eviction scan's recency key — atime would be a no-op
+	// under relatime/noatime mounts) and protect it from eviction for
+	// this sweep's lifetime.
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	c.mu.Lock()
@@ -167,14 +173,15 @@ func (c *Cache) Put(cell harness.Cell, res harness.CellResult) error {
 
 // cacheEntryInfo is one stored file as seen by the eviction scan.
 type cacheEntryInfo struct {
-	path  string
-	size  int64
-	atime time.Time
+	path string
+	size int64
+	// used is the entry's mtime: set by Put, bumped by Get on every hit.
+	used time.Time
 }
 
 // evictOverBudget enforces the size cap: when the stored entries exceed
-// it, unprotected entries are removed oldest-access-first until the
-// cache fits (or only the running sweep's own entries remain, which may
+// it, unprotected entries are removed least-recently-used-first until
+// the cache fits (or only the running sweep's own entries remain, which may
 // legitimately exceed the cap and are never evicted). Failures are
 // ignored — eviction is hygiene, not correctness; a file that will not
 // die today dies on a later sweep.
@@ -195,8 +202,8 @@ func (c *Cache) evictOverBudget() {
 		return
 	}
 	sort.Slice(entries, func(i, j int) bool {
-		if !entries[i].atime.Equal(entries[j].atime) {
-			return entries[i].atime.Before(entries[j].atime)
+		if !entries[i].used.Equal(entries[j].used) {
+			return entries[i].used.Before(entries[j].used)
 		}
 		return entries[i].path < entries[j].path
 	})
@@ -214,7 +221,7 @@ func (c *Cache) evictOverBudget() {
 }
 
 // scan walks the cache directory, returning every stored entry with its
-// access time and the total stored size. Temp files mid-write are not
+// last-used time and the total stored size. Temp files mid-write are not
 // entries and are skipped.
 func (c *Cache) scan() ([]cacheEntryInfo, int64) {
 	var (
@@ -230,7 +237,7 @@ func (c *Cache) scan() ([]cacheEntryInfo, int64) {
 			return nil
 		}
 		total += fi.Size()
-		entries = append(entries, cacheEntryInfo{path: path, size: fi.Size(), atime: atimeOf(fi)})
+		entries = append(entries, cacheEntryInfo{path: path, size: fi.Size(), used: fi.ModTime()})
 		return nil
 	})
 	return entries, total

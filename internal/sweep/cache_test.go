@@ -192,6 +192,59 @@ func TestCacheNeverEvictsRunningSweepEntries(t *testing.T) {
 	}
 }
 
+// TestCacheHitRecencyOutlivesTheSweep: a Get hit bumps the entry's
+// mtime, so its recency is visible to later sweeps — an old entry that
+// was recently hit survives a later sweep's eviction while an untouched
+// (and originally younger) peer is evicted. This is the property atime
+// ordering silently lost on relatime mounts, where reads never update
+// the timestamp the eviction scan sorted by.
+func TestCacheHitRecencyOutlivesTheSweep(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	// Two entries from an old sweep; the one we will hit is the OLDER
+	// of the pair, so only the hit-time bump can save it.
+	prev, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitPath := agedEntry(t, prev, cellWithThreads(2), time.Hour)
+	untouchedPath := agedEntry(t, prev, cellWithThreads(3), 30*time.Minute)
+	fi, err := os.Stat(hitPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := fi.Size()
+
+	// Sweep A hits the older entry and exits (a fresh Cache instance,
+	// so no protected set survives into sweep B).
+	mid, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mid.Get(cellWithThreads(2)); !ok {
+		t.Fatal("warm entry missed")
+	}
+
+	// Sweep B stores one new cell under a two-and-a-half-entry budget,
+	// forcing one of the leftovers out.
+	cur, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.SetMaxBytes(2*entrySize + entrySize/2)
+	if err := cur.Put(cellWithThreads(100), sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(hitPath); err != nil {
+		t.Error("entry hit by the previous sweep was evicted despite its recency bump")
+	}
+	if _, err := os.Stat(untouchedPath); !os.IsNotExist(err) {
+		t.Error("untouched entry survived eviction ahead of it")
+	}
+}
+
 // TestCacheUncappedNeverEvicts: the default (no cap) keeps everything —
 // the pre-eviction behaviour.
 func TestCacheUncappedNeverEvicts(t *testing.T) {

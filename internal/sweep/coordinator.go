@@ -28,6 +28,13 @@ type Stats struct {
 	Workers int
 	// Respawns counts replacement local workers spawned after deaths.
 	Respawns int
+	// Accesses is the total simulated memory accesses behind the sweep's
+	// results, summed from the per-thread counts every cell result
+	// carries — worker-executed and cache-served alike. It feeds the
+	// bench trajectory's throughput stamp, which the in-process engine
+	// counter cannot: in a sharded sweep the simulation runs in worker
+	// processes, and in a warm re-sweep it ran in an earlier one.
+	Accesses uint64
 }
 
 // Config configures a sharded sweep.
@@ -159,6 +166,7 @@ func RunCells(cfg Config, cells []harness.Cell) (map[string]harness.CellResult, 
 			if res, ok := cfg.Cache.Get(cell); ok {
 				results[cell.ID()] = res
 				stats.Cached++
+				stats.Accesses += res.Result.Accesses()
 				mCellsCached.Inc()
 				continue
 			}
@@ -263,10 +271,7 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 		select {
 		case ev = <-co.events:
 		case <-progress:
-			co.logf("sweep: progress: %d/%d cells done (%d cached, %.0f%% hit rate), %d pending, %d retries, %d workers live",
-				stats.Cells-remaining, stats.Cells, stats.Cached,
-				100*float64(stats.Cached)/float64(stats.Cells),
-				remaining, stats.Retries, live)
+			co.logf("%s", progressLine(*stats, remaining, live))
 			continue
 		}
 		switch ev.kind {
@@ -319,6 +324,7 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 			}
 			results[id] = ev.res
 			stats.Executed++
+			stats.Accesses += ev.res.Result.Accesses()
 			remaining--
 			mCellsCompleted.Inc()
 			mQueueDepth.Set(int64(remaining))
@@ -337,6 +343,19 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 	}
 	mWorkersLive.Set(0)
 	return nil
+}
+
+// progressLine formats the periodic -progress diagnostic. The cache hit
+// rate is clamped to 0% when no cells are known yet — a bare ratio would
+// print NaN% before the first cell completes (0/0).
+func progressLine(stats Stats, remaining, live int) string {
+	hitRate := 0.0
+	if stats.Cells > 0 {
+		hitRate = 100 * float64(stats.Cached) / float64(stats.Cells)
+	}
+	return fmt.Sprintf("sweep: progress: %d/%d cells done (%d cached, %.0f%% hit rate), %d pending, %d retries, %d workers live",
+		stats.Cells-remaining, stats.Cells, stats.Cached, hitRate,
+		remaining, stats.Retries, live)
 }
 
 // requeue puts a failed assignment back on the queue, failing the sweep

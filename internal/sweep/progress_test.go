@@ -1,0 +1,32 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// The progress line divides cached/total for the hit rate; a sweep that
+// has not resolved any cells yet (or one whose plan is empty) must print
+// 0%, not NaN%.
+func TestProgressLineZeroCells(t *testing.T) {
+	line := progressLine(Stats{}, 0, 2)
+	if strings.Contains(line, "NaN") {
+		t.Fatalf("progress line leaks NaN: %q", line)
+	}
+	if !strings.Contains(line, "0% hit rate") {
+		t.Fatalf("want 0%% hit rate for an empty sweep, got %q", line)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	stats := Stats{Cells: 8, Cached: 2, Retries: 1}
+	line := progressLine(stats, 3, 2)
+	for _, want := range []string{
+		"5/8 cells done", "(2 cached, 25% hit rate)",
+		"3 pending", "1 retries", "2 workers live",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %q", want, line)
+		}
+	}
+}

@@ -427,3 +427,51 @@ func TestRespawnBudgetBoundsChurn(t *testing.T) {
 		t.Errorf("MaxRespawns=-1: Respawns = %d, Spawn calls = %d, want 0 and 1", stats.Respawns, spawned)
 	}
 }
+
+// TestSweepAccountsAccesses: Stats.Accesses — the numerator of the bench
+// throughput stamp — must match the serial runner's total on a sweep
+// sharded across worker processes, and must stay populated on a fully
+// cache-served re-sweep. Both paths stamped 0 before the counts were
+// summed from the result payloads: the per-worker engine counters never
+// crossed the wire, and cached cells never touched an engine at all.
+func TestSweepAccountsAccesses(t *testing.T) {
+	c := testConfig(t)
+	serialCfg := c
+	serialCfg.Workers = 1
+	r := harness.NewRunner(1)
+	harness.RunAllWith(r, serialCfg)
+	want := r.Accesses()
+	if want == 0 {
+		t.Fatal("serial runner reports zero accesses; the reference is broken")
+	}
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Harness: c, Procs: 2, Spawn: spawnSelf(t), Cache: cache}
+	_, stats, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sharded sweep: %v", err)
+	}
+	if stats.Accesses != want {
+		t.Errorf("sharded sweep accounted %d accesses, serial runner %d", stats.Accesses, want)
+	}
+
+	// Re-sweep over the warm cache: nothing executes, yet the accesses
+	// behind the served results must still be accounted.
+	cfg.Spawn = func(int) (io.ReadWriteCloser, error) {
+		t.Error("warm re-sweep spawned a worker")
+		return nil, fmt.Errorf("no workers in warm re-sweep")
+	}
+	_, stats, err = Run(cfg)
+	if err != nil {
+		t.Fatalf("warm sweep: %v", err)
+	}
+	if stats.Executed != 0 {
+		t.Fatalf("warm sweep executed %d cells, want 0", stats.Executed)
+	}
+	if stats.Accesses != want {
+		t.Errorf("warm sweep accounted %d accesses, want %d", stats.Accesses, want)
+	}
+}

@@ -1,10 +1,11 @@
-// The report half of the cross-scheduler equivalence suite: randomized
-// programs profiled end to end — heap allocation, PMU sampling,
-// detection, word classification, EQ(1)–EQ(4) assessment, formatting —
-// must print byte-identical reports under the heap and calendar
-// schedulers. The engine half (per-thread clock trajectories and access
-// streams) lives in internal/exec; this level catches anything a
-// scheduler could perturb downstream of the engine.
+// The report half of the engine equivalence suites: randomized programs
+// profiled end to end — heap allocation, PMU sampling, detection, word
+// classification, EQ(1)–EQ(4) assessment, formatting — must print
+// byte-identical reports under all three schedulers and under the
+// batched timeslice runner versus its per-op reference loop. The engine
+// half (per-thread clock trajectories and access streams) lives in
+// internal/exec; this level catches anything those dimensions could
+// perturb downstream of the engine.
 package cheetah_test
 
 import (
@@ -33,12 +34,13 @@ func reportEquivCases() int {
 	return 2000
 }
 
-// profiledReportUnder builds a fresh system with the given scheduler,
-// allocates the same heap objects and globals, generates case i, and
-// returns every byte the profiler would show a user: the formatted
-// report, per-instance word detail, and the run's timing line.
-func profiledReportUnder(sched string, i int, p pmu.Config) string {
-	sys := cheetah.New(cheetah.Config{Cores: 8, Engine: exec.Config{Sched: sched}})
+// profiledReportUnder builds a fresh system with the given scheduler and
+// engine loop (batched or the unbatched reference), allocates the same
+// heap objects and globals, generates case i, and returns every byte the
+// profiler would show a user: the formatted report, per-instance word
+// detail, and the run's timing line.
+func profiledReportUnder(sched string, unbatched bool, i int, p pmu.Config) string {
+	sys := cheetah.New(cheetah.Config{Cores: 8, Engine: exec.Config{Sched: sched, Unbatched: unbatched}})
 	objA := sys.Heap().Malloc(0, 256, heap.Stack(heap.Frame{File: "equiv.c", Line: 10, Func: "alloc_a"}))
 	objB := sys.Heap().Malloc(1, 512, heap.Stack(heap.Frame{File: "equiv.c", Line: 20, Func: "alloc_b"}))
 	glob := sys.Globals().Define("equiv_global", 128)
@@ -61,17 +63,41 @@ func profiledReportUnder(sched string, i int, p pmu.Config) string {
 }
 
 // TestSchedulerReportEquivalence: every randomized program produces a
-// byte-identical detection report under both schedulers. Cases grow
-// from trivially small, so a first failing index is near-minimal.
+// byte-identical detection report under the sorted (default), heap and
+// calendar schedulers. Cases grow from trivially small, so a first
+// failing index is near-minimal.
 func TestSchedulerReportEquivalence(t *testing.T) {
 	t.Parallel()
 	p := harness.DetectionPMU() // dense sampling: tiny programs still produce samples
 	for i := 0; i < reportEquivCases(); i++ {
-		heapOut := profiledReportUnder(exec.SchedHeap, i, p)
-		calOut := profiledReportUnder(exec.SchedCalendar, i, p)
-		if heapOut != calOut {
-			t.Fatalf("case %d (seed %#x): reports diverge\n--- heap ---\n%s\n--- calendar ---\n%s",
-				i, reportEquivSeed, heapOut, calOut)
+		ref := profiledReportUnder(exec.SchedSorted, false, i, p)
+		for _, sched := range []string{exec.SchedHeap, exec.SchedCalendar} {
+			out := profiledReportUnder(sched, false, i, p)
+			if out != ref {
+				t.Fatalf("case %d (seed %#x): reports diverge\n--- %s ---\n%s\n--- %s ---\n%s",
+					i, reportEquivSeed, exec.SchedSorted, ref, sched, out)
+			}
+		}
+	}
+}
+
+// TestBatchedUnbatchedReportEquivalence: the batched timeslice runner
+// and its per-op reference loop print byte-identical detection reports
+// for every randomized program, under all three schedulers. This is the
+// end-to-end half of the batched-engine proof — PMU sampling, detection,
+// word classification, assessment and formatting all sit downstream of
+// the engine hot path this suite pins.
+func TestBatchedUnbatchedReportEquivalence(t *testing.T) {
+	t.Parallel()
+	p := harness.DetectionPMU()
+	for i := 0; i < reportEquivCases(); i++ {
+		ref := profiledReportUnder(exec.SchedSorted, false, i, p)
+		for _, sched := range exec.SchedulerNames() {
+			out := profiledReportUnder(sched, true, i, p)
+			if out != ref {
+				t.Fatalf("case %d (seed %#x): unbatched %s report diverges from batched %s\n--- batched ---\n%s\n--- unbatched ---\n%s",
+					i, reportEquivSeed, sched, exec.SchedSorted, ref, out)
+			}
 		}
 	}
 }
