@@ -60,10 +60,10 @@ import (
 
 	cheetah "repro"
 	"repro/internal/atomicfile"
-	"repro/internal/obs"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/trace"
 	traceimport "repro/internal/trace/import"
@@ -485,25 +485,9 @@ func runSynth(accesses uint64, threads int, outPath string, stderr io.Writer) in
 }
 
 // printReport renders the report sections shared by the profile, record
-// and replay paths.
+// and replay paths. The bytes come from harness.RenderDetectionReport,
+// the same renderer the cheetahd gateway serves reports through, so the
+// two surfaces cannot drift apart.
 func printReport(stdout io.Writer, report *core.Report, res cheetah.Result, words, candidates bool) {
-	fmt.Fprint(stdout, report.Format())
-	if words {
-		for i := range report.Instances {
-			fmt.Fprintln(stdout)
-			fmt.Fprint(stdout, report.Instances[i].FormatWords())
-		}
-	}
-	if candidates && len(report.Candidates) > 0 {
-		fmt.Fprintf(stdout, "\n%d further candidates (true sharing or below significance thresholds):\n",
-			len(report.Candidates))
-		for _, c := range report.Candidates {
-			kind := "false sharing (insignificant)"
-			if !c.FalseSharing {
-				kind = "true sharing"
-			}
-			fmt.Fprintf(stdout, "  %v..%v  %-30s invalidations %d\n", c.Object.Start, c.Object.End, kind, c.Invalidations)
-		}
-	}
-	fmt.Fprintf(stdout, "\nruntime %d cycles across %d phases\n", res.TotalCycles, len(res.Phases))
+	fmt.Fprint(stdout, harness.RenderDetectionReport(report, res, words, candidates))
 }

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sweep"
+)
+
+// TestGatewayLoad drives the full HTTP stack with hundreds of
+// concurrent jobs from several tenants over a small set of distinct
+// traces, and asserts the issue's service-level guarantees:
+//
+//   - every admitted job completes with a correct, byte-identical report
+//     (no dropped and no corrupted results);
+//   - each distinct trace executes exactly once — concurrent duplicates
+//     dedupe in flight, later duplicates hit the cache;
+//   - queue depth stays within the configured bound throughout.
+func TestGatewayLoad(t *testing.T) {
+	t.Parallel()
+	jobs, traces, tenants := 200, 8, 4
+	if testing.Short() {
+		jobs, traces, tenants = 40, 4, 2
+	}
+
+	// Distinct tiny traces; jobs round-robin over them so every trace
+	// sees heavy duplication across tenants.
+	dir := t.TempDir()
+	paths := make([]string, traces)
+	wants := make([]string, traces)
+	for i := range paths {
+		paths[i] = writeTrace(t, dir, fmt.Sprintf("t%d.trace", i), 0.02+0.005*float64(i))
+		wants[i] = cliReplayReport(t, paths[i])
+	}
+
+	var (
+		execMu   sync.Mutex
+		execRuns = map[string]int{} // cell ID -> executions
+	)
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := sweep.QueueConfig{
+		Workers:        8,
+		MaxQueuedCells: jobs + traces,
+		TenantBudget:   3,
+		Cache:          cache,
+		Exec: func(c harness.Cell) (harness.CellResult, error) {
+			execMu.Lock()
+			execRuns[c.ID()]++
+			execMu.Unlock()
+			time.Sleep(5 * time.Millisecond) // widen the dedupe window
+			return harness.RunCell(c)
+		},
+	}
+	ts, queue := testGateway(t, qcfg)
+
+	// Sample queue depth while the storm runs: it must never exceed the
+	// configured bound.
+	var (
+		depthMu  sync.Mutex
+		maxDepth int
+	)
+	stopSampling := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			d := queue.Stats().QueuedCells
+			depthMu.Lock()
+			if d > maxDepth {
+				maxDepth = d
+			}
+			depthMu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ti := i % traces
+			tenant := fmt.Sprintf("tenant-%d", i%tenants)
+			id, status, body := trySubmitTrace(t, ts, paths[ti], tenant)
+			if status != http.StatusAccepted {
+				errs <- fmt.Errorf("job %d: submit status %d (%s)", i, status, body)
+				return
+			}
+			got := fetchReport(t, ts, id)
+			if got != wants[ti] {
+				errs <- fmt.Errorf("job %d: report diverges from CLI replay of trace %d", i, ti)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopSampling)
+	<-samplerDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	execMu.Lock()
+	if len(execRuns) != traces {
+		t.Errorf("%d distinct cells executed, want %d", len(execRuns), traces)
+	}
+	for id, n := range execRuns {
+		if n != 1 {
+			t.Errorf("cell %s executed %d times, want exactly 1 (dedupe + cache)", id, n)
+		}
+	}
+	execMu.Unlock()
+	depthMu.Lock()
+	if maxDepth > jobs+traces {
+		t.Errorf("queue depth reached %d, above the configured bound %d", maxDepth, jobs+traces)
+	}
+	depthMu.Unlock()
+	s := queue.Stats()
+	if s.CellsExecuted != uint64(traces) {
+		t.Errorf("CellsExecuted = %d, want %d", s.CellsExecuted, traces)
+	}
+	if got := s.CellsExecuted + s.CellsDeduped + s.CellsCached; got != uint64(jobs) {
+		t.Errorf("executed+deduped+cached = %d, want %d (every job accounted for)", got, jobs)
+	}
+	if s.Failed != 0 {
+		t.Errorf("%d jobs failed", s.Failed)
+	}
+	if s.QueuedCells != 0 {
+		t.Errorf("queue depth %d after drain, want 0", s.QueuedCells)
+	}
+}
+
+// TestGatewayLoadBudgetEnforced runs a smaller storm with a blocking
+// stub executor, proving the per-tenant budget holds end to end at the
+// HTTP layer: distinct cells from one tenant never run more than
+// TenantBudget at once even with idle workers.
+func TestGatewayLoadBudgetEnforced(t *testing.T) {
+	t.Parallel()
+	const budget = 2
+	var (
+		mu       sync.Mutex
+		cur, max int
+	)
+	block := make(chan struct{})
+	exec := func(c harness.Cell) (harness.CellResult, error) {
+		mu.Lock()
+		cur++
+		if cur > max {
+			max = cur
+		}
+		mu.Unlock()
+		<-block
+		res, err := harness.RunCell(c)
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return res, err
+	}
+	qcfg := sweep.QueueConfig{Workers: 16, MaxQueuedCells: 64, TenantBudget: budget, Exec: exec}
+	ts, _ := testGateway(t, qcfg)
+
+	// 6 distinct traces, all one tenant.
+	dir := t.TempDir()
+	ids := make([]string, 6)
+	for i := range ids {
+		p := writeTrace(t, dir, fmt.Sprintf("b%d.trace", i), 0.02+0.004*float64(i))
+		ids[i] = submitTrace(t, ts, p, "one-tenant")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := cur
+		mu.Unlock()
+		if n >= budget {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d concurrent executions", budget)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give the queue a moment to (incorrectly) start more if it would.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	for _, id := range ids {
+		fetchReport(t, ts, id)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if max > budget {
+		t.Errorf("tenant ran %d cells concurrently, budget is %d", max, budget)
+	}
+}

@@ -443,6 +443,8 @@ func (r *Runner) Preload(c Cell, res CellResult) error {
 	if _, ok := r.cells[k]; ok {
 		return fmt.Errorf("harness: cell %s already present", c.ID())
 	}
-	r.cells[k] = &cell{key: k, done: done, out: out}
+	r.useSeq++
+	r.cells[k] = &cell{key: k, done: done, out: out, lastUse: r.useSeq}
+	r.evictLocked()
 	return nil
 }

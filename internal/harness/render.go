@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// RenderDetectionReport renders a profiled run's detection report in the
+// exact form `cmd/cheetah` prints it: the formatted report, optional
+// word-level detail and candidate listings, and the closing runtime
+// line. The CLI and the cheetahd gateway both render through this one
+// function, so a report fetched over HTTP is byte-identical to the CLI
+// replay of the same trace — the gateway's headline invariant, enforced
+// by handler tests and a CI cmp step.
+func RenderDetectionReport(report *core.Report, res exec.Result, words, candidates bool) string {
+	var b strings.Builder
+	b.WriteString(report.Format())
+	if words {
+		for i := range report.Instances {
+			b.WriteString("\n")
+			b.WriteString(report.Instances[i].FormatWords())
+		}
+	}
+	if candidates && len(report.Candidates) > 0 {
+		fmt.Fprintf(&b, "\n%d further candidates (true sharing or below significance thresholds):\n",
+			len(report.Candidates))
+		for _, c := range report.Candidates {
+			kind := "false sharing (insignificant)"
+			if !c.FalseSharing {
+				kind = "true sharing"
+			}
+			fmt.Fprintf(&b, "  %v..%v  %-30s invalidations %d\n", c.Object.Start, c.Object.End, kind, c.Invalidations)
+		}
+	}
+	fmt.Fprintf(&b, "\nruntime %d cycles across %d phases\n", res.TotalCycles, len(res.Phases))
+	return b.String()
+}

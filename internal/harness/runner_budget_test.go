@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// budgetRunner builds a serial runner whose run hook counts executions
+// per key instead of simulating anything, so eviction behaviour is
+// observable without paying for real cells.
+func budgetRunner() (*Runner, *sync.Map) {
+	r := NewRunner(1)
+	var execs sync.Map
+	r.run = func(k cellKey) cellOut {
+		n, _ := execs.LoadOrStore(k.workload, new(int))
+		*(n.(*int))++
+		return cellOut{res: exec.Result{TotalCycles: 1}}
+	}
+	return r, &execs
+}
+
+func execCount(execs *sync.Map, workload string) int {
+	n, ok := execs.Load(workload)
+	if !ok {
+		return 0
+	}
+	return *(n.(*int))
+}
+
+// TestCellBudgetEvictsLRU: a budgeted runner retains at most budget
+// finished cells, evicting the least recently submitted; resubmitting
+// an evicted key re-executes it, resubmitting a retained key does not.
+func TestCellBudgetEvictsLRU(t *testing.T) {
+	r, execs := budgetRunner()
+	r.SetCellBudget(2)
+
+	key := func(i int) cellKey { return cellKey{kind: cellNative, workload: fmt.Sprintf("w%d", i)} }
+	for i := 0; i < 5; i++ {
+		r.submit(key(i)).wait()
+	}
+	if got := r.CellsRun(); got > 2 {
+		t.Fatalf("retained %d cells, budget is 2", got)
+	}
+	// w4 is the most recent survivor: serving it again must be a memo hit.
+	r.submit(key(4)).wait()
+	if n := execCount(execs, "w4"); n != 1 {
+		t.Fatalf("retained cell w4 executed %d times, want 1", n)
+	}
+	// w0 was evicted long ago: serving it again must re-execute.
+	r.submit(key(0)).wait()
+	if n := execCount(execs, "w0"); n != 2 {
+		t.Fatalf("evicted cell w0 executed %d times, want 2 (evict + resubmit)", n)
+	}
+}
+
+// TestCellBudgetSparesInFlight: cells still running are never evicted,
+// even when the memo is over budget — eviction forgets results, it
+// must not orphan running work.
+func TestCellBudgetSparesInFlight(t *testing.T) {
+	r := NewRunner(4)
+	block := make(chan struct{})
+	r.run = func(k cellKey) cellOut {
+		<-block
+		return cellOut{}
+	}
+	r.SetCellBudget(1)
+
+	var cells []*cell
+	for i := 0; i < 3; i++ {
+		cells = append(cells, r.submit(cellKey{kind: cellNative, workload: fmt.Sprintf("w%d", i)}))
+	}
+	// All three are blocked in flight; the budget of 1 must not drop any.
+	if got := r.CellsRun(); got != 3 {
+		t.Fatalf("retained %d cells, want all 3 in-flight cells", got)
+	}
+	close(block)
+	for _, c := range cells {
+		c.wait()
+	}
+	// Any later submit trims the now-finished backlog down to budget.
+	r.submit(cellKey{kind: cellNative, workload: "w0"}).wait()
+	if got := r.CellsRun(); got > 1 {
+		t.Fatalf("retained %d cells after completion, budget is 1", got)
+	}
+}
+
+// TestUnbudgetedRunnerRetainsEverything: the pre-existing contract —
+// NewRunner memoizes forever unless a budget is opted into.
+func TestUnbudgetedRunnerRetainsEverything(t *testing.T) {
+	r, execs := budgetRunner()
+	for i := 0; i < 50; i++ {
+		r.submit(cellKey{kind: cellNative, workload: fmt.Sprintf("w%d", i)}).wait()
+	}
+	for i := 0; i < 50; i++ {
+		r.submit(cellKey{kind: cellNative, workload: fmt.Sprintf("w%d", i)}).wait()
+	}
+	if got := r.CellsRun(); got != 50 {
+		t.Fatalf("retained %d cells, want 50", got)
+	}
+	if n := execCount(execs, "w25"); n != 1 {
+		t.Fatalf("unbudgeted cell executed %d times, want 1", n)
+	}
+}

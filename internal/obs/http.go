@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,15 +19,12 @@ type Server struct {
 	srv *http.Server
 }
 
-// StartServer binds addr (e.g. "127.0.0.1:9137", or ":0" for an
-// ephemeral port) and serves reg in the background until Close.
-func StartServer(addr string, reg *Registry) (*Server, error) {
-	RegisterRuntimeMetrics(reg)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: metrics listener: %w", err)
-	}
-	mux := http.NewServeMux()
+// Register mounts the observability routes — /metrics, /metrics.json,
+// /healthz, and /debug/pprof/* — onto mux, serving reg. StartServer
+// uses it for the standalone endpoint; long-lived services (cheetahd)
+// call it to serve metrics and profiling from the same mux as their
+// API, so one port carries both.
+func Register(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -44,6 +42,18 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// StartServer binds addr (e.g. "127.0.0.1:9137", or ":0" for an
+// ephemeral port) and serves reg in the background until Close.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	RegisterRuntimeMetrics(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	Register(mux, reg)
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -57,10 +67,35 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server. Safe on nil.
+// closeDeadline bounds how long Close waits for in-flight scrapes. Long
+// enough for any real /metrics render, short enough that a wedged
+// connection cannot stall process exit noticeably.
+const closeDeadline = 2 * time.Second
+
+// Shutdown stops the server gracefully: the listener closes at once (no
+// new scrapes), but requests already in flight run to completion until
+// ctx expires, at which point the survivors are dropped. Safe on nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline passed with connections still open: drop them. The
+		// graceful window is best-effort, exit must not hang.
+		s.srv.Close()
+	}
+	return err
+}
+
+// Close stops the server, letting in-flight scrapes finish within a
+// short deadline instead of severing them mid-response — a Prometheus
+// scrape racing process exit gets its complete body. Safe on nil.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeDeadline)
+	defer cancel()
+	return s.Shutdown(ctx)
 }

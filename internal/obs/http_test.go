@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A scrape that is mid-render when the server closes must still receive
+// its complete body: Close drains in-flight requests via Shutdown
+// instead of severing connections. The gauge function blocks the
+// render until the test has already asked the server to close.
+func TestCloseWaitsForInFlightScrape(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	reg.GaugeFunc("obs_test_slow_gauge", "blocks until released", func() float64 {
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+		return 42
+	})
+
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+
+	type scrape struct {
+		body string
+		code int
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), code: resp.StatusCode, err: err}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never reached the gauge function")
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Give Close a moment to enter Shutdown, then let the scrape finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+
+	select {
+	case s := <-got:
+		if s.err != nil {
+			t.Fatalf("scrape interrupted by shutdown: %v", s.err)
+		}
+		if s.code != http.StatusOK {
+			t.Fatalf("scrape status = %d, want 200", s.code)
+		}
+		if !strings.Contains(s.body, "obs_test_slow_gauge 42") {
+			t.Fatalf("scrape body missing gauge value:\n%s", s.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never completed")
+	}
+}
+
+// After Close returns, new connections must be refused — the graceful
+// window only covers requests already in flight.
+func TestCloseStopsNewScrapes(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("scrape after Close succeeded, want connection refused")
+	}
+}

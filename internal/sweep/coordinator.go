@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -158,6 +159,21 @@ func RunCells(cfg Config, cells []harness.Cell) (map[string]harness.CellResult, 
 		defer cfg.Listener.Close()
 	}
 
+	// Dedupe by cell ID before planning: a caller-supplied list with the
+	// same cell twice (a daemon submitting overlapping jobs) must behave
+	// like a single copy. Without this, the completion accounting counts
+	// the duplicate but the result loop drops it, and the sweep waits
+	// forever for a cell that will never finish twice.
+	seen := make(map[string]bool, len(cells))
+	deduped := cells[:0:0]
+	for _, cell := range cells {
+		if id := cell.ID(); !seen[id] {
+			seen[id] = true
+			deduped = append(deduped, cell)
+		}
+	}
+	cells = deduped
+
 	stats.Cells = len(cells)
 	results := make(map[string]harness.CellResult, len(cells))
 	var pending []harness.Cell
@@ -243,6 +259,14 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 
 	defer func() {
 		close(co.done)
+		// Stop accepting the moment the sweep completes: a remote worker
+		// dialing in after the last result would otherwise be welcomed
+		// into a finished sweep and fed nothing. Closing the listener
+		// here (not just when RunCells returns) also unblocks the accept
+		// loop promptly; it sees net.ErrClosed and exits quietly.
+		if co.cfg.Listener != nil {
+			co.cfg.Listener.Close()
+		}
 		// Refuse late-arriving TCP workers before waiting: wg.Add after
 		// Wait has started is WaitGroup misuse.
 		co.mu.Lock()
@@ -295,10 +319,16 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 				joining--
 			}
 			if ev.hasCell {
-				stats.Retries++
-				if err := co.requeue(ev.cell, attempts, fmt.Errorf("worker died running it")); err != nil {
-					co.abort()
-					return err
+				// A timed-out worker's in-flight cell may already have
+				// completed via its requeued copy by the time the timeout
+				// fires; requeueing again would re-execute a finished cell
+				// and burn an attempt for nothing.
+				if _, done := results[ev.cell.ID()]; !done {
+					stats.Retries++
+					if err := co.requeue(ev.cell, attempts, fmt.Errorf("worker died running it")); err != nil {
+						co.abort()
+						return err
+					}
 				}
 			}
 			// Replace a dead local worker while work remains and the
@@ -320,6 +350,10 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 		case evResult:
 			id := ev.cell.ID()
 			if _, dup := results[id]; dup {
+				// A late reply from a worker whose assignment was requeued
+				// (timeout fired, both copies ran): the first result won,
+				// this one must not touch the accounting again.
+				mCellsLateDropped.Inc()
 				break
 			}
 			results[id] = ev.res
@@ -334,6 +368,13 @@ func (co *coordinator) execute(pending []harness.Cell, results map[string]harnes
 				}
 			}
 		case evCellError:
+			// Same late-race guard as evResult: if a requeued copy already
+			// completed this cell, a straggler's error report is stale —
+			// retrying would re-run work the sweep already has.
+			if _, done := results[ev.cell.ID()]; done {
+				mCellsLateDropped.Inc()
+				break
+			}
 			stats.Retries++
 			if err := co.requeue(ev.cell, attempts, fmt.Errorf("%s", ev.errText)); err != nil {
 				co.abort()
@@ -408,11 +449,17 @@ func (co *coordinator) addWorker(t io.ReadWriteCloser, local bool) {
 }
 
 // acceptLoop turns incoming TCP connections into workers until the
-// listener closes (when the sweep ends).
+// listener closes — which execute's cleanup does the moment the sweep
+// completes, so no worker is accepted into a finished sweep. The
+// resulting net.ErrClosed is the loop's normal exit, not worth a log
+// line; any other accept error is real and reported.
 func (co *coordinator) acceptLoop() {
 	for {
 		conn, err := co.cfg.Listener.Accept()
 		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				co.logf("sweep: accept: %v", err)
+			}
 			return
 		}
 		co.addWorker(conn, false)

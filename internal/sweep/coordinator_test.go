@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// fakeCell builds a syntactically valid cell for tests that drive the
+// coordinator's event loop directly and never execute anything.
+func fakeCell(name string) harness.Cell {
+	return harness.Cell{Kind: harness.KindNative, Workload: name, Threads: 1, Cores: 1, Scale: 1}
+}
+
+// pipeWorker spawns an in-process worker over a net.Pipe — the real
+// wire protocol without subprocess or TCP overhead.
+func pipeWorker(int) (io.ReadWriteCloser, error) {
+	coordSide, workerSide := net.Pipe()
+	go Serve(workerSide, workerSide)
+	return coordSide, nil
+}
+
+// TestLateRepliesForCompletedCellsDropped is the timeout-race fault
+// injection, at the event level: a worker times out holding cell X, X
+// is requeued and completes elsewhere, and then the original worker's
+// straggling replies (an error, then a duplicate result) finally
+// arrive. The coordinator must drop both without touching the retry or
+// execution accounting — before the guard, the stale error re-ran X
+// and could burn it through MaxAttempts.
+func TestLateRepliesForCompletedCellsDropped(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf strings.Builder
+	cellX, cellY := fakeCell("x"), fakeCell("y")
+	pending := []harness.Cell{cellX, cellY}
+	co := &coordinator{
+		cfg:    Config{Listener: ln, MaxAttempts: 3, Log: &logBuf},
+		queue:  make(chan harness.Cell, len(pending)),
+		events: make(chan event),
+		done:   make(chan struct{}),
+	}
+	results := make(map[string]harness.CellResult)
+	var stats Stats
+	stats.Cells = len(pending)
+
+	go func() {
+		co.events <- event{kind: evUp}
+		co.events <- event{kind: evResult, cell: cellX, res: harness.CellResult{}}
+		// The straggler: a late cell error for already-completed X, then
+		// a late duplicate result for X.
+		co.events <- event{kind: evCellError, cell: cellX, errText: "stale failure from timed-out worker"}
+		co.events <- event{kind: evResult, cell: cellX, res: harness.CellResult{}}
+		co.events <- event{kind: evResult, cell: cellY, res: harness.CellResult{}}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- co.execute(pending, results, &stats) }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("execute hung on late replies")
+	}
+
+	if stats.Executed != 2 {
+		t.Errorf("Executed = %d, want 2 (late duplicate must not double-count)", stats.Executed)
+	}
+	if stats.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 (stale cell error must not requeue)", stats.Retries)
+	}
+	if len(results) != 2 {
+		t.Errorf("got %d results, want 2", len(results))
+	}
+
+	// Completion must also have closed the listener: no worker can be
+	// accepted into a finished sweep.
+	if conn, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after the sweep completed")
+	}
+	// And the accept loop's normal exit (net.ErrClosed) must not log.
+	if log := logBuf.String(); strings.Contains(log, "accept") {
+		t.Errorf("listener close logged a spurious accept error:\n%s", log)
+	}
+}
+
+// TestRunCellsDuplicateCellsNoHang: a cell list containing the same
+// cell twice must complete and yield one result per distinct ID.
+// Before deduplication the completion counter included the duplicate,
+// but only one copy could ever finish — the sweep hung forever.
+func TestRunCellsDuplicateCellsNoHang(t *testing.T) {
+	t.Parallel()
+	cells := harness.EnumerateCells(testConfig(t))[:3]
+	withDup := append([]harness.Cell{cells[0]}, cells...)
+
+	type out struct {
+		results map[string]harness.CellResult
+		stats   Stats
+		err     error
+	}
+	done := make(chan out, 1)
+	go func() {
+		results, stats, err := RunCells(Config{Procs: 1, Spawn: pipeWorker}, withDup)
+		done <- out{results, stats, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("RunCells with duplicate cells: %v", o.err)
+		}
+		if o.stats.Cells != 3 {
+			t.Errorf("stats.Cells = %d, want 3 distinct", o.stats.Cells)
+		}
+		if len(o.results) != 3 {
+			t.Errorf("got %d results, want 3", len(o.results))
+		}
+		for _, c := range cells {
+			if _, ok := o.results[c.ID()]; !ok {
+				t.Errorf("no result for cell %s", c.ID())
+			}
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("RunCells hung on a duplicated cell")
+	}
+}

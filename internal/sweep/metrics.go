@@ -18,6 +18,8 @@ var (
 		"Cell assignments requeued after a worker death or cell error.")
 	mCellTimeouts = obs.GetCounter("cheetah_sweep_cell_timeouts_total",
 		"Cell assignments abandoned for exceeding the cell timeout.")
+	mCellsLateDropped = obs.GetCounter("cheetah_sweep_cells_late_dropped_total",
+		"Stale replies (results or errors) dropped because a requeued copy already completed the cell.")
 	mWorkersSpawned = obs.GetCounter("cheetah_sweep_workers_spawned_total",
 		"Workers that completed the hello handshake.")
 	mWorkersLost = obs.GetCounter("cheetah_sweep_workers_lost_total",

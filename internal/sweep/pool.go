@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// ProcPool executes cells on a fixed set of persistent worker
+// transports speaking the sweep wire protocol — typically subprocesses
+// via SpawnWorkerProc, so a daemon's simulations run outside its own
+// heap and a crashed cell kills a worker, not the service. Its Exec
+// method plugs straight into QueueConfig.Exec. Unlike the coordinator,
+// which owns a sweep's whole lifecycle, the pool is a passive executor:
+// callers bring their own retry and accounting policy (the JobQueue's).
+type ProcPool struct {
+	spawn func(i int) (io.ReadWriteCloser, error)
+
+	// free holds idle workers; it is never closed (in-flight Execs
+	// return workers to it at any time). done signals Close to waiters.
+	free chan *poolWorker
+	done chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	nspawned int
+	workers  map[*poolWorker]bool
+}
+
+// poolWorker is one live transport plus its buffered framing state.
+type poolWorker struct {
+	t   io.ReadWriteCloser
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	seq uint64
+}
+
+// NewProcPool spawns n workers and verifies each one's hello
+// handshake. Failure to bring up any worker fails construction; a pool
+// that starts degraded would silently serve with less parallelism than
+// the operator asked for.
+func NewProcPool(n int, spawn func(i int) (io.ReadWriteCloser, error)) (*ProcPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sweep: pool needs at least one worker")
+	}
+	p := &ProcPool{
+		spawn:   spawn,
+		free:    make(chan *poolWorker, n+1),
+		done:    make(chan struct{}),
+		workers: map[*poolWorker]bool{},
+	}
+	for i := 0; i < n; i++ {
+		w, err := p.spawnWorker()
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.free <- w
+	}
+	return p, nil
+}
+
+// spawnWorker brings up one worker through its handshake.
+func (p *ProcPool) spawnWorker() (*poolWorker, error) {
+	p.mu.Lock()
+	i := p.nspawned
+	p.nspawned++
+	p.mu.Unlock()
+	t, err := p.spawn(i)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: spawning pool worker %d: %w", i, err)
+	}
+	w := &poolWorker{t: t, br: bufio.NewReader(t), bw: bufio.NewWriter(t)}
+	hello, err := ReadMessage(w.br)
+	if err != nil {
+		t.Close()
+		return nil, fmt.Errorf("sweep: pool worker %d handshake: %w", i, err)
+	}
+	if hello.Type != MsgHello || hello.Proto != ProtoVersion {
+		t.Close()
+		return nil, fmt.Errorf("sweep: pool worker %d handshake: got %q proto %q, want %q",
+			i, hello.Type, hello.Proto, ProtoVersion)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		t.Close()
+		return nil, fmt.Errorf("sweep: pool closed")
+	}
+	p.workers[w] = true
+	p.mu.Unlock()
+	return w, nil
+}
+
+// retire removes a dead worker and closes its transport.
+func (p *ProcPool) retire(w *poolWorker) {
+	p.mu.Lock()
+	delete(p.workers, w)
+	p.mu.Unlock()
+	w.t.Close()
+}
+
+// Exec runs one cell on the next free worker. A transport failure
+// retires the worker, spawns a replacement, and retries the cell once
+// on it — one worker crash costs one retry, not a failed job. A
+// cell-level MsgError comes back as an error with the worker intact.
+func (p *ProcPool) Exec(cell harness.Cell) (harness.CellResult, error) {
+	for attempt := 0; ; attempt++ {
+		var w *poolWorker
+		select {
+		case w = <-p.free:
+		case <-p.done:
+			return harness.CellResult{}, fmt.Errorf("sweep: pool closed")
+		}
+		res, err, dead := p.execOn(w, cell)
+		if !dead {
+			p.release(w)
+			return res, err
+		}
+		p.retire(w)
+		replacement, serr := p.spawnWorker()
+		if serr == nil {
+			p.release(replacement)
+		}
+		if attempt > 0 || serr != nil {
+			if serr != nil {
+				err = fmt.Errorf("%w (and respawning its worker failed: %v)", err, serr)
+			}
+			return harness.CellResult{}, err
+		}
+	}
+}
+
+// release returns a worker to the idle set — or shuts it down if the
+// pool closed while the worker was out serving a cell.
+func (p *ProcPool) release(w *poolWorker) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		p.shutdownWorker(w)
+		return
+	}
+	p.free <- w
+}
+
+// shutdownWorker asks one worker to exit and closes its transport.
+func (p *ProcPool) shutdownWorker(w *poolWorker) {
+	if err := WriteMessage(w.bw, &Message{Type: MsgShutdown}); err == nil {
+		w.bw.Flush()
+	}
+	w.t.Close()
+}
+
+// execOn runs one assignment on w. dead reports that the transport is
+// unusable (as opposed to a clean cell-level error).
+func (p *ProcPool) execOn(w *poolWorker, cell harness.Cell) (res harness.CellResult, err error, dead bool) {
+	w.seq++
+	if err := WriteMessage(w.bw, &Message{Type: MsgRun, Seq: w.seq, Cell: &cell}); err != nil {
+		return harness.CellResult{}, fmt.Errorf("sweep: pool assignment: %w", err), true
+	}
+	if err := w.bw.Flush(); err != nil {
+		return harness.CellResult{}, fmt.Errorf("sweep: pool assignment: %w", err), true
+	}
+	m, err := ReadMessage(w.br)
+	if err != nil {
+		return harness.CellResult{}, fmt.Errorf("sweep: pool reply: %w", err), true
+	}
+	if m.Seq != w.seq || (m.Type != MsgResult && m.Type != MsgError) {
+		return harness.CellResult{}, fmt.Errorf("sweep: pool protocol violation: %q frame seq %d, want reply to seq %d",
+			m.Type, m.Seq, w.seq), true
+	}
+	if m.Type == MsgError {
+		return harness.CellResult{}, fmt.Errorf("sweep: cell failed on pool worker: %s", m.Error), false
+	}
+	return *m.Result, nil, false
+}
+
+// Close shuts every idle worker down cleanly and fails waiting and
+// future Exec calls. Workers out serving a cell finish their
+// assignment and are shut down when released.
+func (p *ProcPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.workers = map[*poolWorker]bool{}
+	p.mu.Unlock()
+	close(p.done)
+	for {
+		select {
+		case w := <-p.free:
+			p.shutdownWorker(w)
+		default:
+			return nil
+		}
+	}
+}
