@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/heap"
+	"repro/internal/machine"
 	"repro/internal/pmu"
 	"repro/internal/symtab"
 )
@@ -77,10 +78,16 @@ func PooledPhase(name string, bodies ...Body) Phase {
 
 // Config assembles a simulated system.
 type Config struct {
-	// Cores is the machine size; defaults to 48, the paper's Opteron.
+	// Cores is the machine size; defaults to the machine model's core
+	// count (48 for the canonical opteron48).
 	Cores int
-	// Cache overrides the machine configuration; zero uses the calibrated
-	// default for Cores.
+	// Machine is the hardware model: topology, line geometry, latency
+	// table, coherence protocol. The zero value means the canonical
+	// opteron48 (machine.Default()), which reproduces the pre-model
+	// behavior byte for byte.
+	Machine machine.Model
+	// Cache overrides the machine configuration; zero derives the
+	// calibrated config from Machine and Cores.
 	Cache cache.Config
 	// Engine overrides engine costs; zero uses defaults.
 	Engine exec.Config
@@ -106,17 +113,25 @@ type ProfileOptions struct {
 // is part of the program under test.
 type System struct {
 	cfg     Config
+	model   machine.Model
 	heap    *heap.Heap
 	globals *symtab.Table
 }
 
 // New creates a system. Zero-value fields get evaluation defaults.
 func New(cfg Config) *System {
-	if cfg.Cores == 0 {
-		cfg.Cores = 48
+	model := cfg.Machine
+	if model.IsZero() {
+		model = machine.Default()
 	}
+	if cfg.Cores == 0 {
+		cfg.Cores = model.Cores()
+	} else {
+		model = model.WithCores(cfg.Cores)
+	}
+	cfg.Machine = model
 	if cfg.Cache.Cores == 0 {
-		cfg.Cache = cache.DefaultConfig(cfg.Cores)
+		cfg.Cache = cache.ConfigFor(model)
 	}
 	if cfg.Engine.OpBuffer == 0 {
 		// Zero-value engine costs get the defaults; the scheduler choice
@@ -133,10 +148,14 @@ func New(cfg Config) *System {
 	}
 	return &System{
 		cfg:     cfg,
+		model:   cfg.Machine,
 		heap:    heap.New(cfg.Heap),
 		globals: symtab.New(cfg.Globals),
 	}
 }
+
+// Model returns the machine model the system simulates.
+func (s *System) Model() machine.Model { return s.model }
 
 // Heap returns the application heap; workloads allocate through it so the
 // profiler can resolve objects to call sites.
@@ -181,6 +200,7 @@ func (s *System) RunTraced(p Program, probes ...exec.Probe) (Result, *cache.Sim)
 // symbol table.
 func (s *System) NewProfiler(o ProfileOptions) *core.Profiler {
 	opts := core.DefaultOptions(s.heap, s.globals)
+	opts.Geometry = s.model.Geometry()
 	if o.PMU.Period != 0 {
 		opts.PMU = o.PMU
 	}

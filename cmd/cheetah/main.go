@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cheetah [-threads 16] [-scale 1.0] [-period 64] [-words] [-candidates] <workload>
+//	cheetah [-threads 16] [-scale 1.0] [-period 64] [-machine opteron48] [-words] [-candidates] <workload>
 //	cheetah -record trace.out [-record-sampled] [-record-binary] <workload>
 //	cheetah -replay trace.out
 //	cheetah -replay-stream trace.out
@@ -63,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/trace"
@@ -82,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	sched := fs.String("sched", "",
 		"engine thread scheduler: heap (default) or calendar; reports are byte-identical either way")
+	machineName := fs.String("machine", "",
+		"machine-model preset to simulate (topology, line size, protocol); empty = opteron48. Unlike -sched this changes results")
 	period := fs.Uint64("period", 0, "sampling period in instructions (0 = calibrated default)")
 	words := fs.Bool("words", false, "print word-level access detail for each instance")
 	candidates := fs.Bool("candidates", false, "also print non-significant candidates")
@@ -133,6 +136,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*sched, strings.Join(exec.SchedulerNames(), ", "))
 		return 2
 	}
+	if _, ok := machine.Preset(*machineName); !ok {
+		fmt.Fprintf(stderr, "cheetah: unknown machine preset %q; available: %s\n",
+			*machineName, strings.Join(machine.Names(), ", "))
+		return 2
+	}
 
 	// Observability is opt-in and strictly off the report path: the
 	// profile output is byte-identical with or without these flags.
@@ -169,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "usage: cheetah -replay-stream <trace> takes no workload argument")
 			return 2
 		}
-		return runReplayStream(*replayStream, cfg, rec, *sched, *words, *candidates, stdout, stderr)
+		return runReplayStream(*replayStream, cfg, rec, *sched, *machineName, *words, *candidates, stdout, stderr)
 	}
 
 	if *importPerf != "" || *importIBS != "" {
@@ -190,7 +198,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Fall through to profile the freshly imported trace; the
 		// recording options are spent (re-recording the replay onto the
 		// file being replayed would truncate it mid-read).
-		return runReplay(*replay, cfg, recordOptions{}, *sched, *words, *candidates, stdout, stderr)
+		return runReplay(*replay, cfg, recordOptions{}, *sched, *machineName, *words, *candidates, stdout, stderr)
 	}
 
 	if *replay != "" {
@@ -198,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "usage: cheetah -replay <trace> takes no workload argument")
 			return 2
 		}
-		return runReplay(*replay, cfg, rec, *sched, *words, *candidates, stdout, stderr)
+		return runReplay(*replay, cfg, rec, *sched, *machineName, *words, *candidates, stdout, stderr)
 	}
 
 	if fs.NArg() != 1 {
@@ -212,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// semantics as -replay (recorded core count, friendly errors).
 		// -record still applies, re-recording the replayed run — which
 		// also converts between framings.
-		return runReplay(strings.TrimPrefix(name, workload.TracePrefix), cfg, rec, *sched, *words, *candidates, stdout, stderr)
+		return runReplay(strings.TrimPrefix(name, workload.TracePrefix), cfg, rec, *sched, *machineName, *words, *candidates, stdout, stderr)
 	}
 	w, ok := workload.ByName(name)
 	if !ok {
@@ -221,7 +229,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	sys := cheetah.New(cheetah.Config{Engine: exec.Config{Sched: *sched}})
+	ccfg := cheetah.Config{Engine: exec.Config{Sched: *sched}}
+	if m, ok := machine.Preset(*machineName); ok && *machineName != "" {
+		ccfg.Machine = m
+	}
+	sys := cheetah.New(ccfg)
 	prog := w.Build(sys, workload.Params{Threads: *threads, Scale: *scale, Fixed: *fixed})
 
 	report, res, err := profileMaybeRecorded(sys, prog, cfg, rec, stderr)
@@ -322,12 +334,15 @@ func profileRecorded(sys *cheetah.System, prog cheetah.Program, cfg pmu.Config, 
 	}
 	var probes []exec.Probe
 	traceErr := func() error { return nil }
+	fp := sys.Model().Fingerprint()
 	if sampled {
 		sr := trace.NewSampledRecorder(cfg, enc, sys.Heap(), sys.Globals())
+		sr.SetMachine(fp)
 		probes = sr.Probes()
 		traceErr = sr.Err
 	} else {
 		rec := trace.NewRecorder(enc, sys.Heap(), sys.Globals())
+		rec.SetMachine(fp)
 		probes = []exec.Probe{rec}
 		traceErr = rec.Err
 	}
@@ -343,17 +358,56 @@ func profileRecorded(sys *cheetah.System, prog cheetah.Program, cfg pmu.Config, 
 	return prof.Report(), res, nil
 }
 
+// noteMachine extracts the `machine=<preset>` provenance note a recorded
+// run stamped, if any; traces from canonical-default runs carry none.
+func noteMachine(notes []string) string {
+	for _, n := range notes {
+		if name, ok := strings.CutPrefix(n, "machine="); ok {
+			return name
+		}
+	}
+	return ""
+}
+
+// replayConfig builds the system configuration for a replay: the
+// recorded core count, the selected scheduler, and the machine model —
+// the -machine flag when given, else the trace's own `machine=` note.
+// An unknown noted preset (a trace from a newer build) fails rather
+// than silently replaying on the wrong machine.
+func replayConfig(cores int, sched, machineSel string, notes []string) (cheetah.Config, error) {
+	ccfg := cheetah.Config{Cores: cores, Engine: exec.Config{Sched: sched}}
+	name := machineSel
+	if name == "" {
+		name = noteMachine(notes)
+	}
+	if name != "" {
+		m, ok := machine.Preset(name)
+		if !ok {
+			return ccfg, fmt.Errorf("trace records unknown machine preset %q; available: %s",
+				name, strings.Join(machine.Names(), ", "))
+		}
+		ccfg.Machine = m
+	}
+	return ccfg, nil
+}
+
 // runReplay reconstructs a program from a trace file and profiles it on
 // a machine with the recorded core count, optionally re-recording it
 // (which converts between framings and full/sampled fidelity). The
-// replayed program runs under the selected scheduler like any workload.
-func runReplay(path string, cfg pmu.Config, rec recordOptions, sched string, words, candidates bool, stdout, stderr io.Writer) int {
+// replayed program runs under the selected scheduler like any workload,
+// and on the recorded machine model unless -machine overrides it.
+func runReplay(path string, cfg pmu.Config, rec recordOptions, sched, machineSel string, words, candidates bool, stdout, stderr io.Writer) int {
 	rp, err := trace.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "cheetah: reading trace: %v\n", err)
 		return 1
 	}
-	sys := cheetah.New(cheetah.Config{Cores: rp.Cores, Engine: exec.Config{Sched: sched}})
+	ccfg, err := replayConfig(rp.Cores, sched, machineSel, rp.Notes)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: %v\n", err)
+		return 1
+	}
+	sys := cheetah.New(ccfg)
 	if err := rp.Prepare(sys.Heap(), sys.Globals()); err != nil {
 		fmt.Fprintf(stderr, "cheetah: preparing trace: %v\n", err)
 		return 1
@@ -371,13 +425,18 @@ func runReplay(path string, cfg pmu.Config, rec recordOptions, sched string, wor
 // records load from disk only when the engine reaches the phase, so
 // peak memory is bounded by the largest phase. The report (and exit
 // behaviour) match runReplay on the same trace byte for byte.
-func runReplayStream(path string, cfg pmu.Config, rec recordOptions, sched string, words, candidates bool, stdout, stderr io.Writer) int {
+func runReplayStream(path string, cfg pmu.Config, rec recordOptions, sched, machineSel string, words, candidates bool, stdout, stderr io.Writer) int {
 	sr, err := trace.OpenStream(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "cheetah: opening indexed trace: %v\n", err)
 		return 1
 	}
-	sys := cheetah.New(cheetah.Config{Cores: sr.Cores, Engine: exec.Config{Sched: sched}})
+	ccfg, err := replayConfig(sr.Cores, sched, machineSel, sr.Notes)
+	if err != nil {
+		fmt.Fprintf(stderr, "cheetah: %v\n", err)
+		return 1
+	}
+	sys := cheetah.New(ccfg)
 	if err := sr.Prepare(sys.Heap(), sys.Globals()); err != nil {
 		fmt.Fprintf(stderr, "cheetah: preparing trace: %v\n", err)
 		return 1

@@ -176,6 +176,55 @@ func TestRunReRecordConvertsFraming(t *testing.T) {
 	}
 }
 
+// TestRunMachineNoteRoundTrip pins the recorded-machine contract: a
+// trace recorded under a non-default preset carries it in its metadata,
+// a bare -replay simulates that recorded machine (byte-identical to the
+// recorded run and to an explicit -machine spelling), and -machine
+// overrides the note. 32 threads so the hot data spans multiple lines
+// under both 64- and 128-byte geometry — the override visibly changes
+// the report.
+func TestRunMachineNoteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l128.trace")
+	var recOut, recErr strings.Builder
+	code := run([]string{"-machine", "line128", "-record", path, "-record-binary",
+		"-threads", "32", "-scale", "0.05", "figure1"}, &recOut, &recErr)
+	if code != 0 {
+		t.Fatalf("record exit code %d, stderr:\n%s", code, recErr.String())
+	}
+
+	var noted, explicit, overridden strings.Builder
+	var errOut strings.Builder
+	if code := run([]string{"-replay", path}, &noted, &errOut); code != 0 {
+		t.Fatalf("bare replay exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if noted.String() != recOut.String() {
+		t.Errorf("bare replay did not honor the recorded machine note\n--- recorded ---\n%s\n--- replayed ---\n%s",
+			recOut.String(), noted.String())
+	}
+	if code := run([]string{"-machine", "line128", "-replay", path}, &explicit, &errOut); code != 0 {
+		t.Fatalf("explicit replay exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if explicit.String() != noted.String() {
+		t.Error("explicit -machine line128 replay differs from the note-driven replay")
+	}
+	if code := run([]string{"-machine", "opteron48", "-replay", path}, &overridden, &errOut); code != 0 {
+		t.Fatalf("override replay exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if overridden.String() == noted.String() {
+		t.Error("-machine opteron48 override printed the line128 report; the flag did not override the note")
+	}
+}
+
+func TestRunRejectsUnknownMachinePreset(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-machine", "cray1", "figure1"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "opteron48") {
+		t.Errorf("error does not list available presets:\n%s", errOut.String())
+	}
+}
+
 func TestRunReplayRejectsMissingFile(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-replay", "/no/such/file.trace"}, &out, &errOut); code != 1 {

@@ -43,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queueDepth := fs.Int("queue-depth", 256, "max admitted-but-unfinished cells before submissions get 429")
 	tenantBudget := fs.Int("tenant-budget", 0, "max concurrent cells per tenant (0 = no per-tenant bound)")
 	maxUpload := fs.Int64("max-upload-bytes", 256<<20, "largest accepted trace upload")
+	jobTTL := fs.Duration("job-ttl", time.Hour,
+		"evict finished jobs from the job table after this retention (0 = retain for the life of the process)")
 	worker := fs.Bool("worker", false, "run as a pool worker on stdin/stdout (internal; used by -worker-procs)")
 	spanLog := fs.String("span-log", "", "append structured span/event records (JSONL) to this file")
 	chromeTrace := fs.String("chrome-trace", "", "write a Chrome trace-event file to this path")
@@ -136,7 +138,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	queue := sweep.NewJobQueue(qcfg)
-	srv := newServer(queue, spoolDir, *maxUpload, stderr)
+	srv := newServer(queue, spoolDir, *maxUpload, *jobTTL, stderr)
+	stopGC := srv.startGC()
+	defer stopGC()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -12,8 +12,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -30,7 +32,10 @@ type server struct {
 	queue     *sweep.JobQueue
 	spoolDir  string
 	maxUpload int64
-	log       io.Writer
+	// jobTTL is how long finished (done or failed) jobs stay queryable;
+	// 0 retains them for the life of the process.
+	jobTTL time.Duration
+	log    io.Writer
 
 	// renderOpts remembers each job's report rendering flags; the cell
 	// result itself is render-agnostic.
@@ -50,6 +55,10 @@ type jobSpec struct {
 	Fixed      bool    `json:"fixed"`
 	Words      bool    `json:"words"`
 	Candidates bool    `json:"candidates"`
+	// Machine selects the machine-model preset the cell simulates
+	// (machine.Names; empty = the canonical opteron48). Part of cell
+	// identity: the same workload under two models is two cells.
+	Machine string `json:"machine"`
 }
 
 // jobStatus is the JSON shape of a job in status and list responses.
@@ -63,14 +72,59 @@ type jobStatus struct {
 	Error  string `json:"error,omitempty"`
 }
 
-func newServer(queue *sweep.JobQueue, spoolDir string, maxUpload int64, log io.Writer) *server {
+func newServer(queue *sweep.JobQueue, spoolDir string, maxUpload int64, jobTTL time.Duration, log io.Writer) *server {
 	return &server{
 		queue:      queue,
 		spoolDir:   spoolDir,
 		maxUpload:  maxUpload,
+		jobTTL:     jobTTL,
 		log:        log,
 		renderOpts: make(map[string]renderOpts),
 	}
+}
+
+// gc evicts finished jobs older than the retention TTL from the job
+// table and drops their render options. Evicted jobs 404 afterwards;
+// their cell results survive in the shared cache.
+func (s *server) gc() {
+	ids := s.queue.GC(s.jobTTL)
+	if len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, id := range ids {
+		delete(s.renderOpts, id)
+	}
+	s.mu.Unlock()
+	s.logf("cheetahd: evicted %d finished jobs past the %v retention", len(ids), s.jobTTL)
+}
+
+// startGC runs gc periodically until the returned stop function is
+// called. A zero TTL disables collection entirely.
+func (s *server) startGC() (stop func()) {
+	if s.jobTTL <= 0 {
+		return func() {}
+	}
+	// Sweep a few times per TTL so eviction lag stays a fraction of the
+	// retention window, but never busier than once a second.
+	interval := s.jobTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.gc()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // mux builds the full route table, observability included — one port
@@ -182,6 +236,10 @@ func (s *server) cellFromSpec(r *http.Request) (harness.Cell, string, renderOpts
 		return harness.Cell{}, "", renderOpts{}, fmt.Errorf(
 			"unknown workload %q; available: %s", spec.Workload, strings.Join(workload.Names(), ", "))
 	}
+	if _, ok := machine.Preset(spec.Machine); !ok {
+		return harness.Cell{}, "", renderOpts{}, fmt.Errorf(
+			"unknown machine preset %q; available: %s", spec.Machine, strings.Join(machine.Names(), ", "))
+	}
 	if spec.Threads == 0 {
 		spec.Threads = 16
 	}
@@ -196,6 +254,7 @@ func (s *server) cellFromSpec(r *http.Request) (harness.Cell, string, renderOpts
 		Scale:    spec.Scale,
 		Fixed:    spec.Fixed,
 		PMU:      harness.DetectionPMU(),
+		Machine:  spec.Machine,
 	}
 	if err := cell.Validate(); err != nil {
 		return harness.Cell{}, "", renderOpts{}, err

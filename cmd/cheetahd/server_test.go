@@ -19,6 +19,7 @@ import (
 	cheetah "repro"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -70,7 +71,7 @@ func testGateway(t *testing.T, qcfg sweep.QueueConfig) (*httptest.Server, *sweep
 		qcfg.Workers = 4
 	}
 	queue := sweep.NewJobQueue(qcfg)
-	srv := newServer(queue, t.TempDir(), 64<<20, nil)
+	srv := newServer(queue, t.TempDir(), 64<<20, 0, nil)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	return ts, queue
@@ -238,6 +239,48 @@ func TestNamedWorkloadJob(t *testing.T) {
 	}
 }
 
+// TestMachineWorkloadJob: a submission naming a machine preset
+// simulates that machine — the report matches a local run under the
+// same model and differs from the default-machine report. 32 threads so
+// the hot data spans multiple lines under both geometries.
+func TestMachineWorkloadJob(t *testing.T) {
+	t.Parallel()
+	ts, _ := testGateway(t, sweep.QueueConfig{})
+	body := `{"workload":"figure1","threads":32,"scale":0.05,"machine":"line128"}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, raw)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := fetchReport(t, ts, out["id"])
+
+	reference := func(name string) string {
+		cfg := cheetah.Config{}
+		if m, ok := machine.Preset(name); ok && name != "" {
+			cfg.Machine = m
+		}
+		w, _ := workload.ByName("figure1")
+		sys := cheetah.New(cfg)
+		prog := w.Build(sys, workload.Params{Threads: 32, Scale: 0.05})
+		report, res := sys.Profile(prog, cheetah.ProfileOptions{PMU: harness.DetectionPMU()})
+		return harness.RenderDetectionReport(report, res, false, false)
+	}
+	if want := reference("line128"); got != want {
+		t.Errorf("line128 gateway report diverges from local run\n--- local ---\n%s\n--- HTTP ---\n%s", want, got)
+	}
+	if got == reference("") {
+		t.Error("line128 gateway report is identical to the default machine's; the preset never reached the simulator")
+	}
+}
+
 // TestBadSubmissionsRejected: garbage uploads and unknown workloads get
 // a 400 before touching the queue; unknown jobs 404.
 func TestBadSubmissionsRejected(t *testing.T) {
@@ -261,6 +304,16 @@ func TestBadSubmissionsRejected(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown workload: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"figure1","threads":2,"machine":"cray1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown machine preset: status %d, want 400", resp.StatusCode)
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/jobs/j999999/report")
@@ -303,6 +356,58 @@ func TestQueueFullReturns429(t *testing.T) {
 	if status != http.StatusTooManyRequests {
 		t.Errorf("over-bound submit: status %d (%s), want 429", status, body)
 	}
+}
+
+// TestJobTTLEvictsFinishedJobs: after GC collects a finished job, its
+// report and SSE routes 404 like a job that never existed, while a
+// still-running job survives the sweep untouched.
+func TestJobTTLEvictsFinishedJobs(t *testing.T) {
+	t.Parallel()
+	path := writeTrace(t, t.TempDir(), "a.trace", 0.02)
+	block := make(chan struct{})
+	defer close(block)
+	queue := sweep.NewJobQueue(sweep.QueueConfig{
+		Workers: 2,
+		Exec: func(c harness.Cell) (harness.CellResult, error) {
+			if strings.Contains(c.Workload, "b.trace") {
+				<-block
+			}
+			return harness.RunCell(c)
+		},
+	})
+	// A zero TTL evicts every terminal job on the next sweep — the
+	// deterministic stand-in for "the retention window has passed".
+	srv := newServer(queue, t.TempDir(), 64<<20, 0, nil)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	finished := submitTrace(t, ts, path, "")
+	fetchReport(t, ts, finished) // waits until the job is done
+	running := submitTrace(t, ts, writeTrace(t, t.TempDir(), "b.trace", 0.03), "")
+
+	srv.gc()
+
+	for _, route := range []string{"/report", "/events", ""} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + finished + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s for evicted job: status %d, want 404", route, resp.StatusCode)
+		}
+	}
+	if _, ok := queue.Get(running); !ok {
+		t.Errorf("GC evicted the still-running job %s", running)
+	}
+	if s := queue.Stats(); s.JobsEvicted != 1 {
+		t.Errorf("JobsEvicted = %d, want 1", s.JobsEvicted)
+	}
+	srv.mu.Lock()
+	if _, ok := srv.renderOpts[finished]; ok {
+		t.Errorf("render options for evicted job %s not pruned", finished)
+	}
+	srv.mu.Unlock()
 }
 
 // TestEventsStreamSSE: the events endpoint speaks SSE and ends with the

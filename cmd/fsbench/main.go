@@ -70,6 +70,7 @@ import (
 	"repro/internal/atomicfile"
 	engine "repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -91,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	sched := fs.String("sched", "",
 		"engine thread scheduler: sorted (default), heap or calendar; results are byte-identical either way")
+	machineName := fs.String("machine", "",
+		"machine-model preset every cell simulates (topology, line size, protocol); empty = opteron48. Unlike -sched this changes results")
 	app := fs.String("app", "linear_regression", "application for fig5 (case study report)")
 	benchOut := fs.String("bench-out", "",
 		"path for the machine-readable bench trajectory entry (with -experiment all)")
@@ -175,6 +178,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*sched, strings.Join(engine.SchedulerNames(), ", "))
 		return 2
 	}
+	if _, ok := machine.Preset(*machineName); !ok {
+		fmt.Fprintf(stderr, "fsbench: unknown machine preset %q; available: %s\n",
+			*machineName, strings.Join(machine.Names(), ", "))
+		return 2
+	}
 
 	// Observability is opt-in and strictly off the report path: sweep
 	// output is byte-identical with or without these flags (CI cmps it).
@@ -188,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fsbench: serving metrics and pprof on http://%s\n", obsAddr)
 	}
 
-	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers, Sched: *sched}
+	cfg := harness.Config{Scale: *scale, Threads: *threads, Workers: *workers, Sched: *sched, Machine: *machineName}
 	sharded := *workersProcs > 0 || *listenAddr != ""
 	if sharded && *experiment != "all" && *replayShards == 0 {
 		fmt.Fprintf(stderr, "fsbench: -workers-procs/-listen shard the full sweep; use -experiment all or -replay-shards\n")
@@ -269,6 +277,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if schedName == "" {
 				schedName = engine.SchedSorted
 			}
+			presetName := *machineName
+			if presetName == "" {
+				presetName = machine.DefaultName
+			}
 			entry := harness.BenchEntry{
 				Schema:      harness.BenchSchema,
 				GitCommit:   gitCommit(),
@@ -279,6 +291,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Scale:       *scale,
 				Threads:     *threads,
 				Sched:       schedName,
+				Machine:     presetName,
 				TraceFormat: trace.BinaryVersion,
 				ReplayMode:  *replayMode,
 				// The per-cell access counts over the sweep's wall clock:

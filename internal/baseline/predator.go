@@ -64,7 +64,10 @@ type Predator struct {
 	shadow *shadow.Memory
 }
 
-// NewPredator creates the detector with the given resolvers.
+// NewPredator creates the detector with the given resolvers. The baseline
+// tools model the published implementations, which hard-code 64-byte
+// lines, so Predator's shadow memory stays on the canonical geometry no
+// matter what machine model the surrounding simulation uses.
 func NewPredator(cfg PredatorConfig, h *heap.Heap, syms *symtab.Table) *Predator {
 	if cfg.PerAccessCycles == 0 {
 		cfg = DefaultPredatorConfig()
@@ -122,12 +125,12 @@ func (p *Predator) Findings() []Finding {
 			// every word; classifying by write sharing keeps those
 			// patterns from masking false sharing.
 			shared := w.Writers() > 1
-			for tid, s := range w.ByThread {
+			w.ForEachThread(func(tid mem.ThreadID, s *shadow.WordStats) {
 				a.threads[tid] = struct{}{}
 				if shared {
 					a.sharedAccesses += s.Accesses()
 				}
-			}
+			})
 		}
 	})
 	var out []Finding

@@ -23,75 +23,20 @@ package cache
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/machine"
 	"repro/internal/mem"
 )
 
-// Latencies configures the cost model in cycles. The defaults approximate
-// the paper's Opteron-class machine; absolute values only need to preserve
-// the ordering hit < LLC < remote transfer <= memory.
-type Latencies struct {
-	// L1Hit is a load/store hit in the private L1.
-	L1Hit uint32
-	// L2Hit is a private L2 hit (L1 miss).
-	L2Hit uint32
-	// L3Hit is a shared last-level-cache hit.
-	L3Hit uint32
-	// Memory is a DRAM access.
-	Memory uint32
-	// Remote is a cache-to-cache transfer of a line that is dirty in
-	// another core's private cache — the dominant cost of false sharing.
-	Remote uint32
-	// Hold is the minimum ownership tenure of a dirty line: once a core
-	// acquires a line in Modified state, a remote request cannot complete
-	// a steal until Hold cycles later (the coherence round-trip during
-	// which the owner keeps hitting its L1). This is what bounds the
-	// ping-pong rate on real hardware: owners batch cheap accesses
-	// between steals, so a false-sharing storm costs ~(Hold+Remote) per
-	// steal rather than a transfer per write.
-	Hold uint32
-	// Upgrade is the cost of invalidating other sharers when writing a
-	// line held in Shared state.
-	Upgrade uint32
-	// PerSharer is the additional invalidation cost per extra sharer,
-	// modelling coherence-traffic contention as thread counts grow.
-	PerSharer uint32
-	// ContentionPenalty is the additional cost, per recent coherence
-	// event, added to every remote transfer and upgrade. It models
-	// queueing on the coherence interconnect (HyperTransport on the
-	// paper's Opteron): the higher the machine-wide rate of coherence
-	// traffic, the longer each transfer takes. This is what makes false
-	// sharing hurt more at higher thread counts (paper Table 1:
-	// linear_regression's fix gains 2x at 2 threads but 6.7x at 16),
-	// while programs with rare coherence events (streamcluster) see no
-	// inflation.
-	ContentionPenalty uint32
-	// ContentionWindow is the length, in cycles, of the sliding window
-	// over which coherence events are counted. Zero disables contention
-	// modelling.
-	ContentionWindow uint64
-	// ContentionCap bounds the number of window events that add latency,
-	// keeping the queueing term finite under pathological storms.
-	ContentionCap int
-}
+// Latencies configures the cost model in cycles; it is the machine
+// package's latency table, re-exported so cache-sim call sites keep
+// reading naturally.
+type Latencies = machine.Latencies
 
 // DefaultLatencies returns the calibrated cost model used throughout the
 // reproduction.
-func DefaultLatencies() Latencies {
-	return Latencies{
-		L1Hit:             4,
-		L2Hit:             12,
-		L3Hit:             40,
-		Memory:            200,
-		Remote:            120,
-		Hold:              190,
-		Upgrade:           80,
-		PerSharer:         6,
-		ContentionPenalty: 130,
-		ContentionWindow:  400,
-		ContentionCap:     256,
-	}
-}
+func DefaultLatencies() Latencies { return machine.DefaultLatencies() }
 
 // Config sizes the simulated machine. Cache sizes are given in lines per
 // set-associative structure.
@@ -108,6 +53,18 @@ type Config struct {
 	L3Sets, L3Ways int
 	// Lat is the latency model.
 	Lat Latencies
+	// Geom is the cache-line geometry; the zero value means the canonical
+	// 64-byte lines.
+	Geom mem.Geometry
+	// CoresPerSocket splits the cores across sockets for cross-socket
+	// transfer pricing; zero (or >= Cores) means a single socket.
+	CoresPerSocket int
+	// CrossSocketMult scales Lat.Remote for dirty-line transfers whose
+	// requester and owner sit on different sockets; 0 or 1 disables the
+	// scaling.
+	CrossSocketMult float64
+	// Protocol selects the coherence-protocol variant (MESI default).
+	Protocol machine.Protocol
 }
 
 // DefaultConfig returns a machine resembling the paper's evaluation
@@ -120,6 +77,21 @@ func DefaultConfig(cores int) Config {
 		L3Sets: 10240, L3Ways: 16, // 10 MB shared L3
 		Lat: DefaultLatencies(),
 	}
+}
+
+// ConfigFor derives the cache configuration from a machine model: core
+// count, latency table, line geometry, topology, and protocol. For the
+// canonical default model it behaves exactly like DefaultConfig(48).
+func ConfigFor(m machine.Model) Config {
+	cfg := DefaultConfig(m.Cores())
+	cfg.Lat = m.Lat
+	cfg.Geom = m.Geometry()
+	if m.Sockets > 1 {
+		cfg.CoresPerSocket = m.CoresPerSocket
+		cfg.CrossSocketMult = m.CrossSocketMult
+	}
+	cfg.Protocol = m.Protocol
+	return cfg
 }
 
 // lineState is the directory-visible MESI state of a cache line.
@@ -200,6 +172,9 @@ type Stats struct {
 	Invalidations uint64
 	// RemoteTransfers counts cache-to-cache dirty-line transfers.
 	RemoteTransfers uint64
+	// Forwards counts clean shared-line cache-to-cache transfers under
+	// MESIF (always zero under MESI).
+	Forwards uint64
 	// L1Hits, L2Hits, L3Hits and MemoryAccesses break down where accesses
 	// were satisfied.
 	L1Hits, L2Hits, L3Hits, MemoryAccesses uint64
@@ -235,6 +210,16 @@ type Sim struct {
 	// voiding every hint.
 	hints   []dirHint
 	hintGen uint64
+	// lineShift is the configured geometry's log2(line size); addresses
+	// map to directory lines through it.
+	lineShift uint
+	// coresPerSocket is nonzero when the topology has more than one
+	// socket and cross-socket transfers price differently; remoteCross is
+	// the pre-scaled Remote latency for those transfers.
+	coresPerSocket int
+	remoteCross    uint32
+	// mesif enables Forward-state shared-line forwarding.
+	mesif bool
 }
 
 // dirHint is one core's two most recent directory lookups. A miss
@@ -361,6 +346,16 @@ func New(cfg Config) *Sim {
 	for i := range s.hints {
 		s.hints[i].line = [2]uint64{^uint64(0), ^uint64(0)}
 	}
+	s.lineShift = cfg.Geom.OrDefault().LineShift
+	if cfg.CoresPerSocket > 0 && cfg.CoresPerSocket < cfg.Cores {
+		s.coresPerSocket = cfg.CoresPerSocket
+		mult := cfg.CrossSocketMult
+		if mult <= 0 {
+			mult = 1
+		}
+		s.remoteCross = uint32(math.Round(float64(cfg.Lat.Remote) * mult))
+	}
+	s.mesif = cfg.Protocol == machine.MESIF
 	return s
 }
 
@@ -378,7 +373,7 @@ func (s *Sim) Stats() Stats { return s.stats }
 // LineInvalidations returns the ground-truth number of invalidation events
 // observed on the cache line containing addr.
 func (s *Sim) LineInvalidations(addr mem.Addr) uint64 {
-	if _, cold := s.dir.find(addr.Line()); cold != nil {
+	if _, cold := s.dir.find(uint64(addr) >> s.lineShift); cold != nil {
 		return cold.invals
 	}
 	return 0
@@ -411,7 +406,7 @@ func (s *Sim) Access(core int, addr mem.Addr, write bool, now uint64) uint32 {
 		s.l1[core] = newSetAssoc(s.cfg.L1Sets, s.cfg.L1Ways)
 		s.l2[core] = newSetAssoc(s.cfg.L2Sets, s.cfg.L2Ways)
 	}
-	line := addr.Line()
+	line := uint64(addr) >> s.lineShift
 	var h *dirHot
 	var c *dirCold
 	hint := &s.hints[core]
@@ -509,10 +504,15 @@ func (s *Sim) read(core int, line uint64, e *dirHot, c *dirCold, now uint64) uin
 			}
 			return s.privateFill(core, line)
 		}
-		// Another core shares it cleanly; fetch from L3 (or memory on LLC
-		// miss) and join the sharer set.
+		// Another core shares it cleanly. Under MESIF the Forward-state
+		// holder serves the miss cache-to-cache at the Forward latency;
+		// under MESI the line comes from the L3 (or memory on LLC miss).
 		e.sharers.set(core)
 		s.fill(core, line)
+		if s.mesif {
+			s.stats.Forwards++
+			return s.cfg.Lat.Forward
+		}
 		return s.llcFetch(core, line)
 	default: // invalid: no cached copies anywhere
 		e.state = shared
@@ -650,7 +650,14 @@ func (s *Sim) enqueueTransfer(e *dirHot, c *dirCold, line uint64, core int, read
 	if e.availableAt > start {
 		start = e.availableAt
 	}
-	end := start + uint64(s.cfg.Lat.Remote) + uint64(s.noteContention(now, line, c))
+	// Transfers originate from the dirty owner (both call sites are in
+	// modified state); one that crosses a socket boundary pays the scaled
+	// interconnect-hop cost.
+	remote := s.cfg.Lat.Remote
+	if s.coresPerSocket > 0 && core/s.coresPerSocket != int(e.owner)/s.coresPerSocket {
+		remote = s.remoteCross
+	}
+	end := start + uint64(remote) + uint64(s.noteContention(now, line, c))
 	e.availableAt = end + uint64(s.cfg.Lat.Hold)
 	// Drained queue: rewind so the backing array is reused.
 	if n := int(c.pendHead); n > 0 && n == len(c.pending) {

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestSharerSetSpillOps exercises every sharerSet operation across the
+// inline/spill boundary: the single lo word covers cores 0-63, anything
+// above lives in the rest slice, and indices on both sides must behave
+// identically.
+func TestSharerSetSpillOps(t *testing.T) {
+	const cores = 192
+	b := newSharerSet(cores)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 191}
+	for _, i := range idx {
+		b.set(i)
+	}
+	for _, i := range idx {
+		if !b.get(i) {
+			t.Errorf("get(%d) = false after set", i)
+		}
+	}
+	if got := b.count(); got != len(idx) {
+		t.Errorf("count = %d, want %d", got, len(idx))
+	}
+	if got := b.countExcept(64); got != len(idx)-1 {
+		t.Errorf("countExcept(64) = %d, want %d", got, len(idx)-1)
+	}
+	if got := b.countExcept(2); got != len(idx) {
+		t.Errorf("countExcept(2) = %d, want %d (2 is not set)", got, len(idx))
+	}
+	var seen []int
+	b.forEach(func(i int) { seen = append(seen, i) })
+	if len(seen) != len(idx) {
+		t.Fatalf("forEach visited %v, want %v", seen, idx)
+	}
+	for k, i := range idx {
+		if seen[k] != i {
+			t.Errorf("forEach order: visited %v, want ascending %v", seen, idx)
+			break
+		}
+	}
+	b.unset(63)
+	b.unset(128)
+	if b.get(63) || b.get(128) {
+		t.Errorf("unset left bits behind: get(63)=%v get(128)=%v", b.get(63), b.get(128))
+	}
+	if got := b.count(); got != len(idx)-2 {
+		t.Errorf("count after unset = %d, want %d", got, len(idx)-2)
+	}
+	b.clear()
+	if got := b.count(); got != 0 {
+		t.Errorf("count after clear = %d, want 0", got)
+	}
+	for _, i := range idx {
+		if b.get(i) {
+			t.Errorf("get(%d) = true after clear", i)
+		}
+	}
+}
+
+// TestDirectoryBeyond64Cores is the regression gate for machines larger
+// than the inline sharer word: on a 96-core simulator a line read by
+// every core tracks all 96 sharers, and the subsequent write upgrade
+// invalidates every one of them — including cores 64-95, which live in
+// the spilled part of the set.
+func TestDirectoryBeyond64Cores(t *testing.T) {
+	const cores = 96
+	s := newTestSim(cores)
+	a := mem.Addr(0x9000)
+	for core := 0; core < cores; core++ {
+		s.Access(core, a, false)
+	}
+	st, _, sharers := s.directoryState(a.Line())
+	if st != shared || sharers != cores {
+		t.Fatalf("after %d reads directory = (%v, sharers=%d), want (shared, %d)",
+			cores, st, sharers, cores)
+	}
+	lat := s.Access(cores-1, a, true)
+	want := s.cfg.Lat.Upgrade + uint32(cores-2)*s.cfg.Lat.PerSharer
+	if lat != want {
+		t.Errorf("upgrade latency at %d sharers = %d, want %d", cores, lat, want)
+	}
+	if got := s.LineInvalidations(a); got != 1 {
+		t.Errorf("invalidations = %d, want 1", got)
+	}
+	st, owner, sharers := s.directoryState(a.Line())
+	if st != modified || owner != cores-1 || sharers != 1 {
+		t.Errorf("directory = (%v, owner=%d, sharers=%d), want (modified, %d, 1)",
+			st, owner, sharers, cores-1)
+	}
+	// Invalidated sharers from both halves of the set re-read: each must
+	// have truly lost its copy, paying a coherence transfer rather than a
+	// local hit. Core 0 lives in the inline word, core 70 in the spill.
+	if lat := s.Access(0, a, false); lat == s.cfg.Lat.L1Hit {
+		t.Errorf("inline core 0 read hit locally after invalidation")
+	}
+	if lat := s.Access(70, a, false); lat == s.cfg.Lat.L1Hit {
+		t.Errorf("spilled core 70 read hit locally after invalidation")
+	}
+}

@@ -73,11 +73,12 @@ type objectAgg struct {
 // aggregates per-object detection state.
 func (p *Profiler) collectObjects() []*objectAgg {
 	byKey := make(map[mem.Addr]*objectAgg)
+	geom := p.shadow.Geometry()
 	p.shadow.ForEach(func(l *shadow.Line) {
 		if !l.Detailed() {
 			return
 		}
-		base := mem.LineAddr(l.Index)
+		base := geom.LineAddr(l.Index)
 		info := p.resolveObject(base)
 		agg := byKey[info.Start]
 		if agg == nil {
@@ -120,11 +121,12 @@ func (p *Profiler) resolveObject(base mem.Addr) ObjectInfo {
 			}
 		}
 	}
+	lineSize := p.shadow.Geometry().LineSize
 	return ObjectInfo{
 		Kind:  UnknownObject,
 		Start: base,
-		End:   base.Add(mem.LineSize),
-		Size:  mem.LineSize,
+		End:   base.Add(lineSize),
+		Size:  uint64(lineSize),
 	}
 }
 
@@ -142,7 +144,7 @@ func (o *objectAgg) addLine(l *shadow.Line) {
 			continue
 		}
 		shared := w.SharedByMultipleThreads()
-		for tid, s := range w.ByThread {
+		w.ForEachThread(func(tid mem.ThreadID, s *shadow.WordStats) {
 			agg := o.byThread[tid]
 			if agg == nil {
 				agg = &shadow.WordStats{}
@@ -154,7 +156,7 @@ func (o *objectAgg) addLine(l *shadow.Line) {
 			if shared {
 				o.sharedAccesses += s.Accesses()
 			}
-		}
+		})
 	}
 }
 

@@ -36,6 +36,9 @@ type Options struct {
 	// serial-phase samples were collected: "a default value learned from
 	// experience" (§3.1), in cycles.
 	DefaultSerialLatency float64
+	// Geometry is the cache-line geometry the shadow memory tracks under;
+	// the zero value means the canonical 64-byte lines.
+	Geometry mem.Geometry
 }
 
 // DefaultOptions returns the evaluation configuration.
@@ -124,7 +127,7 @@ func New(opts Options) *Profiler {
 
 // reset clears all per-run state.
 func (p *Profiler) reset() {
-	p.shadow = shadow.NewMemory()
+	p.shadow = shadow.NewMemoryGeom(p.opts.Geometry)
 	p.threads = make(map[threadKey]*threadStats)
 	p.phases = nil
 	p.inParallel = false

@@ -150,10 +150,11 @@ func (p *Profiler) buildInstance(o *objectAgg, class classification) Instance {
 // lineReports renders per-line, per-word detail sorted by address.
 func (p *Profiler) lineReports(o *objectAgg) []LineReport {
 	sort.Slice(o.lines, func(i, j int) bool { return o.lines[i].Index < o.lines[j].Index })
+	geom := p.shadow.Geometry()
 	reports := make([]LineReport, 0, len(o.lines))
 	for _, l := range o.lines {
 		lr := LineReport{
-			Start:         mem.LineAddr(l.Index),
+			Start:         geom.LineAddr(l.Index),
 			Invalidations: l.Invalidations,
 			Writes:        l.Writes,
 			Reads:         l.Reads,
@@ -177,10 +178,12 @@ func (p *Profiler) lineReports(o *objectAgg) []LineReport {
 }
 
 func wordAccesses(w *shadow.Word) []WordAccess {
-	out := make([]WordAccess, 0, len(w.ByThread))
-	for tid, s := range w.ByThread {
+	out := make([]WordAccess, 0, w.Threads())
+	w.ForEachThread(func(tid mem.ThreadID, s *shadow.WordStats) {
 		out = append(out, WordAccess{Thread: tid, Reads: s.Reads, Writes: s.Writes, Cycles: s.Cycles})
-	}
+	})
+	// ForEachThread already visits in ascending thread order; the sort
+	// stays as a guard on the report's contract.
 	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
 	return out
 }

@@ -148,7 +148,7 @@ type twoEntryCounter struct {
 }
 
 func newTwoEntryCounter(sys *cheetah.System) *twoEntryCounter {
-	return &twoEntryCounter{sys: sys, mem: shadow.NewMemory()}
+	return &twoEntryCounter{sys: sys, mem: shadow.NewMemoryGeom(sys.Model().Geometry())}
 }
 
 // PhaseStart implements exec.Probe, matching Cheetah's parallel-phase

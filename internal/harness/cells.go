@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/machine"
 	"repro/internal/pmu"
 	"repro/internal/workload"
 )
@@ -51,6 +52,10 @@ type Cell struct {
 	// default sorted scheduler (and is the canonical spelling for it, so
 	// default-scheduler cells keep scheduler-free IDs and cache entries).
 	Sched string `json:"sched,omitempty"`
+	// Machine is the machine-model preset the cell simulates; empty means
+	// the canonical opteron48 (and is the canonical spelling for it, so
+	// default-machine cells keep machine-free IDs and cache entries).
+	Machine string `json:"machine,omitempty"`
 	// TraceHash is the sha256 of the trace file's content for `trace:`
 	// pseudo-workloads (empty otherwise, or when the file is unreadable
 	// at planning time). A trace cell's outcome depends on the file's
@@ -97,6 +102,11 @@ func canonSched(s string) string {
 	}
 	return s
 }
+
+// canonMachine canonicalizes a machine-preset name for cell identity: the
+// canonical opteron48 is spelled "", keeping default-machine cells on
+// their pre-machine-model IDs and cache entries.
+func canonMachine(s string) string { return machine.Canon(s) }
 
 // Bounds on Cell fields. Decoded cells come from worker streams and
 // cache files — external input — so every field is range-checked rather
@@ -150,6 +160,9 @@ func (c Cell) Validate() error {
 	if !exec.ValidScheduler(c.Sched) {
 		return fmt.Errorf("harness: unknown cell scheduler %q", c.Sched)
 	}
+	if _, ok := machine.Preset(c.Machine); !ok {
+		return fmt.Errorf("harness: unknown cell machine %q", c.Machine)
+	}
 	if c.TraceHash != "" {
 		if !workload.IsTraceName(c.Workload) {
 			return fmt.Errorf("harness: cell %q is not a trace workload but carries a trace hash", c.Workload)
@@ -184,6 +197,9 @@ func (c Cell) ID() string {
 	if s := canonSched(c.Sched); s != "" {
 		id += "|d" + s
 	}
+	if m := canonMachine(c.Machine); m != "" {
+		id += "|m" + m
+	}
 	if c.TraceHash != "" {
 		id += "|th" + c.TraceHash
 	}
@@ -202,6 +218,7 @@ func (c Cell) key() cellKey {
 		fixed:     c.Fixed,
 		pmu:       c.PMU,
 		sched:     canonSched(c.Sched),
+		machine:   canonMachine(c.Machine),
 		traceHash: c.TraceHash,
 	}
 	switch c.Kind {
@@ -229,6 +246,7 @@ func cellOf(k cellKey) Cell {
 		Fixed:     k.fixed,
 		PMU:       k.pmu,
 		Sched:     k.sched,
+		Machine:   k.machine,
 		TraceHash: k.traceHash,
 	}
 	switch k.kind {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	cheetah "repro"
+	"repro/internal/machine"
 	"repro/internal/pmu"
 	"repro/internal/workload"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	// suite proves it — so, like Workers, Sched trades only wall-clock
 	// time.
 	Sched string
+	// Machine selects the machine-model preset every cell simulates
+	// (machine.Names; empty = the canonical opteron48). Unlike Workers
+	// and Sched this changes results: the model is part of cell identity.
+	Machine string
 }
 
 // withDefaults fills zero fields with the paper's evaluation setup.
@@ -101,7 +106,15 @@ func build(name string, c Config, fixed bool) (*cheetah.System, cheetah.Program)
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown workload %q", name))
 	}
-	sys := cheetah.New(cheetah.Config{Cores: c.Cores})
+	ccfg := cheetah.Config{Cores: c.Cores}
+	if m := canonMachine(c.Machine); m != "" {
+		model, ok := machine.Preset(m)
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown machine preset %q", m))
+		}
+		ccfg.Machine = model
+	}
+	sys := cheetah.New(ccfg)
 	prog := w.Build(sys, workload.Params{Threads: c.Threads, Scale: c.Scale, Fixed: fixed})
 	return sys, prog
 }

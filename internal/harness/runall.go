@@ -157,6 +157,10 @@ type BenchEntry struct {
 	// Sched is the engine scheduler the sweep ran under ("sorted" when
 	// unset), so scheduler wall-clock comparisons land in the trajectory.
 	Sched string `json:"sched"`
+	// Machine is the machine-model preset the sweep simulated
+	// ("opteron48" when unset). Unlike Sched it changes the results, not
+	// just the wall clock, so trajectory comparisons must group by it.
+	Machine string `json:"machine"`
 	// TraceFormat is the binary trace framing version the build writes
 	// (trace.BinaryVersion), so trajectory entries pin which format
 	// recorded/imported traces in that revision's artifacts use.
@@ -186,8 +190,9 @@ type BenchEntry struct {
 // binary trace framing version, v5 the trace replay mode, v6 the
 // accesses/sec throughput stamp, v7 the raw access count (aggregated
 // across worker processes and cache hits, where v6 stamped 0) and the
-// batched engine's throughput baseline for the CI regression gate.
-const BenchSchema = "cheetah-bench/v7"
+// batched engine's throughput baseline for the CI regression gate, and
+// v8 the machine-model preset the sweep simulated.
+const BenchSchema = "cheetah-bench/v8"
 
 // MarshalIndent renders the entry as indented JSON with a trailing
 // newline, the on-disk format of BENCH_harness.json.

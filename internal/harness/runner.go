@@ -10,6 +10,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/workload"
@@ -65,6 +66,9 @@ type cellKey struct {
 	// are scheduler-independent by proven invariant, but the key stays
 	// honest: a cell records every input of the run that produced it.
 	sched string
+	// machine is the machine-model preset, canonicalized ("" = the
+	// canonical opteron48).
+	machine string
 	// traceHash is the content hash of the trace file for `trace:`
 	// workloads ("" otherwise): the cell's outcome depends on the file's
 	// bytes, so the bytes join the memoization key.
@@ -314,7 +318,15 @@ func runCell(k cellKey) cellOut {
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown workload %q", k.workload))
 	}
-	sys := cheetah.New(cheetah.Config{Cores: k.cores, Engine: exec.Config{Sched: k.sched}})
+	ccfg := cheetah.Config{Cores: k.cores, Engine: exec.Config{Sched: k.sched}}
+	if k.machine != "" {
+		m, ok := machine.Preset(k.machine)
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown machine preset %q", k.machine))
+		}
+		ccfg.Machine = m
+	}
+	sys := cheetah.New(ccfg)
 	prog := w.Build(sys, workload.Params{Threads: k.threads, Scale: k.scale, Fixed: k.fixed})
 	switch k.kind {
 	case cellProfiled:
@@ -357,7 +369,7 @@ func (r *Runner) native(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellNative, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
-		sched: canonSched(c.Sched),
+		sched: canonSched(c.Sched), machine: canonMachine(c.Machine),
 	})
 }
 
@@ -366,7 +378,7 @@ func (r *Runner) profiled(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellProfiled, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
-		pmu: c.PMU, sched: canonSched(c.Sched),
+		pmu: c.PMU, sched: canonSched(c.Sched), machine: canonMachine(c.Machine),
 	})
 }
 
@@ -375,7 +387,7 @@ func (r *Runner) predator(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellPredator, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
-		sched: canonSched(c.Sched),
+		sched: canonSched(c.Sched), machine: canonMachine(c.Machine),
 	})
 }
 
@@ -384,7 +396,7 @@ func (r *Runner) sheriff(name string, c Config, fixed bool) *cell {
 	return r.submit(cellKey{
 		kind: cellSheriff, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale, fixed: fixed,
-		sched: canonSched(c.Sched),
+		sched: canonSched(c.Sched), machine: canonMachine(c.Machine),
 	})
 }
 
@@ -395,6 +407,6 @@ func (r *Runner) rule(name string, c Config) *cell {
 	return r.submit(cellKey{
 		kind: cellRule, workload: name,
 		threads: c.Threads, cores: c.Cores, scale: c.Scale,
-		sched: canonSched(c.Sched),
+		sched: canonSched(c.Sched), machine: canonMachine(c.Machine),
 	})
 }

@@ -96,6 +96,7 @@ func TraceShardPlan(name string, shards int, c Config) ([]TraceShard, error) {
 					Scale:     cfg.Scale,
 					PMU:       cfg.PMU,
 					Sched:     canonSched(cfg.Sched),
+					Machine:   canonMachine(cfg.Machine),
 					TraceHash: hash,
 				},
 				Lo: lo, Hi: hi, Accesses: acc,

@@ -1,0 +1,300 @@
+// Package machine describes the hardware model a simulation runs under:
+// topology (sockets x cores-per-socket, cross-socket transfer cost), cache
+// line geometry, the latency table, and the coherence-protocol variant.
+//
+// The paper's evaluation is pinned to one machine — a 48-core AMD Opteron
+// with 64-byte lines — and that machine used to be smeared across the
+// codebase as constants. A machine.Model gathers it into one value that
+// every layer derives its configuration from: internal/mem and
+// internal/shadow take line geometry from it, internal/cache derives its
+// Config from it, cheetah.Config carries it, and harness cell identity
+// fingerprints it. The canonical preset ("opteron48") reproduces the old
+// constants bit-for-bit, and Fingerprint returns "" for it so existing
+// cell IDs, sweep cache keys, and golden files are unchanged.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Protocol selects the coherence-protocol variant the cache simulator
+// models.
+type Protocol uint8
+
+const (
+	// MESI is the baseline protocol: a read of a line that is Shared in
+	// other caches but absent locally is served by the LLC or memory.
+	MESI Protocol = iota
+	// MESIF adds Intel-style shared-line forwarding: one sharer holds the
+	// line in Forward state and serves other cores' read misses
+	// cache-to-cache at Latencies.Forward cycles instead of an LLC or
+	// memory fetch.
+	MESIF
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case MESIF:
+		return "MESIF"
+	default:
+		return "MESI"
+	}
+}
+
+// Latencies configures the coherence cost model in cycles. The defaults
+// approximate the paper's Opteron-class machine; absolute values only need
+// to preserve the ordering hit < LLC < remote transfer <= memory.
+type Latencies struct {
+	// L1Hit is a load/store hit in the private L1.
+	L1Hit uint32
+	// L2Hit is a private L2 hit (L1 miss).
+	L2Hit uint32
+	// L3Hit is a shared last-level-cache hit.
+	L3Hit uint32
+	// Memory is a DRAM access.
+	Memory uint32
+	// Remote is a cache-to-cache transfer of a line that is dirty in
+	// another core's private cache — the dominant cost of false sharing.
+	// Cross-socket transfers scale this by Model.CrossSocketMult.
+	Remote uint32
+	// Hold is the minimum ownership tenure of a dirty line: once a core
+	// acquires a line in Modified state, a remote request cannot complete
+	// a steal until Hold cycles later (the coherence round-trip during
+	// which the owner keeps hitting its L1). This is what bounds the
+	// ping-pong rate on real hardware: owners batch cheap accesses
+	// between steals, so a false-sharing storm costs ~(Hold+Remote) per
+	// steal rather than a transfer per write.
+	Hold uint32
+	// Upgrade is the cost of invalidating other sharers when writing a
+	// line held in Shared state.
+	Upgrade uint32
+	// PerSharer is the additional invalidation cost per extra sharer,
+	// modelling coherence-traffic contention as thread counts grow.
+	PerSharer uint32
+	// Forward is a clean cache-to-cache transfer of a Shared line under
+	// MESIF: the Forward-state holder serves the miss instead of the LLC
+	// or memory. Unused under MESI.
+	Forward uint32
+	// ContentionPenalty is the additional cost, per recent coherence
+	// event, added to every remote transfer and upgrade. It models
+	// queueing on the coherence interconnect (HyperTransport on the
+	// paper's Opteron): the higher the machine-wide rate of coherence
+	// traffic, the longer each transfer takes. This is what makes false
+	// sharing hurt more at higher thread counts (paper Table 1:
+	// linear_regression's fix gains 2x at 2 threads but 6.7x at 16),
+	// while programs with rare coherence events (streamcluster) see no
+	// inflation.
+	ContentionPenalty uint32
+	// ContentionWindow is the length, in cycles, of the sliding window
+	// over which coherence events are counted. Zero disables contention
+	// modelling.
+	ContentionWindow uint64
+	// ContentionCap bounds the number of window events that add latency,
+	// keeping the queueing term finite under pathological storms.
+	ContentionCap int
+}
+
+// DefaultLatencies returns the calibrated cost model used throughout the
+// reproduction.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		L1Hit:             4,
+		L2Hit:             12,
+		L3Hit:             40,
+		Memory:            200,
+		Remote:            120,
+		Hold:              190,
+		Upgrade:           80,
+		PerSharer:         6,
+		Forward:           60,
+		ContentionPenalty: 130,
+		ContentionWindow:  400,
+		ContentionCap:     256,
+	}
+}
+
+// DefaultName is the canonical preset: the paper's evaluation machine.
+// Models with this name fingerprint to the empty string, keeping cell IDs
+// and cache keys from before the machine-model layer existed.
+const DefaultName = "opteron48"
+
+// Model is a complete machine description. The zero value is not directly
+// usable; obtain models from Default, Preset, or by deriving from one.
+type Model struct {
+	// Name is the preset name the model was derived from ("" for ad-hoc
+	// models). It is what rides cell identity and the wire.
+	Name string
+	// Sockets and CoresPerSocket describe the topology; total cores is
+	// their product. A transfer between cores on different sockets scales
+	// Lat.Remote by CrossSocketMult.
+	Sockets        int
+	CoresPerSocket int
+	// LineSize is the cache-line size in bytes (power of two).
+	LineSize int
+	// Protocol is the coherence-protocol variant.
+	Protocol Protocol
+	// CrossSocketMult scales Lat.Remote for transfers that cross a socket
+	// boundary; 1 (or 0, treated as 1) prices remote transfers uniformly.
+	CrossSocketMult float64
+	// Lat is the latency table.
+	Lat Latencies
+}
+
+// Default returns the canonical opteron48 model: 1 socket x 48 cores,
+// 64-byte lines, MESI, the calibrated latency table — exactly the machine
+// the pre-model codebase hard-coded.
+func Default() Model {
+	return Model{
+		Name:            DefaultName,
+		Sockets:         1,
+		CoresPerSocket:  48,
+		LineSize:        mem.LineSize,
+		Protocol:        MESI,
+		CrossSocketMult: 1,
+		Lat:             DefaultLatencies(),
+	}
+}
+
+// presets is the registry of named machine models.
+var presets = map[string]func() Model{
+	DefaultName: Default,
+	// numa2x24: the same 48 cores split across two sockets, with
+	// cross-socket dirty-line transfers 1.5x the on-socket cost —
+	// a HyperTransport hop.
+	"numa2x24": func() Model {
+		m := Default()
+		m.Name = "numa2x24"
+		m.Sockets = 2
+		m.CoresPerSocket = 24
+		m.CrossSocketMult = 1.5
+		return m
+	},
+	// line128: the canonical machine with 128-byte cache lines
+	// (adjacent-line prefetcher territory); false-sharing verdicts shift
+	// because twice as many objects share a line.
+	"line128": func() Model {
+		m := Default()
+		m.Name = "line128"
+		m.LineSize = 128
+		return m
+	},
+	// mesif48: the canonical machine under MESIF — clean shared lines are
+	// forwarded cache-to-cache instead of re-fetched from the LLC or
+	// memory.
+	"mesif48": func() Model {
+		m := Default()
+		m.Name = "mesif48"
+		m.Protocol = MESIF
+		return m
+	},
+}
+
+// Names returns the preset names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset returns the named model, or false if the name is unknown. The
+// empty string resolves to the canonical default.
+func Preset(name string) (Model, bool) {
+	if name == "" {
+		return Default(), true
+	}
+	f, ok := presets[name]
+	if !ok {
+		return Model{}, false
+	}
+	return f(), true
+}
+
+// Canon maps a preset name to its canonical identity string: "" for the
+// default machine (and for ""), the name itself otherwise. Cell IDs, cache
+// keys, and trace metadata use this so the default machine is
+// indistinguishable from the pre-model era.
+func Canon(name string) string {
+	if name == "" || name == DefaultName {
+		return ""
+	}
+	return name
+}
+
+// IsZero reports whether m is the zero Model (no machine configured).
+func (m Model) IsZero() bool { return m == (Model{}) }
+
+// Cores returns the total core count.
+func (m Model) Cores() int { return m.Sockets * m.CoresPerSocket }
+
+// Geometry returns the model's cache-line geometry.
+func (m Model) Geometry() mem.Geometry {
+	g, err := mem.NewGeometry(m.LineSize)
+	if err != nil {
+		return mem.DefaultGeometry()
+	}
+	return g
+}
+
+// SocketOf returns the socket housing the given core: cores are numbered
+// socket-major, so cores [0, CoresPerSocket) are socket 0.
+func (m Model) SocketOf(core int) int {
+	if m.CoresPerSocket <= 0 {
+		return 0
+	}
+	s := core / m.CoresPerSocket
+	if s >= m.Sockets {
+		s = m.Sockets - 1
+	}
+	return s
+}
+
+// Fingerprint returns the string that represents this model in cell
+// identity and trace metadata: "" for the canonical default, the preset
+// name otherwise.
+func (m Model) Fingerprint() string {
+	if m.IsZero() {
+		return ""
+	}
+	return Canon(m.Name)
+}
+
+// WithCores returns a copy of the model resized to n total cores,
+// preserving the socket count (cores are distributed evenly, rounding the
+// per-socket count up). Resizing the canonical default keeps its identity:
+// core count is carried separately in cell identity, as it always was.
+func (m Model) WithCores(n int) Model {
+	if n <= 0 || n == m.Cores() {
+		return m
+	}
+	sockets := m.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	m.Sockets = sockets
+	m.CoresPerSocket = (n + sockets - 1) / sockets
+	return m
+}
+
+// Validate checks the model is internally consistent.
+func (m Model) Validate() error {
+	if m.Sockets <= 0 || m.CoresPerSocket <= 0 {
+		return fmt.Errorf("machine: bad topology %dx%d", m.Sockets, m.CoresPerSocket)
+	}
+	if _, err := mem.NewGeometry(m.LineSize); err != nil {
+		return err
+	}
+	if m.CrossSocketMult < 0 || math.IsNaN(m.CrossSocketMult) || math.IsInf(m.CrossSocketMult, 0) {
+		return fmt.Errorf("machine: bad cross-socket multiplier %v", m.CrossSocketMult)
+	}
+	if m.Protocol != MESI && m.Protocol != MESIF {
+		return fmt.Errorf("machine: unknown protocol %d", m.Protocol)
+	}
+	return nil
+}

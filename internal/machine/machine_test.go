@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestDefaultMatchesPaperMachine pins the canonical preset to the
+// constants the pre-model codebase hard-coded: any drift here silently
+// changes every default-machine report.
+func TestDefaultMatchesPaperMachine(t *testing.T) {
+	m := Default()
+	if m.Name != DefaultName {
+		t.Errorf("Name = %q, want %q", m.Name, DefaultName)
+	}
+	if m.Cores() != 48 {
+		t.Errorf("Cores = %d, want 48", m.Cores())
+	}
+	if m.Sockets != 1 {
+		t.Errorf("Sockets = %d, want 1", m.Sockets)
+	}
+	if m.LineSize != mem.LineSize {
+		t.Errorf("LineSize = %d, want %d", m.LineSize, mem.LineSize)
+	}
+	if m.Protocol != MESI {
+		t.Errorf("Protocol = %v, want MESI", m.Protocol)
+	}
+	if g := m.Geometry(); g != mem.DefaultGeometry() {
+		t.Errorf("Geometry = %+v, want default", g)
+	}
+	if m.Fingerprint() != "" {
+		t.Errorf("Fingerprint = %q, want empty (canonical default)", m.Fingerprint())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPresetsResolveAndValidate(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names not sorted: %v", names)
+	}
+	for _, name := range names {
+		m, ok := Preset(name)
+		if !ok {
+			t.Fatalf("Preset(%q) missing", name)
+		}
+		if m.Name != name {
+			t.Errorf("Preset(%q).Name = %q", name, m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("Preset(%q).Validate: %v", name, err)
+		}
+		if name != DefaultName && m.Fingerprint() != name {
+			t.Errorf("Preset(%q).Fingerprint = %q", name, m.Fingerprint())
+		}
+	}
+	if _, ok := Preset(""); !ok {
+		t.Error("Preset(\"\") should resolve to the default")
+	}
+	if _, ok := Preset("pdp11"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+func TestCanon(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""}, {DefaultName, ""}, {"numa2x24", "numa2x24"}, {"line128", "line128"},
+	} {
+		if got := Canon(tc.in); got != tc.want {
+			t.Errorf("Canon(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSocketOf(t *testing.T) {
+	m, _ := Preset("numa2x24")
+	if m.Sockets != 2 || m.CoresPerSocket != 24 || m.Cores() != 48 {
+		t.Fatalf("numa2x24 topology = %dx%d", m.Sockets, m.CoresPerSocket)
+	}
+	for core, want := range map[int]int{0: 0, 23: 0, 24: 1, 47: 1} {
+		if got := m.SocketOf(core); got != want {
+			t.Errorf("SocketOf(%d) = %d, want %d", core, got, want)
+		}
+	}
+	if Default().SocketOf(47) != 0 {
+		t.Error("single-socket model reported a second socket")
+	}
+}
+
+func TestWithCoresPreservesSockets(t *testing.T) {
+	m, _ := Preset("numa2x24")
+	small := m.WithCores(4)
+	if small.Sockets != 2 || small.CoresPerSocket != 2 {
+		t.Errorf("WithCores(4) topology = %dx%d, want 2x2", small.Sockets, small.CoresPerSocket)
+	}
+	if small.SocketOf(1) != 0 || small.SocketOf(2) != 1 {
+		t.Error("WithCores(4) socket mapping wrong")
+	}
+	// Odd counts round the per-socket size up.
+	odd := m.WithCores(5)
+	if odd.CoresPerSocket != 3 {
+		t.Errorf("WithCores(5).CoresPerSocket = %d, want 3", odd.CoresPerSocket)
+	}
+	if got := Default().WithCores(96).Cores(); got != 96 {
+		t.Errorf("WithCores(96).Cores = %d", got)
+	}
+	if got := m.WithCores(0); got != m {
+		t.Error("WithCores(0) should be a no-op")
+	}
+}
+
+func TestLine128Geometry(t *testing.T) {
+	m, _ := Preset("line128")
+	g := m.Geometry()
+	if g.LineSize != 128 || g.LineShift != 7 || g.WordsPerLine() != 32 {
+		t.Errorf("geometry = %+v (words %d)", g, g.WordsPerLine())
+	}
+	a := mem.Addr(0x1084)
+	if g.Line(a) != 0x21 || g.LineBase(a) != 0x1080 || g.LineOffset(a) != 4 || g.WordInLine(a) != 1 {
+		t.Errorf("address math wrong: line=%#x base=%v off=%d word=%d",
+			g.Line(a), g.LineBase(a), g.LineOffset(a), g.WordInLine(a))
+	}
+	if g.LineAddr(0x21) != 0x1080 {
+		t.Errorf("LineAddr(0x21) = %v", g.LineAddr(0x21))
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	base := Default()
+	for name, mut := range map[string]func(*Model){
+		"no sockets":    func(m *Model) { m.Sockets = 0 },
+		"bad line size": func(m *Model) { m.LineSize = 96 },
+		"negative mult": func(m *Model) { m.CrossSocketMult = -1 },
+		"bad protocol":  func(m *Model) { m.Protocol = 9 },
+	} {
+		m := base
+		mut(&m)
+		if m.Validate() == nil {
+			t.Errorf("%s: Validate accepted %+v", name, m)
+		}
+	}
+}
+
+func TestGeometryConstruction(t *testing.T) {
+	if _, err := mem.NewGeometry(64); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, 2, 48, 8192, -64} {
+		if _, err := mem.NewGeometry(bad); err == nil {
+			t.Errorf("NewGeometry(%d) accepted", bad)
+		}
+	}
+	var zero mem.Geometry
+	if zero.OrDefault() != mem.DefaultGeometry() {
+		t.Error("zero Geometry OrDefault mismatch")
+	}
+}

@@ -1,0 +1,71 @@
+package mem
+
+import "fmt"
+
+// Geometry describes a cache-line layout: the line size in bytes plus the
+// derived shift and word count the hot paths need. The package-level
+// LineSize/LineShift/WordsPerLine constants describe the canonical 64-byte
+// machine and remain the right tool for program layout (struct padding,
+// symbol alignment, trace synthesis); Geometry is for the machine-model
+// layers — shadow memory, the cache simulator, the detector — which must
+// honor whatever line size the configured machine.Model declares. The
+// word size is fixed at 4 bytes regardless of geometry: it is Cheetah's
+// true-vs-false-sharing discrimination granularity (paper §2.4), not a
+// hardware property.
+type Geometry struct {
+	// LineSize is the cache-line size in bytes (a power of two >= WordSize).
+	LineSize int
+	// LineShift is log2(LineSize).
+	LineShift uint
+}
+
+// MaxLineSize bounds configurable line sizes; 4 KiB is already an entire
+// small page per line.
+const MaxLineSize = 4096
+
+// DefaultGeometry returns the canonical 64-byte line geometry of the
+// paper's evaluation machine.
+func DefaultGeometry() Geometry {
+	return Geometry{LineSize: LineSize, LineShift: LineShift}
+}
+
+// NewGeometry builds a Geometry for the given line size, which must be a
+// power of two in [WordSize, MaxLineSize].
+func NewGeometry(lineSize int) (Geometry, error) {
+	if lineSize < WordSize || lineSize > MaxLineSize || lineSize&(lineSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("mem: line size %d not a power of two in [%d, %d]", lineSize, WordSize, MaxLineSize)
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	return Geometry{LineSize: lineSize, LineShift: shift}, nil
+}
+
+// OrDefault returns g, or the canonical 64-byte geometry when g is the
+// zero value, so structs can embed a Geometry without forcing every
+// constructor call site to fill it in.
+func (g Geometry) OrDefault() Geometry {
+	if g.LineSize == 0 {
+		return DefaultGeometry()
+	}
+	return g
+}
+
+// WordsPerLine returns the number of 4-byte tracking words in a line.
+func (g Geometry) WordsPerLine() int { return g.LineSize / WordSize }
+
+// Line returns the cache-line index containing a under this geometry.
+func (g Geometry) Line(a Addr) uint64 { return uint64(a) >> g.LineShift }
+
+// LineAddr returns the base address of cache line index line.
+func (g Geometry) LineAddr(line uint64) Addr { return Addr(line << g.LineShift) }
+
+// LineBase returns the address of the first byte of a's cache line.
+func (g Geometry) LineBase(a Addr) Addr { return a &^ Addr(g.LineSize-1) }
+
+// LineOffset returns a's byte offset within its cache line.
+func (g Geometry) LineOffset(a Addr) int { return int(a) & (g.LineSize - 1) }
+
+// WordInLine returns the index of a's word within its cache line.
+func (g Geometry) WordInLine(a Addr) int { return (int(a) & (g.LineSize - 1)) >> WordShift }

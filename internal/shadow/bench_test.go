@@ -1,0 +1,50 @@
+package shadow
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// BenchmarkRecordDetailedFalseSharing drives the word tracker the way a
+// false-sharing workload does: many threads hammer disjoint words of a
+// fresh set of lines, all of which go detailed. This is the path where
+// per-word per-thread stats storage allocates (the ROADMAP's "mapaccess
+// remnants in Word.ByThread"), so the benchmark reports allocations; one
+// op is a full populate of 64 lines x 16 threads x 4 rounds.
+func BenchmarkRecordDetailedFalseSharing(b *testing.B) {
+	const (
+		lines   = 64
+		threads = 16
+		rounds  = 4
+	)
+	b.ReportAllocs()
+	for b.Loop() {
+		m := NewMemory()
+		for r := 0; r < rounds; r++ {
+			for line := 0; line < lines; line++ {
+				for t := 0; t < threads; t++ {
+					addr := mem.Addr(line*64 + (t%16)*4)
+					m.Record(mem.Access{Addr: addr, Thread: mem.ThreadID(t), Kind: mem.Write, Size: 4, Latency: 10})
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkWordStatsLookup isolates the per-thread stats lookup on an
+// already-detailed line, the inner loop of Line.trackWords.
+func BenchmarkWordStatsLookup(b *testing.B) {
+	m := NewMemory()
+	base := mem.Addr(0x1000)
+	for i := 0; i < 3; i++ {
+		m.Record(mem.Access{Addr: base, Thread: 1, Kind: mem.Write, Size: 4, Latency: 10})
+	}
+	b.ReportAllocs()
+	i := 0
+	for b.Loop() {
+		tid := mem.ThreadID(i % 8)
+		m.Record(mem.Access{Addr: base.Add((i % 16) * 4), Thread: tid, Kind: mem.Write, Size: 4, Latency: 10})
+		i++
+	}
+}

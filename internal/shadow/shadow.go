@@ -6,7 +6,10 @@
 // The paper indexes two large mmap'd arrays by bit-shifted address; this
 // reproduction keys the same per-line state by cache-line index in a hash
 // map, which is equivalent for detection purposes and proportional to the
-// touched working set rather than the reserved address space.
+// touched working set rather than the reserved address space. Line
+// geometry comes from the machine model: NewMemory assumes the canonical
+// 64-byte lines, NewMemoryGeom tracks whatever line size the configured
+// machine declares.
 package shadow
 
 import "repro/internal/mem"
@@ -28,10 +31,25 @@ type WordStats struct {
 // Accesses returns reads plus writes.
 func (w WordStats) Accesses() uint64 { return w.Reads + w.Writes }
 
+// threadStats is one thread's slot in a Word's dense per-thread array.
+// The present flag is the membership marker: a zero WordStats is a
+// legitimate record (a zero-cost footprint touch from a wide access), so
+// presence cannot be inferred from the stats themselves.
+type threadStats struct {
+	WordStats
+	present bool
+}
+
 // Word tracks per-thread activity on one word of a susceptible line.
+// Stats live in a dense slice indexed by thread id relative to the lowest
+// id seen, replacing the former map[ThreadID]*WordStats: thread ids on a
+// word cluster tightly (a parallel phase hands out consecutive ids), so
+// the dense form turns the hot trackWords lookup from a mapaccess into an
+// array index and collapses per-thread allocations into one slice.
 type Word struct {
-	// ByThread maps thread id to its activity on this word.
-	ByThread map[mem.ThreadID]*WordStats
+	base     mem.ThreadID
+	byThread []threadStats
+	n        int32
 }
 
 // Threads returns the number of distinct threads that touched the word.
@@ -39,7 +57,7 @@ func (w *Word) Threads() int {
 	if w == nil {
 		return 0
 	}
-	return len(w.ByThread)
+	return int(w.n)
 }
 
 // SharedByMultipleThreads reports whether more than one thread accessed
@@ -54,8 +72,8 @@ func (w *Word) Writers() int {
 		return 0
 	}
 	n := 0
-	for _, s := range w.ByThread {
-		if s.Writes > 0 {
+	for i := range w.byThread {
+		if w.byThread[i].present && w.byThread[i].Writes > 0 {
 			n++
 		}
 	}
@@ -68,25 +86,81 @@ func (w *Word) Totals() WordStats {
 	if w == nil {
 		return t
 	}
-	for _, s := range w.ByThread {
-		t.Reads += s.Reads
-		t.Writes += s.Writes
-		t.Cycles += s.Cycles
+	for i := range w.byThread {
+		if !w.byThread[i].present {
+			continue
+		}
+		t.Reads += w.byThread[i].Reads
+		t.Writes += w.byThread[i].Writes
+		t.Cycles += w.byThread[i].Cycles
 	}
 	return t
 }
 
+// Stats returns the per-thread record for tid, or nil if the thread never
+// touched the word.
+func (w *Word) Stats(tid mem.ThreadID) *WordStats {
+	if w == nil {
+		return nil
+	}
+	i := int(tid - w.base)
+	if i < 0 || i >= len(w.byThread) || !w.byThread[i].present {
+		return nil
+	}
+	return &w.byThread[i].WordStats
+}
+
+// ForEachThread visits every thread that touched the word in ascending
+// thread-id order.
+func (w *Word) ForEachThread(fn func(tid mem.ThreadID, s *WordStats)) {
+	if w == nil {
+		return
+	}
+	for i := range w.byThread {
+		if w.byThread[i].present {
+			fn(w.base+mem.ThreadID(i), &w.byThread[i].WordStats)
+		}
+	}
+}
+
 // stats returns the per-thread record, allocating on first use.
 func (w *Word) stats(tid mem.ThreadID) *WordStats {
-	if w.ByThread == nil {
-		w.ByThread = make(map[mem.ThreadID]*WordStats)
+	if len(w.byThread) == 0 {
+		if cap(w.byThread) == 0 {
+			w.byThread = make([]threadStats, 1, 4)
+		} else {
+			w.byThread = w.byThread[:1]
+		}
+		w.base = tid
+		w.byThread[0] = threadStats{present: true}
+		w.n = 1
+		return &w.byThread[0].WordStats
 	}
-	s := w.ByThread[tid]
-	if s == nil {
-		s = &WordStats{}
-		w.ByThread[tid] = s
+	i := int(tid - w.base)
+	switch {
+	case i < 0:
+		// New lowest id: shift existing entries up.
+		grow := -i
+		nw := make([]threadStats, len(w.byThread)+grow, max(cap(w.byThread), len(w.byThread)+grow))
+		copy(nw[grow:], w.byThread)
+		w.byThread = nw
+		w.base = tid
+		i = 0
+	case i >= len(w.byThread):
+		if i < cap(w.byThread) {
+			w.byThread = w.byThread[:i+1]
+		} else {
+			nw := make([]threadStats, i+1, max(i+1, 2*cap(w.byThread)))
+			copy(nw, w.byThread)
+			w.byThread = nw
+		}
 	}
-	return s
+	ts := &w.byThread[i]
+	if !ts.present {
+		ts.present = true
+		w.n++
+	}
+	return &ts.WordStats
 }
 
 // tableEntry is one slot of the per-line two-entry table (§2.3). Each
@@ -99,7 +173,7 @@ type tableEntry struct {
 
 // Line is the shadow state of one cache line.
 type Line struct {
-	// Index is the cache-line index (address >> 6).
+	// Index is the cache-line index (address >> line shift).
 	Index uint64
 	// Writes and Reads count all sampled accesses to the line, including
 	// those before detailed tracking started.
@@ -112,8 +186,9 @@ type Line struct {
 	Accesses, Cycles uint64
 	// table is the two-entry invalidation table.
 	table [2]tableEntry
-	// words is allocated when detailed tracking starts.
-	words *[mem.WordsPerLine]Word
+	// words is allocated when detailed tracking starts, sized by the
+	// memory's line geometry.
+	words []Word
 	// detailed marks lines past the write threshold.
 	detailed bool
 }
@@ -122,8 +197,8 @@ type Line struct {
 // being tracked at word granularity.
 func (l *Line) Detailed() bool { return l.detailed }
 
-// Word returns the tracked word state at index i (0..15), or nil when the
-// line has no detailed tracking.
+// Word returns the tracked word state at index i, or nil when the line has
+// no detailed tracking.
 func (l *Line) Word(i int) *Word {
 	if l.words == nil {
 		return nil
@@ -131,18 +206,14 @@ func (l *Line) Word(i int) *Word {
 	return &l.words[i]
 }
 
-// Words returns the number of tracked words (0 or mem.WordsPerLine).
-func (l *Line) Words() int {
-	if l.words == nil {
-		return 0
-	}
-	return mem.WordsPerLine
-}
+// Words returns the number of tracked words (0, or the geometry's words
+// per line once tracking started).
+func (l *Line) Words() int { return len(l.words) }
 
 // record applies one sampled access to the line, implementing the §2.3
 // two-entry-table rules and the §2.4 word tracking. It reports whether the
 // access incurred a cache invalidation.
-func (l *Line) record(a mem.Access) bool {
+func (l *Line) record(a mem.Access, g mem.Geometry) bool {
 	if a.Kind.IsWrite() {
 		l.Writes++
 	} else {
@@ -153,12 +224,12 @@ func (l *Line) record(a mem.Access) bool {
 			return false
 		}
 		l.detailed = true
-		l.words = new([mem.WordsPerLine]Word)
+		l.words = make([]Word, g.WordsPerLine())
 	}
 
 	l.Accesses++
 	l.Cycles += uint64(a.Latency)
-	l.trackWords(a)
+	l.trackWords(a, g)
 
 	if !a.Kind.IsWrite() {
 		l.recordRead(a.Thread)
@@ -216,8 +287,8 @@ func (l *Line) recordWrite(tid mem.ThreadID) bool {
 // latency go to the first word; any additional word covered by the access
 // width is marked as touched by the thread (zero-cost touch), so sharing
 // classification sees the true footprint without double-counting.
-func (l *Line) trackWords(a mem.Access) {
-	first := a.Addr.WordInLine()
+func (l *Line) trackWords(a mem.Access, g mem.Geometry) {
+	first := g.WordInLine(a.Addr)
 	s := l.words[first].stats(a.Thread)
 	if a.Kind.IsWrite() {
 		s.Writes++
@@ -232,15 +303,16 @@ func (l *Line) trackWords(a mem.Access) {
 	}
 	for off := mem.WordSize; off < size; off += mem.WordSize {
 		w := a.Addr.Add(off)
-		if w.Line() != a.Addr.Line() {
+		if g.Line(w) != g.Line(a.Addr) {
 			break // access spills into the next line; out of scope here
 		}
-		l.words[w.WordInLine()].stats(a.Thread)
+		l.words[g.WordInLine(w)].stats(a.Thread)
 	}
 }
 
 // Memory is the shadow map over all tracked cache lines.
 type Memory struct {
+	geom  mem.Geometry
 	lines map[uint64]*Line
 	// last caches the most recently recorded line: sampled accesses are
 	// bursty per line (sixteen words per line), so most Records repeat
@@ -249,17 +321,26 @@ type Memory struct {
 	last *Line
 }
 
-// NewMemory creates an empty shadow memory.
+// NewMemory creates an empty shadow memory over canonical 64-byte lines.
 func NewMemory() *Memory {
-	return &Memory{lines: make(map[uint64]*Line)}
+	return NewMemoryGeom(mem.DefaultGeometry())
 }
+
+// NewMemoryGeom creates an empty shadow memory over the given line
+// geometry (the zero Geometry means the canonical default).
+func NewMemoryGeom(g mem.Geometry) *Memory {
+	return &Memory{geom: g.OrDefault(), lines: make(map[uint64]*Line)}
+}
+
+// Geometry returns the line geometry the memory tracks under.
+func (m *Memory) Geometry() mem.Geometry { return m.geom }
 
 // Record applies one sampled access and reports whether it incurred a
 // cache invalidation under the detection rules.
 func (m *Memory) Record(a mem.Access) bool {
-	line := a.Addr.Line()
+	line := m.geom.Line(a.Addr)
 	if l := m.last; l != nil && l.Index == line {
-		return l.record(a)
+		return l.record(a, m.geom)
 	}
 	l := m.lines[line]
 	if l == nil {
@@ -267,12 +348,12 @@ func (m *Memory) Record(a mem.Access) bool {
 		m.lines[line] = l
 	}
 	m.last = l
-	return l.record(a)
+	return l.record(a, m.geom)
 }
 
 // Line returns the shadow state for the cache line containing addr, or nil
 // if the line was never sampled.
-func (m *Memory) Line(addr mem.Addr) *Line { return m.lines[addr.Line()] }
+func (m *Memory) Line(addr mem.Addr) *Line { return m.lines[m.geom.Line(addr)] }
 
 // LineByIndex returns the shadow state for a cache-line index.
 func (m *Memory) LineByIndex(idx uint64) *Line { return m.lines[idx] }

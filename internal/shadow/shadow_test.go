@@ -174,7 +174,7 @@ func TestWordStatsAccumulate(t *testing.T) {
 		m.Record(mem.Access{Addr: base, Thread: 1, Kind: mem.Read, Size: 4, Latency: 20})
 	}
 	w := l0word(m, base, 0)
-	s := w.ByThread[1]
+	s := w.Stats(1)
 	if s == nil {
 		t.Fatal("no stats for thread 1")
 	}

@@ -127,6 +127,9 @@ type Job struct {
 	subs    map[int]chan JobEvent
 	nextSub int
 	nDone   int
+	// finishedAt is when the job reached a terminal state; the queue's
+	// GC measures retention from it.
+	finishedAt time.Time
 }
 
 // State returns the job's current lifecycle position.
@@ -220,6 +223,8 @@ type QueueStats struct {
 	// cache; CellsDeduped piggybacked on another job's in-flight
 	// execution. The three sum to every finished cell across all jobs.
 	CellsExecuted, CellsCached, CellsDeduped uint64
+	// JobsEvicted counts terminal jobs GC dropped from the job table.
+	JobsEvicted uint64
 	// QueuedCells is the current admitted-but-unfinished total, the
 	// quantity MaxQueuedCells bounds.
 	QueuedCells int
@@ -360,6 +365,48 @@ func (q *JobQueue) Stats() QueueStats {
 	return s
 }
 
+// GC evicts terminal (done or failed) jobs that reached their terminal
+// state at least ttl ago, returning the evicted IDs in submission
+// order. Evicted jobs disappear from Get and Jobs — the gateway serves
+// 404 for them afterwards — but their cell results live on in the
+// shared cache, so resubmitting the same work stays cheap. A ttl of
+// zero evicts every terminal job. Running and queued jobs are never
+// touched.
+func (q *JobQueue) GC(ttl time.Duration) []string {
+	cutoff := time.Now().Add(-ttl)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var evicted []string
+	kept := q.order[:0]
+	for _, id := range q.order {
+		if q.jobs[id].terminalBefore(cutoff) {
+			delete(q.jobs, id)
+			evicted = append(evicted, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+	// Zero the tail so evicted IDs don't pin the backing array.
+	tail := q.order[len(q.order):cap(q.order)]
+	for i := range tail {
+		tail[i] = ""
+	}
+	q.stats.JobsEvicted += uint64(len(evicted))
+	return evicted
+}
+
+// terminalBefore reports whether the job finished (done or failed) at
+// or before cutoff.
+func (j *Job) terminalBefore(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone && j.state != JobFailed {
+		return false
+	}
+	return !j.finishedAt.After(cutoff)
+}
+
 // Shutdown stops admitting jobs and waits for the running ones until
 // ctx expires.
 func (q *JobQueue) Shutdown(ctx context.Context) error {
@@ -444,6 +491,7 @@ func (q *JobQueue) runJob(job *Job, tenantSem chan struct{}) {
 	} else {
 		job.state = JobDone
 	}
+	job.finishedAt = time.Now()
 	nDone := job.nDone
 	job.mu.Unlock()
 	q.mu.Lock()

@@ -19,6 +19,10 @@ type recorderState struct {
 	syms  *symtab.Table
 	phase int
 	err   error
+	// machine is the non-canonical machine-model preset the recording run
+	// simulates; empty (the canonical default) stamps nothing, so traces
+	// from default runs stay byte-identical to pre-model recordings.
+	machine string
 }
 
 func (r *recorderState) emit(ev Event) {
@@ -31,6 +35,9 @@ func (r *recorderState) emit(ev Event) {
 func (r *recorderState) programStart(name string, cores int) {
 	r.phase = 0
 	r.emit(Event{Kind: KindProgram, Name: name, Cores: cores})
+	if r.machine != "" {
+		r.emit(Event{Kind: KindNote, Name: "machine=" + r.machine})
+	}
 }
 
 // emitLayout snapshots the memory layout at program end, so objects a
@@ -98,6 +105,11 @@ func NewRecorder(enc Encoder, h *heap.Heap, syms *symtab.Table) *Recorder {
 // Err returns the first error encountered while writing the trace.
 func (r *Recorder) Err() error { return r.s.err }
 
+// SetMachine records the machine-model fingerprint to stamp into the
+// trace as a `machine=<preset>` provenance note (machine.Fingerprint;
+// empty = canonical default, stamped as nothing). Call before the run.
+func (r *Recorder) SetMachine(fp string) { r.s.machine = fp }
+
 // ProgramStart implements exec.Probe.
 func (r *Recorder) ProgramStart(name string, cores int) { r.s.programStart(name, cores) }
 
@@ -145,6 +157,10 @@ func (sr *SampledRecorder) Probes() []exec.Probe { return []exec.Probe{sr.pmu, s
 
 // Err returns the first error encountered while writing the trace.
 func (sr *SampledRecorder) Err() error { return sr.s.err }
+
+// SetMachine records the machine-model fingerprint to stamp into the
+// trace, as Recorder.SetMachine.
+func (sr *SampledRecorder) SetMachine(fp string) { sr.s.machine = fp }
 
 // Sample implements pmu.Handler, recording each delivered sample.
 func (sr *SampledRecorder) Sample(a mem.Access, instrs uint64) { sr.s.access(a, instrs) }

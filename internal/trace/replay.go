@@ -78,6 +78,11 @@ type Replay struct {
 	Objects []heap.Object
 	// Accesses counts the trace's data records.
 	Accesses uint64
+	// Notes are the trace's provenance notes (`key=value` text) in stream
+	// order — importer skip tallies, the recording machine model, etc.
+	// Notes carry no replayable records, so they never affect the
+	// reconstructed program; callers interpret the keys they know.
+	Notes []string
 
 	phases   map[int]*replayPhase
 	maxPhase int
@@ -141,6 +146,8 @@ func Read(r io.Reader) (*Replay, error) {
 				Addr: ev.Addr, Size: ev.Size, ClassSize: ev.Class,
 				Thread: ev.TID, Seq: ev.Seq, Live: ev.Live, Stack: ev.Stack,
 			})
+		case KindNote:
+			rp.Notes = append(rp.Notes, ev.Name)
 		case KindPhase:
 			ph := rp.phase(ev.Phase)
 			ph.name = ev.Name

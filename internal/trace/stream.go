@@ -372,10 +372,11 @@ func (sh *streamShared) foreignLines(h *heap.Heap, syms *symtab.Table) ([]uint64
 type StreamReplay struct {
 	sh *streamShared
 
-	// Name, Cores and Accesses mirror Replay's fields.
+	// Name, Cores, Accesses and Notes mirror Replay's fields.
 	Name     string
 	Cores    int
 	Accesses uint64
+	Notes    []string
 
 	// runs remaps foreign addresses, identical to full replay's
 	// synthesized runs (same sites in the same order).
@@ -402,6 +403,7 @@ func OpenStream(path string) (*StreamReplay, error) {
 	}
 	return &StreamReplay{
 		sh: sh, Name: sh.name, Cores: sh.cores, Accesses: sh.idx.accesses,
+		Notes:  sh.notes,
 		winSeg: -1,
 	}, nil
 }
